@@ -1,0 +1,289 @@
+// Package zhuge's root benchmark harness: one testing.B benchmark per table
+// and figure of the paper, wrapping the generators in internal/experiments
+// at a reduced scale, plus the AP-datapath microbenchmarks behind the
+// Figure 21 CPU-overhead evaluation and the ablation benches called out in
+// DESIGN.md. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benches report headline metrics via b.ReportMetric (tail
+// ratios, degradation seconds) so regressions in reproduction quality show
+// up alongside timing regressions. Full-scale tables come from
+// cmd/zhuge-bench.
+package zhuge
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/core"
+	"github.com/zhuge-project/zhuge/internal/experiments"
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/packet"
+	"github.com/zhuge-project/zhuge/internal/queue"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// benchCfg is the reduced scale used by figure benches.
+var benchCfg = experiments.Config{Seed: 1, Scale: 0.05}
+
+// runExperiment runs one experiment per iteration and reports a named
+// metric extracted from its table.
+func runExperiment(b *testing.B, id string, metric func(*experiments.Table) map[string]float64) {
+	b.Helper()
+	e := experiments.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		last = e.Run(benchCfg)
+	}
+	if metric != nil && last != nil {
+		for name, v := range metric(last) {
+			b.ReportMetric(v, name)
+		}
+	}
+}
+
+// pctCell parses "12.34%" into 0.1234; returns -1 on failure.
+func pctCell(s string) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return -1
+	}
+	return v / 100
+}
+
+// cellBy returns the first row whose leading columns match keys.
+func cellBy(t *experiments.Table, keys ...string) []string {
+	for _, r := range t.Rows {
+		ok := true
+		for i, k := range keys {
+			if i >= len(r) || r[i] != k {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return r
+		}
+	}
+	return nil
+}
+
+func BenchmarkFig02AccessComparison(b *testing.B) {
+	runExperiment(b, "fig2", func(t *experiments.Table) map[string]float64 {
+		m := map[string]float64{}
+		if r := cellBy(t, "WiFi"); r != nil {
+			m["wifi-rtt-tail"] = pctCell(r[3])
+		}
+		if r := cellBy(t, "Ethernet"); r != nil {
+			m["eth-rtt-tail"] = pctCell(r[3])
+		}
+		return m
+	})
+}
+
+func BenchmarkFig03aQueueBuildup(b *testing.B) { runExperiment(b, "fig3a", nil) }
+
+func BenchmarkFig03bABWReduction(b *testing.B) {
+	runExperiment(b, "fig3b", func(t *experiments.Table) map[string]float64 {
+		m := map[string]float64{}
+		if r := cellBy(t, "W1-restaurant-wifi"); r != nil {
+			m["w1-over10x"] = pctCell(r[7])
+		}
+		return m
+	})
+}
+
+func BenchmarkFig04Convergence(b *testing.B) { runExperiment(b, "fig4", nil) }
+func BenchmarkFig07Estimators(b *testing.B)  { runExperiment(b, "fig7", nil) }
+
+func BenchmarkFig11TraceRTP(b *testing.B) {
+	runExperiment(b, "fig11", func(t *experiments.Table) map[string]float64 {
+		m := map[string]float64{}
+		if r := cellBy(t, "W1-restaurant-wifi", "Gcc+FIFO"); r != nil {
+			m["w1-fifo-tail"] = pctCell(r[2])
+		}
+		if r := cellBy(t, "W1-restaurant-wifi", "Gcc+Zhuge"); r != nil {
+			m["w1-zhuge-tail"] = pctCell(r[2])
+		}
+		return m
+	})
+}
+
+func BenchmarkFig12TraceTCP(b *testing.B) {
+	runExperiment(b, "fig12", func(t *experiments.Table) map[string]float64 {
+		m := map[string]float64{}
+		if r := cellBy(t, "W1-restaurant-wifi", "Copa"); r != nil {
+			m["w1-copa-tail"] = pctCell(r[2])
+		}
+		if r := cellBy(t, "W1-restaurant-wifi", "Copa+Zhuge"); r != nil {
+			m["w1-zhuge-tail"] = pctCell(r[2])
+		}
+		return m
+	})
+}
+
+func BenchmarkFig13Distributions(b *testing.B) { runExperiment(b, "fig13", nil) }
+
+func BenchmarkFig14DropRTP(b *testing.B) {
+	runExperiment(b, "fig14", func(t *experiments.Table) map[string]float64 {
+		m := map[string]float64{}
+		if r := cellBy(t, "Gcc+FIFO", "10x"); r != nil {
+			m["fifo-10x-degr-s"], _ = strconv.ParseFloat(r[2], 64)
+		}
+		if r := cellBy(t, "Gcc+Zhuge", "10x"); r != nil {
+			m["zhuge-10x-degr-s"], _ = strconv.ParseFloat(r[2], 64)
+		}
+		return m
+	})
+}
+
+func BenchmarkFig15DropTCP(b *testing.B)       { runExperiment(b, "fig15", nil) }
+func BenchmarkFig16Competition(b *testing.B)   { runExperiment(b, "fig16", nil) }
+func BenchmarkFig17Interference(b *testing.B)  { runExperiment(b, "fig17", nil) }
+func BenchmarkFig18Testbed(b *testing.B)       { runExperiment(b, "fig18", nil) }
+func BenchmarkFig19Prediction(b *testing.B)    { runExperiment(b, "fig19", nil) }
+func BenchmarkFig20Fairness(b *testing.B)      { runExperiment(b, "fig20", nil) }
+func BenchmarkFig22FrameRates(b *testing.B)    { runExperiment(b, "fig22", nil) }
+func BenchmarkTable3ABCTraces(b *testing.B)    { runExperiment(b, "table3", nil) }
+
+func BenchmarkAblationEstimators(b *testing.B) { runExperiment(b, "ablation-estimators", nil) }
+func BenchmarkAblationFeedback(b *testing.B)   { runExperiment(b, "ablation-feedback", nil) }
+
+// --- Figure 21: AP datapath CPU overhead ---------------------------------
+//
+// The paper measures CPU load of decade-old OpenWrt routers running 1-5
+// concurrent Zhuge flows. The equivalent question here is the per-packet
+// cost of the Zhuge datapath: Fortune Teller prediction plus Feedback
+// Updater bookkeeping, reported as ns/op and B/op. A 2 Mbps RTC flow is
+// ~220 pkt/s each way, so budget-per-packet = CPU_share / 440 per flow.
+
+func benchmarkDatapath(b *testing.B, nFlows int) {
+	s := sim.New(1)
+	q := queue.NewFIFO(0)
+	ft := core.NewFortuneTeller(q, core.FortuneTellerConfig{})
+	oob := core.NewOOBUpdater(s, netem.Sink, s.NewRand("bench"), 0)
+
+	flows := make([]netem.FlowKey, nFlows)
+	acks := make([]*netem.Packet, nFlows)
+	for i := range flows {
+		flows[i] = netem.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: uint16(1000 + i), DstPort: 80, Proto: 6}
+		acks[i] = &netem.Packet{Flow: flows[i].Reverse(), Kind: netem.KindAck, Size: 64}
+	}
+	// Keep a modest standing queue so Predict exercises all terms.
+	for i := 0; i < 20; i++ {
+		q.Enqueue(0, &netem.Packet{Flow: flows[i%nFlows], Size: 1200})
+	}
+	now := sim.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 4 * time.Millisecond
+		f := flows[i%nFlows]
+		// Per data packet: a dequeue observation, a prediction, a delta.
+		ft.OnDequeue(now, &netem.Packet{Flow: f, Size: 1200})
+		pred := ft.Predict(now, f)
+		oob.OnDataPacket(now, f, pred)
+		// Per ACK: the Algorithm 2 path.
+		oob.OnAckPacket(now, f, acks[i%nFlows])
+		// Drain the scheduler so delayed-ack events do not accumulate.
+		s.RunUntil(now)
+	}
+}
+
+func BenchmarkFig21Datapath(b *testing.B) {
+	for _, n := range []int{1, 2, 3, 4, 5} {
+		b.Run(fmt.Sprintf("flows-%d", n), func(b *testing.B) { benchmarkDatapath(b, n) })
+	}
+}
+
+// BenchmarkFig21WireFormats measures the in-band path's real parsing and
+// construction costs: RTP header decode and TWCC feedback build+marshal, the
+// dominant per-packet work of the live AP in cmd/zhuge-ap.
+func BenchmarkFig21WireFormats(b *testing.B) {
+	hdr := packet.RTPHeader{PayloadType: 96, Seq: 7, SSRC: 1, HasTWCC: true, TWCCSeq: 77}
+	wire := hdr.Marshal(nil, make([]byte, 1200))
+	b.Run("rtp-parse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var h packet.RTPHeader
+			if _, err := h.Unmarshal(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	arrivals := make([]packet.TWCCArrival, 50)
+	for i := range arrivals {
+		arrivals[i] = packet.TWCCArrival{Seq: uint16(i), At: time.Duration(i) * 4 * time.Millisecond}
+	}
+	b.Run("twcc-build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fb := packet.BuildTWCC(1, 1, uint8(i), arrivals)
+			if fb.Marshal(nil) == nil {
+				b.Fatal("empty marshal")
+			}
+		}
+	})
+	twccWire := packet.BuildTWCC(1, 1, 0, arrivals).Marshal(nil)
+	b.Run("twcc-parse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := packet.UnmarshalTWCC(twccWire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSimulatorCore measures raw event throughput of the discrete
+// event engine, the scaling limit for large experiments.
+func BenchmarkSimulatorCore(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New(1)
+	var at sim.Time
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		at += time.Microsecond
+		s.At(at, fn)
+		s.Step()
+	}
+}
+
+// BenchmarkSelectiveEstimation quantifies the §7.6 CPU optimisation: with a
+// SampleEvery interval the Fortune Teller serves most predictions from a
+// per-flow cache.
+func BenchmarkSelectiveEstimation(b *testing.B) {
+	for _, every := range []time.Duration{0, 4 * time.Millisecond} {
+		name := "per-packet"
+		if every > 0 {
+			name = "sampled-4ms"
+		}
+		b.Run(name, func(b *testing.B) {
+			q := queue.NewFIFO(0)
+			ft := core.NewFortuneTeller(q, core.FortuneTellerConfig{SampleEvery: every})
+			flow := netem.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 9, Proto: 17}
+			for i := 0; i < 20; i++ {
+				q.Enqueue(0, &netem.Packet{Flow: flow, Size: 1200})
+			}
+			now := sim.Time(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += 500 * time.Microsecond // ~8 packets per 4ms window
+				ft.OnDequeue(now, &netem.Packet{Flow: flow, Size: 1200})
+				ft.Predict(now, flow)
+			}
+		})
+	}
+}
+
+func BenchmarkExtQUIC(b *testing.B)      { runExperiment(b, "ext-quic", nil) }
+func BenchmarkExtNADA(b *testing.B)      { runExperiment(b, "ext-nada", nil) }
+func BenchmarkExtSelective(b *testing.B) { runExperiment(b, "ext-selective", nil) }

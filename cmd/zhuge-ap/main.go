@@ -1,0 +1,94 @@
+// Command zhuge-ap runs the userspace Zhuge access point over real UDP
+// sockets: the live counterpart of the paper's OpenWrt implementation. It
+// relays an RTP/RTCP session, shapes the downlink, and — with -zhuge —
+// predicts per-packet latency and rewrites TWCC feedback at the AP.
+//
+// Usage:
+//
+//	zhuge-ap -media :5004 -feedback :5005 \
+//	         -client 192.168.1.50:4004 -server 10.0.0.1:4005 \
+//	         -rate 20e6 -zhuge
+//
+// A trace file (-trace w1.csv, from zhuge-trace) replays a recorded
+// bandwidth pattern on the shaper instead of a fixed -rate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/liveap"
+	"github.com/zhuge-project/zhuge/internal/trace"
+)
+
+func main() {
+	var (
+		media     = flag.String("media", ":5004", "UDP listen address for downlink media from the server")
+		feedback  = flag.String("feedback", ":5005", "UDP listen address for uplink RTCP from the client")
+		client    = flag.String("client", "", "client address media is forwarded to")
+		server    = flag.String("server", "", "server address feedback is forwarded to")
+		rate      = flag.Float64("rate", 20e6, "downlink shaping rate, bits per second")
+		traceFile = flag.String("trace", "", "CSV bandwidth trace to replay on the shaper")
+		zhuge     = flag.Bool("zhuge", false, "enable the Fortune Teller + Feedback Updater")
+		queueKB   = flag.Int("queue", 256, "downlink queue limit in KiB")
+		statsEvy  = flag.Duration("stats", 5*time.Second, "stats print interval")
+	)
+	flag.Parse()
+	if *client == "" || *server == "" {
+		fmt.Fprintln(os.Stderr, "zhuge-ap: -client and -server are required")
+		os.Exit(2)
+	}
+
+	cfg := liveap.Config{
+		MediaListen:    *media,
+		FeedbackListen: *feedback,
+		Client:         *client,
+		Server:         *server,
+		Rate:           *rate,
+		Zhuge:          *zhuge,
+		QueueLimit:     *queueKB << 10,
+	}
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := trace.Load(*traceFile, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Trace = tr
+		cfg.Rate = 0
+	}
+
+	relay, err := liveap.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer relay.Close()
+	fmt.Printf("zhuge-ap: media %s -> %s, feedback %s -> %s, zhuge=%v\n",
+		relay.MediaAddr(), *client, relay.FeedbackAddr(), *server, *zhuge)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(*statsEvy)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Printf("\nfinal: %+v\n", relay.Stats())
+			return
+		case <-tick.C:
+			fmt.Printf("stats: %+v\n", relay.Stats())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zhuge-ap:", err)
+	os.Exit(1)
+}

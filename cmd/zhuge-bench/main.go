@@ -1,0 +1,96 @@
+// Command zhuge-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	zhuge-bench -list
+//	zhuge-bench -exp fig11
+//	zhuge-bench -exp all -scale 0.2 -seed 7
+//
+// Every experiment is deterministic for a given (seed, scale) pair. Scale
+// shrinks run durations proportionally (1.0 reproduces the full-length
+// runs used in EXPERIMENTS.md; 0.05 gives a quick smoke pass).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment ID to run, or 'all'")
+		scale  = flag.Float64("scale", 1.0, "duration scale factor")
+		seed   = flag.Int64("seed", 1, "root random seed")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		format = flag.String("format", "table", "output format: table|csv")
+		outDir = flag.String("o", "", "write each table to <dir>/<id>.<ext> instead of stdout")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-22s %s\n", e.ID, e.Brief)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		table := e.Run(cfg)
+		if err := emit(table, *format, *outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "zhuge-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e := experiments.ByID(*exp)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	run(*e)
+}
+
+// emit writes one result table in the chosen format, to stdout or to a file
+// under dir.
+func emit(t *experiments.Table, format, dir string) error {
+	ext := "txt"
+	if format == "csv" {
+		ext = "csv"
+	}
+	var w io.Writer = os.Stdout
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, t.ID+"."+ext))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if format == "csv" {
+		return t.WriteCSV(w)
+	}
+	_, err := fmt.Fprintln(w, t)
+	return err
+}

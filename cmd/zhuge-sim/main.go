@@ -1,0 +1,134 @@
+// Command zhuge-sim runs one end-to-end RTC scenario and prints its
+// metrics: the quickest way to poke at a configuration.
+//
+// Usage:
+//
+//	zhuge-sim -trace w1 -proto rtp -solution zhuge -dur 2m
+//	zhuge-sim -trace drop10 -proto tcp -cca copa -solution none
+//	zhuge-sim -trace w2 -proto rtp -solution none -qdisc codel -interferers 20
+//
+// Trace names: w1 w2 c1 c2 c3 ethernet abc, dropK (e.g. drop10 = 30 Mbps
+// dropping K-fold mid-run), a CSV file path, or constN (N Mbps constant).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/scenario"
+	"github.com/zhuge-project/zhuge/internal/trace"
+)
+
+func main() {
+	var (
+		traceName   = flag.String("trace", "w1", "trace: w1|w2|c1|c2|c3|ethernet|abc|dropK|constN|file.csv")
+		proto       = flag.String("proto", "rtp", "protocol: rtp|tcp|quic")
+		ccaName     = flag.String("cca", "copa", "congestion control: copa|cubic|bbr|abc (tcp), +pcc (quic), gcc|nada (rtp)")
+		solution    = flag.String("solution", "none", "AP solution: none|zhuge|fastack|abc")
+		qdisc       = flag.String("qdisc", "fifo", "queue discipline: fifo|codel|fqcodel")
+		dur         = flag.Duration("dur", 2*time.Minute, "simulated duration")
+		seed        = flag.Int64("seed", 1, "random seed")
+		interferers = flag.Int("interferers", 0, "contending stations on the channel")
+		bulk        = flag.Int("bulk", 0, "competing CUBIC bulk flows")
+	)
+	flag.Parse()
+
+	tr, err := resolveTrace(*traceName, *dur, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zhuge-sim:", err)
+		os.Exit(2)
+	}
+	sol := map[string]scenario.Solution{
+		"none": scenario.SolutionNone, "zhuge": scenario.SolutionZhuge,
+		"fastack": scenario.SolutionFastAck, "abc": scenario.SolutionABC,
+	}[*solution]
+
+	p := scenario.NewPath(scenario.Options{
+		Seed: *seed, Trace: tr, Solution: sol, Qdisc: *qdisc, Interferers: *interferers,
+	})
+	for i := 0; i < *bulk; i++ {
+		p.AddBulkFlow(0, 0)
+	}
+
+	fmt.Printf("trace=%s proto=%s solution=%s qdisc=%s dur=%v seed=%d\n\n",
+		tr.Name, *proto, *solution, *qdisc, *dur, *seed)
+
+	if *proto == "quic" {
+		f := p.AddQUICVideoFlow(scenario.TCPFlowConfig{CCA: *ccaName})
+		p.Run(*dur)
+		fmt.Printf("network RTT:   %s\n", f.Metrics.RTT)
+		fmt.Printf("frame delay:   %s\n", f.FrameDelay)
+		fmt.Printf("P(rtt>200ms):     %.3f%%\n", 100*f.Metrics.RTT.FractionAbove(200*time.Millisecond))
+		fmt.Printf("P(fdelay>400ms):  %.3f%%\n", 100*f.FrameDelay.FractionAbove(400*time.Millisecond))
+		fmt.Printf("P(fps<10):        %.3f%%\n", 100*f.FrameRateSeries(*dur).FractionBelow(10))
+		fmt.Printf("frames sent/dropped: %d/%d  lost=%d  pto=%d\n",
+			f.FramesSent, f.FramesDropped, f.Sender.LostPackets(), f.Sender.Timeouts())
+		fmt.Printf("goodput: %.2f Mbps\n", f.Metrics.DeliveredBytes*8/dur.Seconds()/1e6)
+		return
+	}
+
+	if *proto == "tcp" {
+		f := p.AddTCPVideoFlow(scenario.TCPFlowConfig{CCA: *ccaName})
+		p.Run(*dur)
+		fmt.Printf("network RTT:   %s\n", f.Metrics.RTT)
+		fmt.Printf("frame delay:   %s\n", f.FrameDelay)
+		fmt.Printf("P(rtt>200ms):     %.3f%%\n", 100*f.Metrics.RTT.FractionAbove(200*time.Millisecond))
+		fmt.Printf("P(fdelay>400ms):  %.3f%%\n", 100*f.FrameDelay.FractionAbove(400*time.Millisecond))
+		fmt.Printf("P(fps<10):        %.3f%%\n", 100*f.FrameRateSeries(*dur).FractionBelow(10))
+		fmt.Printf("frames sent/dropped: %d/%d  retransmits=%d  timeouts=%d\n",
+			f.FramesSent, f.FramesDropped, f.Sender.Retransmits(), f.Sender.Timeouts())
+		fmt.Printf("goodput: %.2f Mbps\n", f.Metrics.DeliveredBytes*8/dur.Seconds()/1e6)
+		return
+	}
+
+	rtpCCA := ""
+	if *ccaName == "nada" {
+		rtpCCA = "nada"
+	}
+	f := p.AddRTPFlow(scenario.RTPFlowConfig{CCA: rtpCCA})
+	p.Run(*dur)
+	fmt.Printf("network RTT:   %s\n", f.Metrics.RTT)
+	fmt.Printf("frame delay:   %s\n", f.Decoder.FrameDelay)
+	fmt.Printf("P(rtt>200ms):     %.3f%%\n", 100*f.Metrics.RTT.FractionAbove(200*time.Millisecond))
+	fmt.Printf("P(fdelay>400ms):  %.3f%%\n", 100*f.Decoder.FrameDelay.FractionAbove(400*time.Millisecond))
+	fmt.Printf("P(fps<10):        %.3f%%\n", 100*f.Decoder.LowFrameRateRatio(*dur, 10))
+	fmt.Printf("frames decoded/skipped: %d/%d  retransmits=%d\n",
+		f.Decoder.Decoded, f.Decoder.Skipped, f.Sender.Retransmits())
+	fmt.Printf("final rate: %.2f Mbps\n", f.Sender.Controller().Rate()/1e6)
+	fmt.Printf("goodput: %.2f Mbps\n", f.Metrics.DeliveredBytes*8/dur.Seconds()/1e6)
+}
+
+func resolveTrace(name string, dur time.Duration, seed int64) (*trace.Trace, error) {
+	gens := map[string]func() trace.GenParams{
+		"w1": trace.RestaurantWiFi, "w2": trace.OfficeWiFi, "c1": trace.IndoorMixed45G,
+		"c2": trace.City4G, "c3": trace.City5G, "ethernet": trace.Ethernet, "abc": trace.ABCCellular,
+	}
+	if mk, ok := gens[name]; ok {
+		return trace.Generate(mk(), dur, rand.New(rand.NewSource(seed))), nil
+	}
+	if k, ok := strings.CutPrefix(name, "drop"); ok {
+		f, err := strconv.ParseFloat(k, 64)
+		if err != nil || f <= 1 {
+			return nil, fmt.Errorf("bad drop factor %q", k)
+		}
+		return trace.Step(name, 30e6, 30e6/f, dur/3, dur), nil
+	}
+	if n, ok := strings.CutPrefix(name, "const"); ok {
+		mbps, err := strconv.ParseFloat(n, 64)
+		if err != nil || mbps <= 0 {
+			return nil, fmt.Errorf("bad constant rate %q", n)
+		}
+		return trace.Constant(name, mbps*1e6, dur), nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown trace %q (and not a readable file: %v)", name, err)
+	}
+	defer f.Close()
+	return trace.Load(name, f)
+}

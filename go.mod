@@ -1,0 +1,3 @@
+module github.com/zhuge-project/zhuge
+
+go 1.22

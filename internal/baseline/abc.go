@@ -1,0 +1,99 @@
+// Package baseline implements the AP-side comparison systems of the
+// evaluation: the ABC router (explicit accelerate/brake marking, a
+// network-host co-design requiring modified endpoints) and FastAck (an
+// AP-local TCP ACK synthesiser). Both attach to the same wireless-link
+// datapath as Zhuge, so experiments swap solutions without rewiring.
+package baseline
+
+import (
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/metrics"
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/queue"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// ABC control parameters (Goyal et al., NSDI 2020).
+const (
+	abcEta         = 0.98
+	abcDelta       = 133 * time.Millisecond
+	abcTargetDelay = 20 * time.Millisecond
+	abcWindow      = 40 * time.Millisecond
+)
+
+// ABCRouter implements the router half of ABC: it computes a target rate
+// from the measured dequeue rate and queue delay, and marks each dequeued
+// data packet accelerate or brake via a token counter so that the echoed
+// marks steer the (modified) sender onto the target rate.
+type ABCRouter struct {
+	s *sim.Simulator
+	q queue.Qdisc
+
+	mu *metrics.SlidingSum // dequeued bytes -> rate
+
+	tokens     float64 // bytes of accelerate credit
+	lastUpdate sim.Time
+
+	accelerates int
+	brakes      int
+}
+
+// NewABCRouter builds an ABC marker over the downlink qdisc. Attach it to
+// the wireless link with AddObserver.
+func NewABCRouter(s *sim.Simulator, q queue.Qdisc) *ABCRouter {
+	return &ABCRouter{s: s, q: q, mu: metrics.NewSlidingSum(abcWindow)}
+}
+
+// Accelerates returns the count of accelerate marks issued.
+func (r *ABCRouter) Accelerates() int { return r.accelerates }
+
+// Brakes returns the count of brake marks issued.
+func (r *ABCRouter) Brakes() int { return r.brakes }
+
+// OnEnqueue implements wireless.Observer.
+func (r *ABCRouter) OnEnqueue(now sim.Time, p *netem.Packet, accepted bool) {}
+
+// OnDequeue implements wireless.Observer: measure the drain rate and mark
+// the departing packet. An accelerated ACK causes the ABC sender to emit
+// two packets, a braked one zero, so the accelerate fraction is chosen to
+// land the aggregate rate on the target: tokens accrue at the target rate
+// and each accelerate costs two packets' worth.
+func (r *ABCRouter) OnDequeue(now sim.Time, p *netem.Packet) {
+	r.mu.Add(now, float64(p.Size))
+	mu := r.mu.Rate(now) // bytes per second
+
+	// Queue delay estimate: backlog over drain rate.
+	var dq time.Duration
+	if mu > 0 {
+		dq = time.Duration(float64(r.q.Bytes()) / mu * float64(time.Second))
+	}
+	over := dq - abcTargetDelay
+	if over < 0 {
+		over = 0
+	}
+	target := abcEta*mu - mu*(over.Seconds()/abcDelta.Seconds())
+	if target < 0 {
+		target = 0
+	}
+
+	if r.lastUpdate != 0 {
+		r.tokens += target * (now - r.lastUpdate).Seconds()
+		if max := 2 * target * abcWindow.Seconds(); r.tokens > max && max > 0 {
+			r.tokens = max
+		}
+	}
+	r.lastUpdate = now
+
+	if p.Kind != netem.KindData {
+		return
+	}
+	if r.tokens >= float64(2*p.Size) {
+		r.tokens -= float64(2 * p.Size)
+		p.ABCMark = 1 // accelerate
+		r.accelerates++
+	} else {
+		p.ABCMark = 2 // brake
+		r.brakes++
+	}
+}

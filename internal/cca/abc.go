@@ -1,0 +1,64 @@
+package cca
+
+import (
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// ABC mark values carried in netem.Packet.ABCMark / AckEvent.ABCMark.
+const (
+	ABCNone       uint8 = 0
+	ABCAccelerate uint8 = 1
+	ABCBrake      uint8 = 2
+)
+
+// ABCSender implements the end-host half of ABC (Goyal et al., NSDI 2020).
+// The router marks each data packet accelerate or brake; the receiver
+// echoes the mark on the ACK; the sender sends two packets per accelerated
+// ACK and none per braked ACK, which is equivalent to cwnd += MSS on
+// accelerate and cwnd -= MSS on brake. ABC is the co-design baseline that
+// requires modifying AP, server and client simultaneously (§7.2); Zhuge
+// matches it without touching the endpoints.
+type ABCSender struct {
+	cwnd float64
+}
+
+// NewABCSender returns an ABC sender controller.
+func NewABCSender() *ABCSender {
+	return &ABCSender{cwnd: 10 * MSS}
+}
+
+// Name implements TCP.
+func (a *ABCSender) Name() string { return "abc" }
+
+// OnAck implements TCP: window accounting per echoed mark.
+func (a *ABCSender) OnAck(ev AckEvent) {
+	switch ev.ABCMark {
+	case ABCAccelerate:
+		a.cwnd += float64(ev.AckedBytes)
+	case ABCBrake:
+		a.cwnd -= float64(ev.AckedBytes)
+	default:
+		// Unmarked (non-ABC hop): hold.
+	}
+	if a.cwnd < minCwnd {
+		a.cwnd = minCwnd
+	}
+}
+
+// OnLoss implements TCP: ABC falls back to a multiplicative decrease when
+// actual loss occurs (e.g. overflow at a non-ABC bottleneck).
+func (a *ABCSender) OnLoss(now sim.Time) {
+	a.cwnd /= 2
+	if a.cwnd < minCwnd {
+		a.cwnd = minCwnd
+	}
+}
+
+// OnRTO implements TCP.
+func (a *ABCSender) OnRTO(now sim.Time) { a.cwnd = minCwnd }
+
+// CWND implements TCP.
+func (a *ABCSender) CWND() int { return clampCwnd(int(a.cwnd)) }
+
+// PacingRate implements TCP; ABC is ack-clocked.
+func (a *ABCSender) PacingRate(sim.Time) float64 { return 0 }

@@ -1,0 +1,61 @@
+// Package cca implements the congestion control algorithms the paper
+// evaluates: CUBIC (the bulk-transfer competitor), Copa and BBR
+// (latency-sensitive TCP CCAs), GCC (the WebRTC rate controller used over
+// RTP/RTCP) and the sender half of ABC (the explicit network-host co-design
+// baseline). All are sender-side: they consume acknowledgement/feedback
+// events from the transports in internal/transport and emit either a
+// congestion window (TCP family) or a target sending rate (GCC).
+package cca
+
+import (
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// MSS is the maximum segment size used by the TCP family, in bytes.
+const MSS = 1400
+
+// AckEvent carries everything a TCP-family controller may consume on each
+// cumulative acknowledgement.
+type AckEvent struct {
+	Now        sim.Time
+	AckedBytes int           // newly acknowledged bytes
+	RTT        time.Duration // RTT sample for this ack (0 when unavailable)
+	InFlight   int           // bytes still in flight after this ack
+	ABCMark    uint8         // ABC accelerate/brake mark echoed by receiver
+	// AppLimited reports that the sender is not using its full window
+	// (no backlog and in-flight below cwnd). Controllers must not grow
+	// the window on app-limited ACKs (RFC 7661): an unused window says
+	// nothing about the path, and growing it unboundedly would let a
+	// long-idle flow dump a giant burst when the application ramps up.
+	AppLimited bool
+}
+
+// TCP is the interface between the TCP transport and a window-based
+// congestion controller.
+type TCP interface {
+	// Name identifies the algorithm in experiment tables.
+	Name() string
+	// OnAck processes one cumulative ACK.
+	OnAck(ev AckEvent)
+	// OnLoss processes a fast-retransmit loss event (triple dupack).
+	OnLoss(now sim.Time)
+	// OnRTO processes a retransmission timeout.
+	OnRTO(now sim.Time)
+	// CWND returns the congestion window in bytes.
+	CWND() int
+	// PacingRate returns the pacing rate in bits per second, or 0 to let
+	// the transport default to cwnd-per-RTT ack clocking.
+	PacingRate(now sim.Time) float64
+}
+
+// minCwnd is the floor every controller respects.
+const minCwnd = 2 * MSS
+
+func clampCwnd(w int) int {
+	if w < minCwnd {
+		return minCwnd
+	}
+	return w
+}

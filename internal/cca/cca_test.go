@@ -1,0 +1,346 @@
+package cca
+
+import (
+	"testing"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+func TestCubicSlowStartDoubles(t *testing.T) {
+	c := NewCubic()
+	start := c.CWND()
+	now := sim.Time(0)
+	// Ack one full window: slow start should double it.
+	c.OnAck(AckEvent{Now: now, AckedBytes: start, RTT: 50 * time.Millisecond})
+	if got := c.CWND(); got < 2*start-MSS {
+		t.Errorf("cwnd after full-window ack %d, want ~%d", got, 2*start)
+	}
+}
+
+func TestCubicLossReducesWindow(t *testing.T) {
+	c := NewCubic()
+	for i := 0; i < 100; i++ {
+		c.OnAck(AckEvent{Now: sim.Time(i) * sim.Time(time.Millisecond), AckedBytes: MSS, RTT: 50 * time.Millisecond})
+	}
+	before := c.CWND()
+	c.OnLoss(sim.Time(time.Second))
+	after := c.CWND()
+	if after >= before {
+		t.Errorf("cwnd %d -> %d, want decrease", before, after)
+	}
+	if float64(after) < 0.6*float64(before) {
+		t.Errorf("cubic beta should be 0.7, got %d -> %d", before, after)
+	}
+}
+
+func TestCubicRecoversTowardWmax(t *testing.T) {
+	c := NewCubic()
+	// Grow, lose, then ack for a while: window approaches previous Wmax.
+	now := sim.Time(0)
+	for i := 0; i < 200; i++ {
+		now += sim.Time(10 * time.Millisecond)
+		c.OnAck(AckEvent{Now: now, AckedBytes: MSS, RTT: 50 * time.Millisecond})
+	}
+	wmax := c.CWND()
+	c.OnLoss(now)
+	for i := 0; i < 2000; i++ {
+		now += sim.Time(10 * time.Millisecond)
+		c.OnAck(AckEvent{Now: now, AckedBytes: MSS, RTT: 50 * time.Millisecond})
+	}
+	if got := c.CWND(); got < wmax*8/10 {
+		t.Errorf("cubic cwnd %d did not recover toward wmax %d", got, wmax)
+	}
+}
+
+func TestCubicRTOCollapses(t *testing.T) {
+	c := NewCubic()
+	for i := 0; i < 50; i++ {
+		c.OnAck(AckEvent{Now: sim.Time(i) * sim.Time(time.Millisecond), AckedBytes: MSS, RTT: time.Millisecond})
+	}
+	c.OnRTO(sim.Time(time.Second))
+	if got := c.CWND(); got != minCwnd {
+		t.Errorf("cwnd after RTO %d, want %d", got, minCwnd)
+	}
+}
+
+// copaFeed acks packets with a synthetic RTT signal.
+func copaFeed(c *Copa, start sim.Time, n int, rtt func(i int) time.Duration) sim.Time {
+	now := start
+	for i := 0; i < n; i++ {
+		now += sim.Time(5 * time.Millisecond)
+		c.OnAck(AckEvent{Now: now, AckedBytes: MSS, RTT: rtt(i)})
+	}
+	return now
+}
+
+func TestCopaShrinksOnQueueGrowth(t *testing.T) {
+	c := NewCopa()
+	// Phase 1: flat RTT at 50ms (no queue) - leaves slow start high.
+	now := copaFeed(c, 0, 300, func(int) time.Duration { return 50 * time.Millisecond })
+	// Phase 2: RTT inflated to 250ms (standing queue) for a while.
+	before := c.CWND()
+	copaFeed(c, now, 600, func(int) time.Duration { return 250 * time.Millisecond })
+	after := c.CWND()
+	if after >= before {
+		t.Errorf("copa cwnd %d -> %d under 200ms standing queue, want decrease", before, after)
+	}
+}
+
+func TestCopaGrowsWithEmptyQueue(t *testing.T) {
+	c := NewCopa()
+	c.inSlowStart = false
+	c.cwnd = 4
+	copaFeed(c, 0, 500, func(int) time.Duration { return 50 * time.Millisecond })
+	if got := c.CWND(); got <= 4*MSS {
+		t.Errorf("copa cwnd %d with empty queue, want growth", got)
+	}
+}
+
+func TestBBRTracksBandwidth(t *testing.T) {
+	b := NewBBR()
+	now := sim.Time(0)
+	// Deliver 1 MSS per ms => 11.2 Mbps for 2 seconds.
+	for i := 0; i < 2000; i++ {
+		now += sim.Time(time.Millisecond)
+		b.OnAck(AckEvent{Now: now, AckedBytes: MSS, RTT: 40 * time.Millisecond, InFlight: 20 * MSS})
+	}
+	rate := b.PacingRate(now)
+	wantBase := float64(MSS * 8 * 1000) // bps
+	if rate < 0.5*wantBase || rate > 3.5*wantBase {
+		t.Errorf("BBR pacing %0.f, want around %0.f (gain in [0.75,2.89])", rate, wantBase)
+	}
+	if b.state == bbrStartup {
+		t.Error("BBR should exit startup on a stable rate")
+	}
+	// cwnd should be near cwnd_gain * BDP = 2 * 11.2e6/8 * 0.04 = 112KB.
+	bdp := wantBase / 8 * 0.04
+	if got := float64(b.CWND()); got < bdp || got > 4*bdp {
+		t.Errorf("BBR cwnd %.0f, want within [1,4]x BDP %.0f", got, bdp)
+	}
+}
+
+func TestBBRProbeCycleChangesGain(t *testing.T) {
+	b := NewBBR()
+	now := sim.Time(0)
+	for i := 0; i < 4000; i++ {
+		now += sim.Time(time.Millisecond)
+		b.OnAck(AckEvent{Now: now, AckedBytes: MSS, RTT: 40 * time.Millisecond, InFlight: 10 * MSS})
+	}
+	if b.state != bbrProbeBW {
+		t.Fatalf("state %v, want probeBW", b.state)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		now += sim.Time(time.Millisecond)
+		b.OnAck(AckEvent{Now: now, AckedBytes: MSS, RTT: 40 * time.Millisecond, InFlight: 10 * MSS})
+		seen[b.cycleIndex] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("cycle indices seen %v, want rotation through the gain cycle", seen)
+	}
+}
+
+func TestABCSenderFollowsMarks(t *testing.T) {
+	a := NewABCSender()
+	start := a.CWND()
+	for i := 0; i < 10; i++ {
+		a.OnAck(AckEvent{Now: sim.Time(i), AckedBytes: MSS, ABCMark: ABCAccelerate})
+	}
+	if got := a.CWND(); got != start+10*MSS {
+		t.Errorf("cwnd after 10 accelerates = %d, want %d", got, start+10*MSS)
+	}
+	for i := 0; i < 100; i++ {
+		a.OnAck(AckEvent{Now: sim.Time(i), AckedBytes: MSS, ABCMark: ABCBrake})
+	}
+	if got := a.CWND(); got != minCwnd {
+		t.Errorf("cwnd after heavy braking = %d, want floor %d", got, minCwnd)
+	}
+}
+
+// gccFeed sends a feedback batch where arrival spacing is sendSpacing *
+// inflation (inflation > 1 means the queue is growing).
+func gccFeed(g *GCC, now sim.Time, seq *uint16, n int, sendSpacing time.Duration, inflation float64, arrive *time.Duration, send *sim.Time) {
+	var samples []FeedbackSample
+	for i := 0; i < n; i++ {
+		*send += sim.Time(sendSpacing)
+		*arrive += time.Duration(float64(sendSpacing) * inflation)
+		samples = append(samples, FeedbackSample{
+			Seq: *seq, SendAt: *send, Arrived: true, ArriveAt: *arrive, Size: 1200,
+		})
+		*seq++
+	}
+	g.OnFeedback(now, samples)
+}
+
+func TestGCCIncreasesWhenClear(t *testing.T) {
+	g := NewGCC(1e6, 100e3, 50e6)
+	var seq uint16
+	arrive := time.Duration(0)
+	send := sim.Time(0)
+	now := sim.Time(0)
+	for r := 0; r < 50; r++ {
+		now += sim.Time(40 * time.Millisecond)
+		gccFeed(g, now, &seq, 10, 4*time.Millisecond, 1.0, &arrive, &send)
+	}
+	if g.Rate() <= 1e6 {
+		t.Errorf("GCC rate %.0f after 2s clear channel, want growth above 1e6", g.Rate())
+	}
+}
+
+func TestGCCDecreasesOnDelayGradient(t *testing.T) {
+	g := NewGCC(2e6, 100e3, 50e6)
+	var seq uint16
+	arrive := time.Duration(0)
+	send := sim.Time(0)
+	now := sim.Time(0)
+	// Warm up with a clear channel.
+	for r := 0; r < 25; r++ {
+		now += sim.Time(40 * time.Millisecond)
+		gccFeed(g, now, &seq, 10, 4*time.Millisecond, 1.0, &arrive, &send)
+	}
+	warm := g.Rate()
+	// Queue growth: arrivals spaced 2x the send spacing, and — because the
+	// bottleneck halved — each feedback interval covers half the packets.
+	for r := 0; r < 25; r++ {
+		now += sim.Time(40 * time.Millisecond)
+		gccFeed(g, now, &seq, 5, 4*time.Millisecond, 2.0, &arrive, &send)
+	}
+	if g.Rate() >= warm {
+		t.Errorf("GCC rate %.0f under sustained delay gradient, want below %.0f", g.Rate(), warm)
+	}
+}
+
+func TestGCCHeavyLossCutsRate(t *testing.T) {
+	g := NewGCC(2e6, 100e3, 50e6)
+	var samples []FeedbackSample
+	arrive := time.Duration(0)
+	send := sim.Time(0)
+	for i := 0; i < 20; i++ {
+		send += sim.Time(4 * time.Millisecond)
+		arrive += 4 * time.Millisecond
+		s := FeedbackSample{Seq: uint16(i), SendAt: send, Size: 1200}
+		if i%3 != 0 { // ~33% loss
+			s.Arrived = true
+			s.ArriveAt = arrive
+		}
+		samples = append(samples, s)
+	}
+	g.OnFeedback(sim.Time(40*time.Millisecond), samples)
+	if g.Rate() >= 2e6 {
+		t.Errorf("GCC rate %.0f after 33%% loss, want a cut", g.Rate())
+	}
+}
+
+func TestGCCRespectsBounds(t *testing.T) {
+	g := NewGCC(1e6, 500e3, 2e6)
+	var seq uint16
+	arrive := time.Duration(0)
+	send := sim.Time(0)
+	now := sim.Time(0)
+	for r := 0; r < 200; r++ {
+		now += sim.Time(40 * time.Millisecond)
+		gccFeed(g, now, &seq, 10, 4*time.Millisecond, 1.0, &arrive, &send)
+	}
+	if g.Rate() > 2e6 {
+		t.Errorf("rate %.0f exceeds max", g.Rate())
+	}
+	for r := 0; r < 100; r++ {
+		now += sim.Time(40 * time.Millisecond)
+		gccFeed(g, now, &seq, 10, 4*time.Millisecond, 3.0, &arrive, &send)
+	}
+	if g.Rate() < 500e3 {
+		t.Errorf("rate %.0f below min", g.Rate())
+	}
+}
+
+func TestTrendlineSlopeSigns(t *testing.T) {
+	up := newTrendline(20)
+	flat := newTrendline(20)
+	for i := 0; i < 20; i++ {
+		up.add(float64(i*10), 1.0) // accumulating delay
+		flat.add(float64(i*10), 0.0)
+	}
+	if up.slope() <= 0 {
+		t.Errorf("increasing delay slope %v, want > 0", up.slope())
+	}
+	if s := flat.slope(); s != 0 {
+		t.Errorf("flat delay slope %v, want 0", s)
+	}
+}
+
+func TestAllControllersRespectMinWindow(t *testing.T) {
+	controllers := []TCP{NewCubic(), NewCopa(), NewBBR(), NewABCSender()}
+	for _, c := range controllers {
+		for i := 0; i < 50; i++ {
+			c.OnLoss(sim.Time(i))
+			c.OnRTO(sim.Time(i))
+		}
+		if got := c.CWND(); got < minCwnd {
+			t.Errorf("%s cwnd %d below floor %d", c.Name(), got, minCwnd)
+		}
+	}
+}
+
+func TestAppLimitedFreezesGrowth(t *testing.T) {
+	// RFC 7661: app-limited ACKs must not grow any controller's window.
+	for _, mk := range []func() TCP{func() TCP { return NewCubic() }, func() TCP { return NewCopa() }} {
+		c := mk()
+		// Warm up with normal acks.
+		now := sim.Time(0)
+		for i := 0; i < 200; i++ {
+			now += sim.Time(5 * time.Millisecond)
+			c.OnAck(AckEvent{Now: now, AckedBytes: MSS, RTT: 50 * time.Millisecond})
+		}
+		before := c.CWND()
+		for i := 0; i < 500; i++ {
+			now += sim.Time(5 * time.Millisecond)
+			c.OnAck(AckEvent{Now: now, AckedBytes: MSS, RTT: 50 * time.Millisecond, AppLimited: true})
+		}
+		if got := c.CWND(); got > before+MSS {
+			t.Errorf("%s grew app-limited: %d -> %d", c.Name(), before, got)
+		}
+	}
+}
+
+func TestCopaAppLimitedStillDecreases(t *testing.T) {
+	c := NewCopa()
+	c.inSlowStart = false
+	c.cwnd = 200
+	now := sim.Time(0)
+	// Establish rttMin at 50ms, then standing queue at 250ms while
+	// app-limited: the window must still come down.
+	for i := 0; i < 100; i++ {
+		now += sim.Time(5 * time.Millisecond)
+		c.OnAck(AckEvent{Now: now, AckedBytes: MSS, RTT: 50 * time.Millisecond, AppLimited: true})
+	}
+	before := c.CWND()
+	for i := 0; i < 500; i++ {
+		now += sim.Time(5 * time.Millisecond)
+		c.OnAck(AckEvent{Now: now, AckedBytes: MSS, RTT: 250 * time.Millisecond, AppLimited: true})
+	}
+	if got := c.CWND(); got >= before {
+		t.Errorf("copa cwnd %d -> %d under app-limited standing queue, want decrease", before, got)
+	}
+}
+
+func TestBBRAppLimitedSamplesOnlyRaise(t *testing.T) {
+	b := NewBBR()
+	now := sim.Time(0)
+	// Fast delivery establishes a high bandwidth estimate.
+	for i := 0; i < 1000; i++ {
+		now += sim.Time(time.Millisecond)
+		b.OnAck(AckEvent{Now: now, AckedBytes: MSS, RTT: 40 * time.Millisecond, InFlight: 10 * MSS})
+	}
+	high, _ := b.btlBw.Get(now)
+	// Slow app-limited trickle must not drag the filter down faster than
+	// its window expiry would.
+	for i := 0; i < 50; i++ {
+		now += sim.Time(time.Millisecond)
+		b.OnAck(AckEvent{Now: now, AckedBytes: MSS / 10, RTT: 40 * time.Millisecond, InFlight: MSS, AppLimited: true})
+	}
+	after, _ := b.btlBw.Get(now)
+	if after < high*0.9 {
+		t.Errorf("app-limited trickle dragged btlBw %f -> %f", high, after)
+	}
+}

@@ -1,0 +1,96 @@
+package cca
+
+import (
+	"math"
+
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// Cubic implements TCP CUBIC (Ha et al., 2008). It is the buffer-filling
+// competitor/interferer workload of Figures 16 and 17; the paper explicitly
+// excludes it from Zhuge's targets because it queues by design.
+type Cubic struct {
+	cwnd     float64 // bytes
+	ssthresh float64
+	wMax     float64
+	epochAt  sim.Time
+	k        float64 // seconds
+	inSS     bool
+}
+
+// CUBIC constants: C in MSS/s^3 and the multiplicative decrease beta.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// NewCubic returns a CUBIC controller with a 10-segment initial window.
+func NewCubic() *Cubic {
+	return &Cubic{cwnd: 10 * MSS, ssthresh: math.MaxFloat64, inSS: true}
+}
+
+// Name implements TCP.
+func (c *Cubic) Name() string { return "cubic" }
+
+// OnAck implements TCP.
+func (c *Cubic) OnAck(ev AckEvent) {
+	if ev.AppLimited {
+		// Freeze growth; also restart the cubic epoch so the window does
+		// not jump when the application resumes.
+		c.epochAt = 0
+		return
+	}
+	if c.inSS {
+		c.cwnd += float64(ev.AckedBytes)
+		if c.cwnd >= c.ssthresh {
+			c.inSS = false
+			c.enterCA(ev.Now)
+		}
+		return
+	}
+	if c.epochAt == 0 {
+		c.enterCA(ev.Now)
+	}
+	t := (ev.Now - c.epochAt).Seconds()
+	target := c.wMax + cubicC*math.Pow(t-c.k, 3)*MSS
+	if target > c.cwnd {
+		// Standard CUBIC window increment: close the gap per RTT.
+		c.cwnd += (target - c.cwnd) * float64(ev.AckedBytes) / c.cwnd
+	} else {
+		// Small probing increment in the concave/plateau region.
+		c.cwnd += 0.01 * float64(ev.AckedBytes)
+	}
+}
+
+func (c *Cubic) enterCA(now sim.Time) {
+	c.epochAt = now
+	if c.cwnd < c.wMax {
+		c.k = math.Cbrt((c.wMax - c.cwnd) / MSS / cubicC)
+	} else {
+		c.k = 0
+		c.wMax = c.cwnd
+	}
+}
+
+// OnLoss implements TCP: multiplicative decrease and a new cubic epoch.
+func (c *Cubic) OnLoss(now sim.Time) {
+	c.wMax = c.cwnd
+	c.cwnd = math.Max(c.cwnd*cubicBeta, minCwnd)
+	c.ssthresh = c.cwnd
+	c.inSS = false
+	c.epochAt = 0
+}
+
+// OnRTO implements TCP: collapse to the minimum window and slow start.
+func (c *Cubic) OnRTO(now sim.Time) {
+	c.ssthresh = math.Max(c.cwnd/2, minCwnd)
+	c.cwnd = minCwnd
+	c.inSS = true
+	c.epochAt = 0
+}
+
+// CWND implements TCP.
+func (c *Cubic) CWND() int { return clampCwnd(int(c.cwnd)) }
+
+// PacingRate implements TCP; CUBIC is purely ack-clocked.
+func (c *Cubic) PacingRate(sim.Time) float64 { return 0 }

@@ -1,0 +1,130 @@
+package cca
+
+import (
+	"testing"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// nadaFeed delivers a feedback batch with the given one-way queuing delay.
+func nadaFeed(n *NADA, now sim.Time, seq *uint16, count int, spacing time.Duration, queue time.Duration, send *sim.Time, arrive *time.Duration) {
+	var samples []FeedbackSample
+	for i := 0; i < count; i++ {
+		*send += sim.Time(spacing)
+		*arrive = time.Duration(*send) + queue
+		samples = append(samples, FeedbackSample{Seq: *seq, SendAt: *send, Arrived: true, ArriveAt: *arrive, Size: 1200})
+		*seq++
+	}
+	n.OnFeedback(now, samples)
+}
+
+func TestNADARampsUpWhenClear(t *testing.T) {
+	n := NewNADA(1e6, 150e3, 20e6)
+	var seq uint16
+	var send sim.Time
+	var arrive time.Duration
+	now := sim.Time(0)
+	for r := 0; r < 100; r++ {
+		now += sim.Time(100 * time.Millisecond)
+		nadaFeed(n, now, &seq, 25, 4*time.Millisecond, 0, &send, &arrive)
+	}
+	if n.Rate() <= 1e6 {
+		t.Errorf("NADA rate %.0f after 10s clear channel, want growth", n.Rate())
+	}
+}
+
+func TestNADABacksOffUnderQueuing(t *testing.T) {
+	n := NewNADA(2e6, 150e3, 20e6)
+	var seq uint16
+	var send sim.Time
+	var arrive time.Duration
+	now := sim.Time(0)
+	// Warm up clear, then sustained 60ms standing queue.
+	for r := 0; r < 20; r++ {
+		now += sim.Time(100 * time.Millisecond)
+		nadaFeed(n, now, &seq, 25, 4*time.Millisecond, 0, &send, &arrive)
+	}
+	warm := n.Rate()
+	for r := 0; r < 50; r++ {
+		now += sim.Time(100 * time.Millisecond)
+		nadaFeed(n, now, &seq, 25, 4*time.Millisecond, 60*time.Millisecond, &send, &arrive)
+	}
+	if n.Rate() >= warm {
+		t.Errorf("NADA rate %.0f under 60ms standing queue, want below %.0f", n.Rate(), warm)
+	}
+}
+
+func TestNADALossPenaltyLowersEquilibrium(t *testing.T) {
+	// With the same standing queue, a lossy path has a larger composite
+	// congestion signal, so the gradual-update law converges to a lower
+	// rate: r* = PRIO*XREF*RMAX/x.
+	clean := NewNADA(2e6, 150e3, 40e6)
+	lossy := NewNADA(2e6, 150e3, 40e6)
+	run := func(n *NADA, lossEvery int) {
+		var seq uint16
+		var send sim.Time
+		var arrive time.Duration
+		now := sim.Time(0)
+		// First round with zero queue pins the baseline delay.
+		nadaFeed(n, now, &seq, 5, 4*time.Millisecond, 0, &send, &arrive)
+		for r := 0; r < 600; r++ {
+			now += sim.Time(100 * time.Millisecond)
+			var samples []FeedbackSample
+			for i := 0; i < 25; i++ {
+				send += sim.Time(4 * time.Millisecond)
+				arrive = time.Duration(send) + 20*time.Millisecond // standing queue
+				s := FeedbackSample{Seq: seq, SendAt: send, Size: 1200}
+				if lossEvery == 0 || int(seq)%lossEvery != 0 {
+					s.Arrived = true
+					s.ArriveAt = arrive
+				}
+				samples = append(samples, s)
+				seq++
+			}
+			n.OnFeedback(now, samples)
+		}
+	}
+	run(clean, 0)
+	run(lossy, 5) // 20% loss
+	if lossy.Rate() >= clean.Rate() {
+		t.Errorf("20%% loss should depress NADA: lossy %.0f vs clean %.0f", lossy.Rate(), clean.Rate())
+	}
+	// Equilibria: clean x=20ms -> r*=XREF*RMAX/20 = 20M; lossy x=40ms -> 10M.
+	if r := clean.Rate(); r < 10e6 || r > 35e6 {
+		t.Errorf("clean equilibrium %.0f, want near 20e6", r)
+	}
+	if r := lossy.Rate(); r < 5e6 || r > 18e6 {
+		t.Errorf("lossy equilibrium %.0f, want near 10e6", r)
+	}
+}
+
+func TestNADARespectsBounds(t *testing.T) {
+	n := NewNADA(1e6, 500e3, 2e6)
+	var seq uint16
+	var send sim.Time
+	var arrive time.Duration
+	now := sim.Time(0)
+	for r := 0; r < 200; r++ {
+		now += sim.Time(100 * time.Millisecond)
+		nadaFeed(n, now, &seq, 25, time.Millisecond, 0, &send, &arrive)
+	}
+	if n.Rate() > 2e6 {
+		t.Errorf("rate %.0f exceeds max", n.Rate())
+	}
+	for r := 0; r < 200; r++ {
+		now += sim.Time(100 * time.Millisecond)
+		nadaFeed(n, now, &seq, 25, time.Millisecond, 300*time.Millisecond, &send, &arrive)
+	}
+	if n.Rate() < 500e3 {
+		t.Errorf("rate %.0f below min", n.Rate())
+	}
+}
+
+func TestNADAEmptyFeedbackIgnored(t *testing.T) {
+	n := NewNADA(1e6, 150e3, 20e6)
+	n.OnFeedback(0, nil)
+	if n.Rate() != 1e6 {
+		t.Errorf("empty feedback changed rate to %.0f", n.Rate())
+	}
+}

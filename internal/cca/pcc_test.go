@@ -1,0 +1,111 @@
+package cca
+
+import (
+	"testing"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// pccFeed delivers acks at a given achievable rate with a given RTT signal.
+func pccFeed(p *PCC, start sim.Time, dur time.Duration, linkRate float64, rtt func(sendRate float64) time.Duration) sim.Time {
+	now := start
+	end := start + sim.Time(dur)
+	for now < end {
+		now += sim.Time(5 * time.Millisecond)
+		// Deliver at min(pacing, link) — a crude path model.
+		r := p.PacingRate(now)
+		if r > linkRate {
+			r = linkRate
+		}
+		acked := int(r * 0.005 / 8)
+		p.OnAck(AckEvent{Now: now, AckedBytes: acked, RTT: rtt(p.PacingRate(now))})
+	}
+	return now
+}
+
+func TestPCCStartupGrows(t *testing.T) {
+	p := NewPCC(1e6, 100e3, 100e6)
+	pccFeed(p, 0, 3*time.Second, 50e6, func(float64) time.Duration { return 50 * time.Millisecond })
+	if p.Rate() <= 2e6 {
+		t.Errorf("PCC rate %.0f after 3s on a clear 50M link, want growth", p.Rate())
+	}
+}
+
+func TestPCCConvergesNearCapacity(t *testing.T) {
+	// Vivace reacts to the RTT *gradient*, so the path model must
+	// integrate: sending above the link grows a queue, and the queue's
+	// drain time is the extra RTT.
+	p := NewPCC(1e6, 100e3, 100e6)
+	const link = 10e6
+	queueBits := 0.0
+	now := sim.Time(0)
+	for now < sim.Time(30*time.Second) {
+		now += sim.Time(5 * time.Millisecond)
+		send := p.PacingRate(now)
+		queueBits += (send - link) * 0.005
+		if queueBits < 0 {
+			queueBits = 0
+		}
+		acked := send
+		if acked > link {
+			acked = link
+		}
+		rtt := 50*time.Millisecond + time.Duration(queueBits/link*float64(time.Second))
+		p.OnAck(AckEvent{Now: now, AckedBytes: int(acked * 0.005 / 8), RTT: rtt})
+	}
+	if p.Rate() < 3e6 || p.Rate() > 20e6 {
+		t.Errorf("PCC rate %.0f on a 10M link, want within [3M, 20M]", p.Rate())
+	}
+}
+
+func TestPCCLossDepressesRate(t *testing.T) {
+	clean := NewPCC(5e6, 100e3, 100e6)
+	lossy := NewPCC(5e6, 100e3, 100e6)
+	run := func(p *PCC, lossEvery int) {
+		now := sim.Time(0)
+		i := 0
+		for now < sim.Time(20*time.Second) {
+			now += sim.Time(5 * time.Millisecond)
+			i++
+			if lossEvery > 0 && i%lossEvery == 0 {
+				p.OnLoss(now)
+			}
+			p.OnAck(AckEvent{Now: now, AckedBytes: int(p.PacingRate(now) * 0.005 / 8), RTT: 50 * time.Millisecond})
+		}
+	}
+	run(clean, 0)
+	run(lossy, 10)
+	if lossy.Rate() >= clean.Rate() {
+		t.Errorf("loss should depress PCC: lossy %.0f vs clean %.0f", lossy.Rate(), clean.Rate())
+	}
+}
+
+func TestPCCRespectsBounds(t *testing.T) {
+	p := NewPCC(1e6, 500e3, 2e6)
+	pccFeed(p, 0, 20*time.Second, 100e6, func(float64) time.Duration { return 10 * time.Millisecond })
+	if p.Rate() > 2e6 {
+		t.Errorf("rate %.0f above max", p.Rate())
+	}
+	p2 := NewPCC(1e6, 500e3, 2e6)
+	now := sim.Time(0)
+	for now < sim.Time(20*time.Second) {
+		now += sim.Time(5 * time.Millisecond)
+		p2.OnLoss(now)
+		p2.OnAck(AckEvent{Now: now, AckedBytes: 100, RTT: 500 * time.Millisecond})
+	}
+	if p2.Rate() < 500e3 {
+		t.Errorf("rate %.0f below min", p2.Rate())
+	}
+}
+
+func TestPCCRTOResets(t *testing.T) {
+	p := NewPCC(8e6, 100e3, 100e6)
+	p.OnRTO(time.Second)
+	if p.Rate() > 4e6 {
+		t.Errorf("rate %.0f after RTO, want halved", p.Rate())
+	}
+	if p.CWND() < minCwnd {
+		t.Errorf("cwnd %d below floor", p.CWND())
+	}
+}

@@ -1,0 +1,228 @@
+// Package core implements Zhuge, the paper's contribution: a wireless-AP
+// datapath that shortens the congestion control loop by predicting each
+// downlink packet's latency on arrival (the Fortune Teller, §4) and
+// immediately reflecting the prediction onto uplink feedback packets (the
+// Feedback Updater, §5) — delaying ACKs for out-of-band protocols like TCP
+// and QUIC, and rewriting TWCC feedback for in-band protocols like
+// RTP/RTCP.
+package core
+
+import (
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/metrics"
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/queue"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// DefaultWindow is the sliding window of the Fortune Teller's long-term
+// estimators. The paper uses 40ms, matching one frame interval at 25 fps.
+const DefaultWindow = 40 * time.Millisecond
+
+// Prediction is the Fortune Teller's output for one packet (Figure 6):
+// totalDelay = qLong + qShort + tx.
+type Prediction struct {
+	QLong  time.Duration // cur(qSize) / avg(txRate), burst-adjusted
+	QShort time.Duration // cur(qFrontWaitTime)
+	Tx     time.Duration // avg(dequeueIntvl)
+	Total  time.Duration
+}
+
+// Stable returns the prediction with qShort discounted by one average
+// transmission slot: front-packet waits below avg(dequeueIntvl) are normal
+// aggregation phase, not a condition change. The out-of-band updater
+// derives its delay deltas from this signal so that steady-state burst
+// phase does not inject jitter into the ACK stream (which would perturb
+// delay-sensitive CCAs like Copa and break fairness with unoptimised
+// flows); a genuine channel stall still shows instantly because qShort then
+// grows far beyond tx.
+func (p Prediction) Stable() time.Duration {
+	qs := p.QShort - p.Tx
+	if qs < 0 {
+		qs = 0
+	}
+	return p.QLong + qs + p.Tx
+}
+
+// FortuneTellerConfig selects estimator variants. The zero value is the
+// full paper design; the ablation switches exist for the Figure 7 /
+// estimator-ablation experiments.
+type FortuneTellerConfig struct {
+	Window time.Duration // sliding window; default DefaultWindow
+
+	// DisableQShort drops the short-term front-wait term (naive
+	// qSize/txRate estimator).
+	DisableQShort bool
+	// DisableBurstAdjust drops the maxBurstSize subtraction of Eq. 1.
+	DisableBurstAdjust bool
+
+	// MaxPrediction caps predictions when the rate estimate collapses.
+	// Default 2s, comfortably above any delay a CCA distinguishes.
+	MaxPrediction time.Duration
+
+	// SampleEvery enables the selective-estimation CPU optimisation the
+	// paper proposes for loaded APs (§7.6): a fresh prediction is
+	// computed at most once per SampleEvery per flow; packets in between
+	// reuse the cached one. The control loop stays short as long as the
+	// interval is a few milliseconds. Zero computes per packet.
+	SampleEvery time.Duration
+}
+
+func (c FortuneTellerConfig) withDefaults() FortuneTellerConfig {
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.MaxPrediction == 0 {
+		c.MaxPrediction = 2 * time.Second
+	}
+	return c
+}
+
+// FortuneTeller watches the AP's downlink queue (as a wireless.Observer)
+// and predicts, for a packet arriving now, the delay it will experience to
+// the client: long-term queuing, short-term queuing and link-layer
+// transmission (§4).
+// FortuneTeller is clock-agnostic: every method takes an explicit
+// timestamp, so it runs identically on the simulator's virtual clock and on
+// wall-clock offsets in the live AP (cmd/zhuge-ap).
+type FortuneTeller struct {
+	q   queue.Qdisc
+	cfg FortuneTellerConfig
+
+	// avg(txRate): bytes dequeued over the sliding window.
+	txBytes *metrics.SlidingSum
+	// avg(dequeueIntvl): dequeue gaps >= 1ms (aggregated departures
+	// within 1ms count as one burst, §4.2).
+	deqIntervals *metrics.SlidingSum
+	// max simultaneous departure bytes at 1ms resolution (Eq. 1).
+	maxBurst *metrics.WindowedMax
+
+	lastDeqAt   sim.Time
+	haveLastDeq bool
+	burstBytes  int
+
+	// selective-estimation cache, per flow
+	cache map[netem.FlowKey]cachedPrediction
+
+	predictions int
+	cacheHits   int
+}
+
+type cachedPrediction struct {
+	at   sim.Time
+	pred Prediction
+}
+
+// NewFortuneTeller builds a Fortune Teller over the given qdisc. Attach it
+// to the wireless link with AddObserver so it sees dequeue events.
+func NewFortuneTeller(q queue.Qdisc, cfg FortuneTellerConfig) *FortuneTeller {
+	cfg = cfg.withDefaults()
+	ft := &FortuneTeller{
+		q:            q,
+		cfg:          cfg,
+		txBytes:      metrics.NewSlidingSum(cfg.Window),
+		deqIntervals: metrics.NewSlidingSum(cfg.Window),
+		maxBurst:     metrics.NewWindowedMax(cfg.Window),
+	}
+	if cfg.SampleEvery > 0 {
+		ft.cache = make(map[netem.FlowKey]cachedPrediction)
+	}
+	return ft
+}
+
+// OnEnqueue implements wireless.Observer. Arrival-side statistics need no
+// state here: predictions are pulled by the AP before it enqueues.
+func (f *FortuneTeller) OnEnqueue(now sim.Time, p *netem.Packet, accepted bool) {}
+
+// OnDequeue implements wireless.Observer: every packet pulled by the
+// wireless driver updates the rate, interval and burst estimators.
+func (f *FortuneTeller) OnDequeue(now sim.Time, p *netem.Packet) {
+	f.txBytes.Add(now, float64(p.Size))
+	if !f.haveLastDeq {
+		f.haveLastDeq = true
+		f.lastDeqAt = now
+		f.burstBytes = p.Size
+		return
+	}
+	iv := now - f.lastDeqAt
+	if iv >= time.Millisecond {
+		// The previous burst closed; record its size and the gap.
+		f.maxBurst.Add(now, float64(f.burstBytes))
+		f.deqIntervals.Add(now, float64(iv))
+		f.burstBytes = p.Size
+	} else {
+		// Same aggregate (sub-millisecond spacing): grow the burst and,
+		// per §4.2, do not record the interval.
+		f.burstBytes += p.Size
+	}
+	f.lastDeqAt = now
+}
+
+// Predictions returns the number of predictions made.
+func (f *FortuneTeller) Predictions() int { return f.predictions }
+
+// CacheHits returns how many predictions were served from the selective-
+// estimation cache.
+func (f *FortuneTeller) CacheHits() int { return f.cacheHits }
+
+// Predict tells the fortune of a packet of flow `flow` arriving now, before
+// it is enqueued: the queue state it observes is everything ahead of it.
+func (f *FortuneTeller) Predict(now sim.Time, flow netem.FlowKey) Prediction {
+	if f.cache != nil {
+		if c, ok := f.cache[flow]; ok && now-c.at < f.cfg.SampleEvery {
+			f.cacheHits++
+			return c.pred
+		}
+	}
+	pred := f.predict(now, flow)
+	if f.cache != nil {
+		f.cache[flow] = cachedPrediction{at: now, pred: pred}
+	}
+	return pred
+}
+
+func (f *FortuneTeller) predict(now sim.Time, flow netem.FlowKey) Prediction {
+	f.predictions++
+	var pred Prediction
+
+	// qLong = cur(qSize)/avg(txRate), with qSize discounted by the
+	// maximum recent simultaneous departure (Eq. 1): packets that will
+	// leave in the current aggregate burst contribute no long-term wait.
+	qSize := f.q.FlowBytes(flow)
+	if !f.cfg.DisableBurstAdjust {
+		if mb, ok := f.maxBurst.Get(now); ok {
+			qSize -= int(mb)
+		}
+		if qSize < 0 {
+			qSize = 0
+		}
+	}
+	txRate := f.txBytes.Rate(now) // bytes per second
+	if qSize > 0 {
+		if txRate > 0 {
+			pred.QLong = time.Duration(float64(qSize) / txRate * float64(time.Second))
+		} else {
+			pred.QLong = f.cfg.MaxPrediction
+		}
+	}
+
+	// qShort = cur(qFrontWaitTime): how long the current front packet of
+	// this flow's queue has been waiting for channel access.
+	if !f.cfg.DisableQShort {
+		if since, ok := f.q.FrontSince(flow); ok {
+			pred.QShort = now - since
+		}
+	}
+
+	// tx = avg(dequeueIntvl): the expected link-layer transmission slot.
+	if mean, ok := f.deqIntervals.Mean(now); ok {
+		pred.Tx = time.Duration(mean)
+	}
+
+	pred.Total = pred.QLong + pred.QShort + pred.Tx
+	if pred.Total > f.cfg.MaxPrediction {
+		pred.Total = f.cfg.MaxPrediction
+	}
+	return pred
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/packet"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// TWCCCarrier is implemented by downlink data-packet payloads that expose
+// the transport-wide congestion control sequence number. On a real wire
+// this is the (unencrypted) RTP header extension, which is all Zhuge reads
+// even under SRTP (§5.3, "Packet fortune recording").
+type TWCCCarrier interface {
+	TWCCInfo() (ssrc uint32, seq uint16)
+}
+
+// RTCPCarrier is implemented by uplink feedback payloads wrapping raw RTCP
+// bytes.
+type RTCPCarrier interface {
+	RawRTCP() []byte
+}
+
+// APFeedback is the payload of feedback packets the in-band updater
+// constructs itself. It implements RTCPCarrier, so senders parse it exactly
+// like client-built feedback.
+type APFeedback struct {
+	Raw []byte
+}
+
+// RawRTCP implements RTCPCarrier.
+func (f APFeedback) RawRTCP() []byte { return f.Raw }
+
+// feedbackOverhead approximates IP+UDP bytes around an RTCP payload.
+const feedbackOverhead = 28
+
+// InbandUpdater implements the in-band Feedback Updater (§5.3): it records
+// each RTP data packet's TWCC sequence number with its predicted arrival
+// time, periodically constructs TWCC feedback packets itself (with
+// consistent AP-clock timestamps), and drops the client's own TWCC packets
+// while forwarding every other RTCP type (NACK, receiver reports)
+// unchanged.
+type InbandUpdater struct {
+	s        *sim.Simulator
+	uplink   netem.Receiver
+	interval time.Duration
+
+	flows map[netem.FlowKey]*ibFlow
+
+	constructed int
+	dropped     int
+}
+
+type ibFlow struct {
+	downlink netem.FlowKey
+	ssrc     uint32
+	records  []packet.TWCCArrival
+	fbCount  uint8
+	started  bool
+	stopped  bool
+}
+
+// NewInbandUpdater builds an in-band updater that injects its feedback into
+// uplink every interval (default: DefaultWindow, one frame at 25fps).
+func NewInbandUpdater(s *sim.Simulator, uplink netem.Receiver, interval time.Duration) *InbandUpdater {
+	if interval == 0 {
+		interval = DefaultWindow
+	}
+	return &InbandUpdater{
+		s: s, uplink: uplink, interval: interval,
+		flows: make(map[netem.FlowKey]*ibFlow),
+	}
+}
+
+// Constructed returns the number of feedback packets built by the AP.
+func (u *InbandUpdater) Constructed() int { return u.constructed }
+
+// DroppedClientFeedback returns the number of client TWCC packets absorbed.
+func (u *InbandUpdater) DroppedClientFeedback() int { return u.dropped }
+
+// OnDataPacket implements step 1 (packet fortune recording): store the
+// packet's TWCC sequence number with its predicted arrival time, measured
+// on the AP clock. The server tolerates the AP/receiver clock difference
+// the same way it tolerates receiver clocks (§5.3, time synchronisation).
+func (u *InbandUpdater) OnDataPacket(now sim.Time, downlink netem.FlowKey, p *netem.Packet, pred Prediction) {
+	carrier, ok := p.Payload.(TWCCCarrier)
+	if !ok {
+		return
+	}
+	ssrc, seq := carrier.TWCCInfo()
+	f := u.flows[downlink]
+	if f == nil {
+		f = &ibFlow{downlink: downlink, ssrc: ssrc}
+		u.flows[downlink] = f
+	}
+	f.ssrc = ssrc
+	// The recorded timestamp is the packet's own faithful prediction,
+	// fluctuations included: §5.2 is explicit that sub-RTT per-packet
+	// delay patterns are signal, not noise, and a real receiver's
+	// timestamps carry the same per-burst structure. (Smoothing these —
+	// either with a monotone floor or with the phase-stable form the
+	// out-of-band path uses — measurably destroys the early-reaction
+	// benefit; see EXPERIMENTS.md for the resulting trade-offs.)
+	at := time.Duration(now) + pred.Total
+	f.records = append(f.records, packet.TWCCArrival{Seq: seq, At: at})
+	if !f.started {
+		f.started = true
+		u.startTicker(f)
+	}
+}
+
+func (u *InbandUpdater) startTicker(f *ibFlow) {
+	var tick func()
+	tick = func() {
+		if f.stopped {
+			return
+		}
+		u.flush(f)
+		u.s.After(u.interval, tick)
+	}
+	u.s.After(u.interval, tick)
+}
+
+// flush implements step 2 (feedback construction): behave like the RTP
+// receiver and emit a TWCC packet from the recorded fortunes.
+func (u *InbandUpdater) flush(f *ibFlow) {
+	if len(f.records) == 0 {
+		return
+	}
+	fb := packet.BuildTWCC(f.ssrc, f.ssrc, f.fbCount, f.records)
+	f.fbCount++
+	f.records = f.records[:0]
+	raw := fb.Marshal(nil)
+	u.constructed++
+	u.uplink.Receive(&netem.Packet{
+		Flow:    f.downlink.Reverse(),
+		Kind:    netem.KindFeedback,
+		Size:    len(raw) + feedbackOverhead,
+		SentAt:  u.s.Now(),
+		Payload: APFeedback{Raw: raw},
+	})
+}
+
+// OnFeedbackPacket filters the client's uplink RTCP: TWCC packets are
+// dropped (the AP's own feedback replaces them, keeping timestamps from one
+// clock); everything else — NACK, receiver reports — forwards unchanged.
+func (u *InbandUpdater) OnFeedbackPacket(now sim.Time, p *netem.Packet) {
+	if carrier, ok := p.Payload.(RTCPCarrier); ok {
+		if pt, fmtField, _, err := packet.RTCPKind(carrier.RawRTCP()); err == nil &&
+			pt == packet.RTCPTypeRTPFB && fmtField == packet.RTPFBTWCC {
+			u.dropped++
+			return
+		}
+	}
+	u.uplink.Receive(p)
+}
+
+// Stop halts all per-flow tickers (end of experiment).
+func (u *InbandUpdater) Stop() {
+	for _, f := range u.flows {
+		f.stopped = true
+	}
+}

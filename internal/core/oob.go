@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// OOBOptions selects deliberately degraded updater variants for the
+// ablation experiments; the zero value is the paper design.
+type OOBOptions struct {
+	// DisableTokens holds later ACKs behind earlier ones without banking
+	// negative deltas — the "clamping" strawman the paper rejects because
+	// it overestimates RTT (§5.2, order preservation).
+	DisableTokens bool
+	// AccumulateDeltas applies the full accumulated positive delta to the
+	// next ACK instead of sampling the delta distribution — the unfaithful
+	// variant that produces sharper-than-real delay jumps (§5.2,
+	// short-term fluctuation).
+	AccumulateDeltas bool
+}
+
+// OOBUpdater implements the out-of-band Feedback Updater (§5.2,
+// Algorithms 1 and 2): it converts the Fortune Teller's per-data-packet
+// delay predictions into deliberate delays of the flow's uplink ACK
+// packets, pursuing distributional equivalence between downlink delay
+// deltas and uplink ACK extra-delays, preserving ACK order with delay
+// tokens. It never reads transport headers, so it works for TCP and for
+// fully encrypted out-of-band protocols like QUIC.
+type OOBUpdater struct {
+	s      *sim.Simulator
+	uplink netem.Receiver // where (delayed) ACKs continue toward the sender
+	rng    *rand.Rand
+	window time.Duration
+	opts   OOBOptions
+
+	flows map[netem.FlowKey]*oobFlow // keyed by downlink (data) flow
+}
+
+type oobFlow struct {
+	lastTotalDelay time.Duration
+	haveLast       bool
+
+	// deltaHistory: recent non-negative delay deltas (Algorithm 1),
+	// expired past the sliding window.
+	deltaHistory []timedDelta
+	// tokenHistory: banked negative deltas (Algorithm 1 lines 4-5),
+	// consumed before delaying later ACKs (Algorithm 2 lines 3-10).
+	tokenHistory []time.Duration
+	tokenTotal   time.Duration
+
+	lastSentTime sim.Time
+	delayedAcks  int
+	totalDelay   time.Duration
+	pendingDelta time.Duration // AccumulateDeltas variant only
+}
+
+type timedDelta struct {
+	at    sim.Time
+	delta time.Duration
+}
+
+// maxTokenBank bounds banked tokens so that a long draining period cannot
+// cancel hours of future delay signals.
+const maxTokenBank = 500 * time.Millisecond
+
+// maxAckBacklog bounds the artificial backlog on the ACK stream. Delaying
+// an ACK pre-announces delay its successors would naturally report one
+// control loop later; once the stream is already held back by a full
+// loop's worth, further delays add latency to the feedback path without
+// adding information, and they linger after the congestion clears. 150ms
+// is roughly one inflated control loop at the paper's settings.
+const maxAckBacklog = 150 * time.Millisecond
+
+// SetOptions switches the updater to an ablation variant. Call before
+// traffic starts.
+func (u *OOBUpdater) SetOptions(opts OOBOptions) { u.opts = opts }
+
+// NewOOBUpdater builds an out-of-band updater forwarding ACKs into uplink.
+func NewOOBUpdater(s *sim.Simulator, uplink netem.Receiver, rng *rand.Rand, window time.Duration) *OOBUpdater {
+	if window == 0 {
+		window = DefaultWindow
+	}
+	return &OOBUpdater{
+		s: s, uplink: uplink, rng: rng, window: window,
+		flows: make(map[netem.FlowKey]*oobFlow),
+	}
+}
+
+func (u *OOBUpdater) flow(key netem.FlowKey) *oobFlow {
+	f := u.flows[key]
+	if f == nil {
+		f = &oobFlow{}
+		u.flows[key] = f
+	}
+	return f
+}
+
+// OnDataPacket implements Algorithm 1: on each downlink data packet, record
+// the delta between this packet's predicted delay and the previous one's.
+// Deltas derive from the phase-stable prediction (see Prediction.Stable).
+func (u *OOBUpdater) OnDataPacket(now sim.Time, downlink netem.FlowKey, pred Prediction) {
+	f := u.flow(downlink)
+	total := pred.Stable()
+	if !f.haveLast {
+		f.haveLast = true
+		f.lastTotalDelay = total
+		return
+	}
+	delta := total - f.lastTotalDelay
+	if delta >= 0 {
+		f.deltaHistory = append(f.deltaHistory, timedDelta{at: now, delta: delta})
+		if f.pendingDelta += delta; f.pendingDelta > 2*time.Second {
+			f.pendingDelta = 2 * time.Second
+		}
+		u.expire(f, now)
+	} else {
+		f.tokenHistory = append(f.tokenHistory, -delta)
+		f.tokenTotal += -delta
+		for f.tokenTotal > maxTokenBank && len(f.tokenHistory) > 0 {
+			f.tokenTotal -= f.tokenHistory[0]
+			f.tokenHistory = f.tokenHistory[1:]
+		}
+	}
+	f.lastTotalDelay = total
+}
+
+func (u *OOBUpdater) expire(f *oobFlow, now sim.Time) {
+	cut := 0
+	for cut < len(f.deltaHistory) && now-f.deltaHistory[cut].at > u.window {
+		cut++
+	}
+	if cut > 0 {
+		f.deltaHistory = append(f.deltaHistory[:0], f.deltaHistory[cut:]...)
+	}
+}
+
+// OnAckPacket implements Algorithm 2: delay the uplink feedback packet by a
+// sample of the recent delta distribution, consuming banked tokens and
+// preserving order. downlink is the data-direction flow key (the reverse of
+// the ACK packet's own key).
+func (u *OOBUpdater) OnAckPacket(now sim.Time, downlink netem.FlowKey, p *netem.Packet) {
+	f := u.flow(downlink)
+
+	// Order preservation: never send before the previously scheduled ACK
+	// (Algorithm 2 line 1; the paper's min() is a typo for max() — a
+	// negative floor would mean sending into the past).
+	floor := f.lastSentTime - now
+	if floor < 0 {
+		floor = 0
+	}
+	// Sample the recent delta distribution (line 2). The ablation variant
+	// instead dumps the entire accumulated delta onto this one ACK.
+	u.expire(f, now)
+	var extra time.Duration
+	if u.opts.AccumulateDeltas {
+		extra = f.pendingDelta
+		f.pendingDelta = 0
+	} else if n := len(f.deltaHistory); n > 0 {
+		extra = f.deltaHistory[u.rng.Intn(n)].delta
+	}
+	// Consume tokens (lines 3-10). Tokens offset only the sampled delta,
+	// never the order floor: applying them to the floor (as a literal
+	// reading of the pseudocode would) could reorder feedback packets,
+	// exactly what the tokens exist to prevent.
+	if u.opts.DisableTokens {
+		f.tokenHistory = f.tokenHistory[:0]
+		f.tokenTotal = 0
+	}
+	for len(f.tokenHistory) > 0 && extra > 0 {
+		if f.tokenHistory[0] > extra {
+			f.tokenHistory[0] -= extra
+			f.tokenTotal -= extra
+			extra = 0
+			break
+		}
+		extra -= f.tokenHistory[0]
+		f.tokenTotal -= f.tokenHistory[0]
+		f.tokenHistory = f.tokenHistory[1:]
+	}
+	// Saturate: never let the ACK stream fall more than maxAckBacklog
+	// behind real time.
+	if floor+extra > maxAckBacklog {
+		extra = maxAckBacklog - floor
+		if extra < 0 {
+			extra = 0
+		}
+	}
+	actualDelay := floor + extra
+
+	f.lastSentTime = now + actualDelay
+	f.delayedAcks++
+	f.totalDelay += actualDelay
+	// Always go through the scheduler, even for zero delay: a previous
+	// ACK may have a send event pending at this exact instant, and event
+	// insertion order is what keeps the two in sequence.
+	u.s.After(actualDelay, func() { u.uplink.Receive(p) })
+}
+
+// Stats reports, for a downlink flow, how many ACKs were processed and the
+// mean extra delay applied (used by the token-ablation experiment).
+func (u *OOBUpdater) Stats(downlink netem.FlowKey) (acks int, meanDelay time.Duration) {
+	f := u.flows[downlink]
+	if f == nil || f.delayedAcks == 0 {
+		return 0, 0
+	}
+	return f.delayedAcks, f.totalDelay / time.Duration(f.delayedAcks)
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/sim"
+	"github.com/zhuge-project/zhuge/internal/wireless"
+)
+
+// Mode selects the Feedback Updater mechanism for a flow (§5.1, Table 2).
+type Mode int
+
+// Feedback modes.
+const (
+	// ModeOutOfBand delays ACK packets (TCP, QUIC).
+	ModeOutOfBand Mode = iota
+	// ModeInBand rewrites TWCC feedback payloads (RTP/RTCP).
+	ModeInBand
+)
+
+// AP is a Zhuge-enabled access point datapath: downlink data packets pass
+// the Fortune Teller on their way into the wireless queue; uplink feedback
+// packets of optimized flows pass the Feedback Updater on their way to the
+// AP's (wired) uplink. Flows are selected by 5-tuple, mirroring the
+// configurable IP list of the OpenWrt implementation (§7.1); everything
+// else is forwarded untouched.
+type AP struct {
+	s  *sim.Simulator
+	wl *wireless.Link
+
+	ft  *FortuneTeller
+	oob *OOBUpdater
+	ib  *InbandUpdater
+
+	rtc map[netem.FlowKey]Mode // downlink data flow -> mode
+
+	uplinkOut netem.Receiver
+}
+
+// NewAP builds a Zhuge AP around an existing wireless downlink. uplinkOut
+// is the next hop toward the servers (the AP's Ethernet uplink). rng drives
+// the delta-distribution sampling of the out-of-band updater.
+func NewAP(s *sim.Simulator, wl *wireless.Link, uplinkOut netem.Receiver, rng *rand.Rand, ftCfg FortuneTellerConfig) *AP {
+	ft := NewFortuneTeller(wl.Queue(), ftCfg)
+	wl.AddObserver(ft)
+	ap := &AP{
+		s:         s,
+		wl:        wl,
+		ft:        ft,
+		oob:       NewOOBUpdater(s, uplinkOut, rng, ftCfg.Window),
+		ib:        NewInbandUpdater(s, uplinkOut, ftCfg.Window),
+		rtc:       make(map[netem.FlowKey]Mode),
+		uplinkOut: uplinkOut,
+	}
+	// The AP itself observes enqueue outcomes: in-band fortunes are only
+	// recorded for packets the queue accepted — a packet dropped at the
+	// AP must show up as lost in the constructed feedback, not as
+	// received with a predicted arrival.
+	wl.AddObserver(apObserver{ap})
+	return ap
+}
+
+type apObserver struct{ ap *AP }
+
+func (o apObserver) OnEnqueue(now sim.Time, p *netem.Packet, accepted bool) {
+	if !accepted || p.Kind != netem.KindData {
+		return
+	}
+	if mode, ok := o.ap.rtc[p.Flow]; ok && mode == ModeInBand && p.APArrival == now {
+		o.ap.ib.OnDataPacket(now, p.Flow, p, Prediction{Total: p.Predicted})
+	}
+}
+
+func (o apObserver) OnDequeue(sim.Time, *netem.Packet) {}
+
+// FortuneTeller exposes the AP's estimator (experiments, Figure 19).
+func (ap *AP) FortuneTeller() *FortuneTeller { return ap.ft }
+
+// OOB exposes the out-of-band updater (ablation experiments).
+func (ap *AP) OOB() *OOBUpdater { return ap.oob }
+
+// Inband exposes the in-band updater.
+func (ap *AP) Inband() *InbandUpdater { return ap.ib }
+
+// Optimize registers a downlink data flow for Zhuge treatment.
+func (ap *AP) Optimize(downlink netem.FlowKey, mode Mode) {
+	ap.rtc[downlink] = mode
+}
+
+// DownlinkIn returns the receiver for packets arriving from the WAN on
+// their way to wireless clients.
+func (ap *AP) DownlinkIn() netem.Receiver { return netem.ReceiverFunc(ap.receiveDownlink) }
+
+// UplinkIn returns the receiver for packets arriving from wireless clients
+// on their way to the WAN.
+func (ap *AP) UplinkIn() netem.Receiver { return netem.ReceiverFunc(ap.receiveUplink) }
+
+func (ap *AP) receiveDownlink(p *netem.Packet) {
+	mode, optimized := ap.rtc[p.Flow]
+	if optimized && p.Kind == netem.KindData {
+		now := ap.s.Now()
+		pred := ap.ft.Predict(now, p.Flow)
+		p.APArrival = now
+		p.Predicted = pred.Total
+		if mode == ModeOutOfBand {
+			ap.oob.OnDataPacket(now, p.Flow, pred)
+		}
+		// In-band fortunes are recorded by the enqueue observer, which
+		// knows whether the queue accepted the packet.
+	}
+	ap.wl.Receive(p)
+}
+
+func (ap *AP) receiveUplink(p *netem.Packet) {
+	downlink := p.Flow.Reverse()
+	mode, optimized := ap.rtc[downlink]
+	if optimized {
+		switch {
+		case mode == ModeOutOfBand && p.Kind == netem.KindAck:
+			ap.oob.OnAckPacket(ap.s.Now(), downlink, p)
+			return
+		case mode == ModeInBand && p.Kind == netem.KindFeedback:
+			ap.ib.OnFeedbackPacket(ap.s.Now(), p)
+			return
+		}
+	}
+	ap.uplinkOut.Receive(p)
+}
+
+// Stop halts the AP's periodic work (end of experiment).
+func (ap *AP) Stop() { ap.ib.Stop() }

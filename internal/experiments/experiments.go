@@ -1,0 +1,203 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2, §7 and the appendices). Each Fig/Table function runs the
+// corresponding workload on the simulator and returns a Table with the same
+// rows/series the paper plots; cmd/zhuge-bench prints them and the root
+// bench_test.go wraps them in testing.B benchmarks. The Config.Scale knob
+// shrinks run durations for quick passes without changing workload shape.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/metrics"
+	"github.com/zhuge-project/zhuge/internal/scenario"
+	"github.com/zhuge-project/zhuge/internal/trace"
+)
+
+// Config controls experiment scale and reproducibility.
+type Config struct {
+	Seed  int64
+	Scale float64 // 1.0 = full run; 0.1 = ten-times shorter
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// dur scales a full-run duration, flooring at min.
+func (c Config) dur(full, min time.Duration) time.Duration {
+	d := time.Duration(float64(full) * c.Scale)
+	if d < min {
+		d = min
+	}
+	return d
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// secs formats a duration in seconds.
+func secs(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
+
+// Paper thresholds (§7.2 metrics).
+const (
+	rttThreshold   = 200 * time.Millisecond
+	frameThreshold = 400 * time.Millisecond
+	lowFPS         = 10.0
+)
+
+// rtcResult carries the three headline metrics of one run.
+type rtcResult struct {
+	rttTail   float64 // P(networkRTT > 200ms)
+	frameTail float64 // P(frameDelay > 400ms)
+	lowFPS    float64 // P(per-second frame rate < 10)
+
+	rtt         *metrics.Histogram
+	frameDelay  *metrics.Histogram
+	rttSeries   *metrics.Series
+	frameSeries *metrics.Series // (decode time, frame delay ms)
+	fpsSeries   *metrics.Series // (second, frames decoded)
+	rateSeries  *metrics.Series
+	goodput     float64 // delivered bits per second
+}
+
+// runRTP runs one RTP/GCC flow over the path options for dur.
+func runRTP(opts scenario.Options, dur time.Duration) rtcResult {
+	p := scenario.NewPath(opts)
+	f := p.AddRTPFlow(scenario.RTPFlowConfig{})
+	p.Run(dur)
+	fps := f.Decoder.FrameRateSeries(dur)
+	return rtcResult{
+		rttTail:     f.Metrics.RTT.FractionAbove(rttThreshold),
+		frameTail:   f.Decoder.FrameDelay.FractionAbove(frameThreshold),
+		lowFPS:      f.Decoder.LowFrameRateRatio(dur, lowFPS),
+		rtt:         f.Metrics.RTT,
+		frameDelay:  f.Decoder.FrameDelay,
+		rttSeries:   &f.Metrics.RTTSeries,
+		frameSeries: &f.Decoder.FrameDelaySeries,
+		fpsSeries:   fps,
+		rateSeries:  &f.Metrics.RateSeries,
+		goodput:     f.Metrics.DeliveredBytes * 8 / dur.Seconds(),
+	}
+}
+
+// runTCP runs one TCP video flow with the named CCA for dur.
+func runTCP(opts scenario.Options, ccaName string, dur time.Duration) rtcResult {
+	p := scenario.NewPath(opts)
+	f := p.AddTCPVideoFlow(scenario.TCPFlowConfig{CCA: ccaName})
+	p.Run(dur)
+	fps := f.FrameRateSeries(dur)
+	return rtcResult{
+		rttTail:     f.Metrics.RTT.FractionAbove(rttThreshold),
+		frameTail:   f.FrameDelay.FractionAbove(frameThreshold),
+		lowFPS:      fps.FractionBelow(lowFPS),
+		rtt:         f.Metrics.RTT,
+		frameDelay:  f.FrameDelay,
+		rttSeries:   &f.Metrics.RTTSeries,
+		frameSeries: &f.FrameDelaySeries,
+		fpsSeries:   fps,
+		rateSeries:  &f.Metrics.RateSeries,
+		goodput:     f.Metrics.DeliveredBytes * 8 / dur.Seconds(),
+	}
+}
+
+// standardTraces generates the five evaluation traces at the configured
+// duration.
+func standardTraces(cfg Config, dur time.Duration) []*trace.Trace {
+	return trace.StandardSet(dur, cfg.Seed)
+}
+
+// rtpSolutions are the RTP/RTCP comparison points of Figures 11/13/14/22.
+type solutionSpec struct {
+	name  string
+	sol   scenario.Solution
+	qdisc string
+}
+
+var rtpSolutions = []solutionSpec{
+	{"Gcc+FIFO", scenario.SolutionNone, "fifo"},
+	{"Gcc+CoDel", scenario.SolutionNone, "codel"},
+	{"Gcc+Zhuge", scenario.SolutionZhuge, "fifo"},
+}
+
+// tcpSolutions are the TCP comparison points of Figures 12/15 and Table 3.
+type tcpSolutionSpec struct {
+	name string
+	sol  scenario.Solution
+	cca  string
+}
+
+var tcpSolutions = []tcpSolutionSpec{
+	{"Copa", scenario.SolutionNone, "copa"},
+	{"Copa+FastAck", scenario.SolutionFastAck, "copa"},
+	{"ABC", scenario.SolutionABC, "abc"},
+	{"Copa+Zhuge", scenario.SolutionZhuge, "copa"},
+}
+
+// newRNG derives a deterministic RNG for experiment-internal randomness.
+func newRNG(cfg Config, label string) *rand.Rand {
+	h := int64(0)
+	for _, b := range label {
+		h = h*131 + int64(b)
+	}
+	return rand.New(rand.NewSource(cfg.Seed*1_000_003 + h))
+}
+
+// sortedKeys returns map keys in sorted order for deterministic tables.
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

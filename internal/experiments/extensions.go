@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/core"
+	"github.com/zhuge-project/zhuge/internal/scenario"
+	"github.com/zhuge-project/zhuge/internal/trace"
+)
+
+// ExtQUIC is an extension experiment beyond the paper's tables: §6 claims
+// Zhuge works unchanged on fully encrypted out-of-band transports ("even
+// QUIC encrypts all packets end to end, Zhuge is still able to work").
+// This runs the trace-driven evaluation over the QUIC transport with Copa
+// and PCC Vivace, with and without Zhuge.
+func ExtQUIC(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	dur := cfg.dur(300*time.Second, 30*time.Second)
+	t := &Table{
+		ID:     "ext-quic",
+		Title:  "Extension: Zhuge over encrypted QUIC (out-of-band, 5-tuple only)",
+		Header: []string{"trace", "cca", "solution", "P(rtt>200ms)", "P(fdelay>400ms)", "P(fps<10)"},
+	}
+	traces := standardTraces(cfg, dur)
+	picks := []*trace.Trace{traces[0], traces[3]} // W1, C2
+	for _, tr := range picks {
+		for _, ccaName := range []string{"copa", "pcc"} {
+			for _, sol := range []scenario.Solution{scenario.SolutionNone, scenario.SolutionZhuge} {
+				p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol})
+				f := p.AddQUICVideoFlow(scenario.TCPFlowConfig{CCA: ccaName})
+				p.Run(dur)
+				t.Rows = append(t.Rows, []string{
+					tr.Name, ccaName, sol.String(),
+					pct(f.Metrics.RTT.FractionAbove(rttThreshold)),
+					pct(f.FrameDelay.FractionAbove(frameThreshold)),
+					pct(f.FrameRateSeries(dur).FractionBelow(lowFPS)),
+				})
+			}
+		}
+	}
+	return t
+}
+
+// ExtNADA is an extension experiment: the second in-band rate controller of
+// Table 2 (RFC 8698) through the same in-band Feedback Updater, showing the
+// updater is CCA-agnostic as long as the protocol carries TWCC.
+func ExtNADA(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	dur := cfg.dur(300*time.Second, 30*time.Second)
+	t := &Table{
+		ID:     "ext-nada",
+		Title:  "Extension: NADA (RFC 8698) through the in-band Feedback Updater",
+		Header: []string{"trace", "solution", "P(rtt>200ms)", "P(fdelay>400ms)", "goodput(Mbps)"},
+	}
+	traces := standardTraces(cfg, dur)
+	for _, tr := range []*trace.Trace{traces[0], traces[2]} { // W1, C1
+		for _, sol := range []scenario.Solution{scenario.SolutionNone, scenario.SolutionZhuge} {
+			p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol})
+			f := p.AddRTPFlow(scenario.RTPFlowConfig{CCA: "nada"})
+			p.Run(dur)
+			t.Rows = append(t.Rows, []string{
+				tr.Name, sol.String(),
+				pct(f.Metrics.RTT.FractionAbove(rttThreshold)),
+				pct(f.Decoder.FrameDelay.FractionAbove(frameThreshold)),
+				fmt.Sprintf("%.2f", f.Metrics.DeliveredBytes*8/dur.Seconds()/1e6),
+			})
+		}
+	}
+	return t
+}
+
+// ExtSelectiveEstimation quantifies the §7.6 CPU optimisation end to end:
+// prediction sampling intervals vs tail latency, alongside the cache hit
+// rate that translates directly to AP CPU savings.
+func ExtSelectiveEstimation(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	dur := cfg.dur(300*time.Second, 30*time.Second)
+	tr := trace.Generate(trace.RestaurantWiFi(), dur, newRNG(cfg, "ext-sel"))
+	t := &Table{
+		ID:     "ext-selective",
+		Title:  "Extension: selective estimation (sampled predictions, §7.6)",
+		Header: []string{"sampleEvery", "P(rtt>200ms)", "P(fdelay>400ms)", "cacheHitRate"},
+	}
+	for _, every := range []time.Duration{0, 2 * time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
+		p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr,
+			Solution: scenario.SolutionZhuge,
+			FTConfig: coreFTWithSampling(every)})
+		f := p.AddRTPFlow(scenario.RTPFlowConfig{})
+		p.Run(dur)
+		ft := p.AP.FortuneTeller()
+		hits := float64(ft.CacheHits())
+		total := hits + float64(ft.Predictions())
+		rate := 0.0
+		if total > 0 {
+			rate = hits / total
+		}
+		label := "per-packet"
+		if every > 0 {
+			label = every.String()
+		}
+		t.Rows = append(t.Rows, []string{
+			label,
+			pct(f.Metrics.RTT.FractionAbove(rttThreshold)),
+			pct(f.Decoder.FrameDelay.FractionAbove(frameThreshold)),
+			pct(rate),
+		})
+	}
+	return t
+}
+
+// coreFTWithSampling builds a Fortune Teller config with the given
+// selective-estimation interval.
+func coreFTWithSampling(every time.Duration) (cfg core.FortuneTellerConfig) {
+	cfg.SampleEvery = every
+	return cfg
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/scenario"
+	"github.com/zhuge-project/zhuge/internal/trace"
+)
+
+// Fig14 reproduces the RTP bandwidth-drop microbenchmark: degradation
+// durations of network RTT, frame delay and frame rate after a kx drop,
+// for GCC+FIFO, GCC+CoDel and GCC+Zhuge.
+func Fig14(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:     "fig14",
+		Title:  "RTP degradation durations after ABW drop",
+		Header: []string{"solution", "k", "rtt>200ms(s)", "fdelay>400ms(s)", "fps<10(s)"},
+	}
+	for _, sol := range rtpSolutions {
+		for _, k := range dropKs {
+			total := dropWarmup + cfg.dur(dropTail, 10*time.Second)
+			tr := trace.Step(fmt.Sprintf("drop%.0f", k), dropBase, dropBase/k, dropWarmup, total)
+			res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, Qdisc: sol.qdisc, WANRTT: 50 * time.Millisecond}, total)
+			t.Rows = append(t.Rows, []string{
+				sol.name, fmt.Sprintf("%.0fx", k),
+				secs(degradationAfter(res.rttSeries, 200, dropWarmup)),
+				secs(degradationAfter(res.frameSeries, 400, dropWarmup)),
+				secs(degradationBelowAfter(res.fpsSeries, lowFPS, dropWarmup)),
+			})
+		}
+	}
+	return t
+}
+
+// Fig15 is the TCP twin of Fig14: Copa, Copa+FastAck, ABC and Copa+Zhuge.
+func Fig15(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:     "fig15",
+		Title:  "TCP degradation durations after ABW drop",
+		Header: []string{"solution", "k", "rtt>200ms(s)", "fdelay>400ms(s)", "fps<10(s)"},
+	}
+	for _, sol := range tcpSolutions {
+		for _, k := range dropKs {
+			total := dropWarmup + cfg.dur(dropTail, 10*time.Second)
+			tr := trace.Step(fmt.Sprintf("drop%.0f", k), dropBase, dropBase/k, dropWarmup, total)
+			res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, WANRTT: 50 * time.Millisecond}, sol.cca, total)
+			t.Rows = append(t.Rows, []string{
+				sol.name, fmt.Sprintf("%.0fx", k),
+				secs(degradationAfter(res.rttSeries, 200, dropWarmup)),
+				secs(degradationAfter(res.frameSeries, 400, dropWarmup)),
+				secs(degradationBelowAfter(res.fpsSeries, lowFPS, dropWarmup)),
+			})
+		}
+	}
+	return t
+}
+
+// Fig16 reproduces the flow-competition microbenchmark: n CUBIC bulk flows
+// join the RTC flow's AP queue at t=15s; degradation durations follow.
+func Fig16(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:     "fig16",
+		Title:  "RTP degradation durations under CUBIC flow competition",
+		Header: []string{"solution", "flows", "rtt>200ms(s)", "fdelay>400ms(s)", "fps<10(s)"},
+	}
+	flowCounts := []int{0, 10, 20, 30, 40}
+	event := 15 * time.Second
+	for _, sol := range rtpSolutions {
+		for _, n := range flowCounts {
+			total := event + cfg.dur(30*time.Second, 10*time.Second)
+			tr := trace.Constant("comp", 30e6, total)
+			p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, Qdisc: sol.qdisc, WANRTT: 50 * time.Millisecond})
+			f := p.AddRTPFlow(scenario.RTPFlowConfig{})
+			for i := 0; i < n; i++ {
+				// Each competitor is its own station: competition costs
+				// the RTC flow airtime, not space in its queue.
+				p.AddStationBulkFlow(event, 0)
+			}
+			p.Run(total)
+			fps := f.Decoder.FrameRateSeries(total)
+			// Competition is persistent, so "duration" here is cumulative
+			// time spent degraded after the onset (a single late spike
+			// would otherwise pin the last-exceedance metric at the
+			// window length).
+			lowFPSDur := time.Duration(0)
+			for _, pt := range fps.Points {
+				if pt.At >= event && pt.Value < lowFPS {
+					lowFPSDur += time.Second
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				sol.name, fmt.Sprintf("%d", n),
+				secs(f.Metrics.RTTSeries.DurationAbove(200, event, total)),
+				secs(f.Decoder.FrameDelaySeries.DurationAbove(400, event, total)),
+				secs(lowFPSDur),
+			})
+		}
+	}
+	return t
+}
+
+// Fig17 reproduces the wireless-interference microbenchmark: with n
+// stations contending continuously, degradation has no per-event duration;
+// the paper reports the frequency (fraction of time) above threshold.
+func Fig17(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	dur := cfg.dur(120*time.Second, 20*time.Second)
+	t := &Table{
+		ID:     "fig17",
+		Title:  "RTP degradation frequency under wireless interference",
+		Header: []string{"solution", "interferers", "P(rtt>200ms)", "P(fdelay>400ms)", "P(fps<10)"},
+	}
+	for _, sol := range rtpSolutions {
+		for _, n := range []int{0, 5, 10, 20, 30, 40} {
+			tr := trace.Constant("intf", 30e6, dur)
+			res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, Qdisc: sol.qdisc,
+				Interferers: n, WANRTT: 50 * time.Millisecond}, dur)
+			t.Rows = append(t.Rows, []string{
+				sol.name, fmt.Sprintf("%d", n),
+				pct(res.rttTail), pct(res.frameTail), pct(res.lowFPS),
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/scenario"
+	"github.com/zhuge-project/zhuge/internal/sim"
+	"github.com/zhuge-project/zhuge/internal/trace"
+)
+
+// Fig18 reproduces the testbed experiments: an RTP/GCC flow in three
+// scenarios — scp (periodic bulk competitor), mcs (random modulation
+// changes every 30s) and raw (office WiFi as-is) — comparing GCC+FIFO,
+// GCC+CoDel and GCC+Zhuge on tail RTT, tail frame delay and mean bitrate.
+func Fig18(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	dur := cfg.dur(600*time.Second, 60*time.Second)
+
+	t := &Table{
+		ID:     "fig18",
+		Title:  "Testbed scenarios: scp / mcs / raw",
+		Header: []string{"scenario", "solution", "P(rtt>200ms)", "P(fdelay>400ms)", "bitrate(Mbps)"},
+	}
+
+	type scn struct {
+		name  string
+		build func(sol solutionSpec) rtcResult
+	}
+	office := func() *trace.Trace {
+		return trace.Generate(trace.OfficeWiFi(), dur, newRNG(cfg, "fig18"))
+	}
+	mcsLevels := []float64{1.0, 0.7, 0.5, 0.35, 0.25}
+	scenarios := []scn{
+		{"scp", func(sol solutionSpec) rtcResult {
+			// Stable channel; an scp bulk transfer toggles every 30s.
+			p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: trace.Constant("scp", 27e6, dur),
+				Solution: sol.sol, Qdisc: sol.qdisc, WANRTT: 30 * time.Millisecond})
+			f := p.AddRTPFlow(scenario.RTPFlowConfig{})
+			p.AddBulkFlow(10*time.Second, 30*time.Second)
+			p.Run(dur)
+			return rtpFlowResult(f, dur)
+		}},
+		{"mcs", func(sol solutionSpec) rtcResult {
+			// Random MCS level per 30s period, like `iw` reconfiguration.
+			rng := newRNG(cfg, "fig18-mcs-"+sol.name)
+			levels := make([]float64, int(dur/(30*time.Second))+1)
+			for i := range levels {
+				levels[i] = mcsLevels[rng.Intn(len(mcsLevels))]
+			}
+			p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: trace.Constant("mcs", 30e6, dur),
+				Solution: sol.sol, Qdisc: sol.qdisc, WANRTT: 30 * time.Millisecond,
+				MCSScale: func(at sim.Time) float64 { return levels[int(at/(30*time.Second))%len(levels)] }})
+			f := p.AddRTPFlow(scenario.RTPFlowConfig{})
+			p.Run(dur)
+			return rtpFlowResult(f, dur)
+		}},
+		{"raw", func(sol solutionSpec) rtcResult {
+			// A 5GHz office channel: the trace carries the goodput
+			// fluctuation; a handful of co-channel stations add access
+			// jitter (the paper's crowded-office testbed, not the 2.4GHz
+			// worst case of Figure 17).
+			p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: office(),
+				Solution: sol.sol, Qdisc: sol.qdisc, Interferers: 4})
+			f := p.AddRTPFlow(scenario.RTPFlowConfig{})
+			p.Run(dur)
+			return rtpFlowResult(f, dur)
+		}},
+	}
+
+	for _, sc := range scenarios {
+		for _, sol := range rtpSolutions {
+			res := sc.build(sol)
+			t.Rows = append(t.Rows, []string{
+				sc.name, sol.name,
+				pct(res.rttTail), pct(res.frameTail),
+				fmt.Sprintf("%.2f", res.goodput/1e6),
+			})
+		}
+	}
+	return t
+}
+
+// rtpFlowResult extracts an rtcResult from an already-run RTP flow.
+func rtpFlowResult(f *scenario.RTPFlow, dur time.Duration) rtcResult {
+	return rtcResult{
+		rttTail:     f.Metrics.RTT.FractionAbove(rttThreshold),
+		frameTail:   f.Decoder.FrameDelay.FractionAbove(frameThreshold),
+		lowFPS:      f.Decoder.LowFrameRateRatio(dur, lowFPS),
+		rtt:         f.Metrics.RTT,
+		frameDelay:  f.Decoder.FrameDelay,
+		rttSeries:   &f.Metrics.RTTSeries,
+		frameSeries: &f.Decoder.FrameDelaySeries,
+		fpsSeries:   f.Decoder.FrameRateSeries(dur),
+		rateSeries:  &f.Metrics.RateSeries,
+		goodput:     f.Metrics.DeliveredBytes * 8 / dur.Seconds(),
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/scenario"
+	"github.com/zhuge-project/zhuge/internal/trace"
+)
+
+const fullTraceRun = 600 * time.Second
+
+// Fig11 reproduces the RTP/RTCP trace-driven headline: P(RTT>200ms) and
+// P(frameDelay>400ms) over the five traces for GCC+FIFO, GCC+CoDel and
+// GCC+Zhuge.
+func Fig11(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	dur := cfg.dur(fullTraceRun, 30*time.Second)
+	t := &Table{
+		ID:     "fig11",
+		Title:  "Trace-driven RTP/RTCP: tail latency and delayed-frame ratios",
+		Header: []string{"trace", "solution", "P(rtt>200ms)", "P(fdelay>400ms)"},
+	}
+	for _, tr := range standardTraces(cfg, dur) {
+		for _, sol := range rtpSolutions {
+			res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, Qdisc: sol.qdisc}, dur)
+			t.Rows = append(t.Rows, []string{tr.Name, sol.name, pct(res.rttTail), pct(res.frameTail)})
+		}
+	}
+	return t
+}
+
+// Fig12 reproduces the TCP trace-driven comparison: Copa, Copa+FastAck,
+// ABC and Copa+Zhuge over the five traces.
+func Fig12(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	dur := cfg.dur(fullTraceRun, 30*time.Second)
+	t := &Table{
+		ID:     "fig12",
+		Title:  "Trace-driven TCP: tail latency and delayed-frame ratios",
+		Header: []string{"trace", "solution", "P(rtt>200ms)", "P(fdelay>400ms)"},
+	}
+	for _, tr := range standardTraces(cfg, dur) {
+		for _, sol := range tcpSolutions {
+			res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol}, sol.cca, dur)
+			t.Rows = append(t.Rows, []string{tr.Name, sol.name, pct(res.rttTail), pct(res.frameTail)})
+		}
+	}
+	return t
+}
+
+// Fig13 reproduces the detailed tail distributions on traces W1 (WiFi) and
+// C1 (cellular): RTT and frame-delay quantiles plus low-fps ratios per
+// solution, the log-scaled CCDF curves of the paper reduced to their
+// plotted landmarks.
+func Fig13(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	dur := cfg.dur(fullTraceRun, 30*time.Second)
+	traces := standardTraces(cfg, dur)
+	picks := []*trace.Trace{traces[0], traces[2]} // W1, C1
+
+	t := &Table{
+		ID:    "fig13",
+		Title: "Tail distributions on W1 and C1 (RTP/RTCP)",
+		Header: []string{"trace", "solution", "rtt.p90", "rtt.p99", "rtt.p999",
+			"fdelay.p90", "fdelay.p99", "P(fps<10)"},
+	}
+	for _, tr := range picks {
+		for _, sol := range rtpSolutions {
+			res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, Qdisc: sol.qdisc}, dur)
+			t.Rows = append(t.Rows, []string{
+				tr.Name, sol.name,
+				res.rtt.Quantile(0.90).Round(time.Millisecond).String(),
+				res.rtt.Quantile(0.99).Round(time.Millisecond).String(),
+				res.rtt.Quantile(0.999).Round(time.Millisecond).String(),
+				res.frameDelay.Quantile(0.90).Round(time.Millisecond).String(),
+				res.frameDelay.Quantile(0.99).Round(time.Millisecond).String(),
+				pct(res.lowFPS),
+			})
+		}
+	}
+	return t
+}
+
+// Fig22 reproduces the appendix frame-rate summary: P(frameRate < 10fps)
+// over the five traces for both the RTP and the TCP solution sets.
+func Fig22(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	dur := cfg.dur(fullTraceRun, 30*time.Second)
+	t := &Table{
+		ID:     "fig22",
+		Title:  "Low frame-rate ratios over the five traces",
+		Header: []string{"trace", "solution", "P(fps<10)"},
+	}
+	for _, tr := range standardTraces(cfg, dur) {
+		for _, sol := range rtpSolutions {
+			res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, Qdisc: sol.qdisc}, dur)
+			t.Rows = append(t.Rows, []string{tr.Name, sol.name, pct(res.lowFPS)})
+		}
+		for _, sol := range tcpSolutions {
+			res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol}, sol.cca, dur)
+			t.Rows = append(t.Rows, []string{tr.Name, sol.name, pct(res.lowFPS)})
+		}
+	}
+	return t
+}
+
+// Table3 reproduces the appendix comparison on ABC's original decade-old
+// low-bandwidth cellular traces: Copa vs ABC vs Copa+Zhuge.
+func Table3(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	dur := cfg.dur(fullTraceRun, 30*time.Second)
+	tr := trace.Generate(trace.ABCCellular(), dur, rand.New(rand.NewSource(cfg.Seed+99)))
+
+	t := &Table{
+		ID:     "table3",
+		Title:  "Performance on ABC-style low-bandwidth cellular traces",
+		Header: []string{"solution", "P(rtt>200ms)", "P(fdelay>400ms)", "P(fps<10)"},
+	}
+	specs := []tcpSolutionSpec{
+		{"Copa", scenario.SolutionNone, "copa"},
+		{"ABC", scenario.SolutionABC, "abc"},
+		{"Copa+Zhuge", scenario.SolutionZhuge, "copa"},
+	}
+	for _, sol := range specs {
+		res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol}, sol.cca, dur)
+		t.Rows = append(t.Rows, []string{sol.name, pct(res.rttTail), pct(res.frameTail), pct(res.lowFPS)})
+	}
+	return t
+}
+

@@ -1,0 +1,128 @@
+package metrics
+
+import "time"
+
+// TimePoint is one (virtual time, value) observation.
+type TimePoint struct {
+	At    time.Duration
+	Value float64
+}
+
+// Series records a time series of float observations. It backs the
+// per-second frame-rate and bitrate metrics and the degradation-duration
+// computations of Figures 14-17.
+type Series struct {
+	Points []TimePoint
+}
+
+// Add appends an observation. Times must be non-decreasing.
+func (s *Series) Add(at time.Duration, v float64) {
+	s.Points = append(s.Points, TimePoint{at, v})
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.Points) }
+
+// FractionAbove returns the fraction of observations with value > threshold.
+func (s *Series) FractionAbove(threshold float64) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range s.Points {
+		if p.Value > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.Points))
+}
+
+// FractionBelow returns the fraction of observations with value < threshold.
+func (s *Series) FractionBelow(threshold float64) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range s.Points {
+		if p.Value < threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.Points))
+}
+
+// Mean returns the arithmetic mean of the values, or 0 when empty.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.Points))
+}
+
+// DurationAbove treats the series as a piecewise-constant signal sampled at
+// each point and accumulates the time spent strictly above threshold between
+// from and to. Each point's value is held until the next point (or to).
+func (s *Series) DurationAbove(threshold float64, from, to time.Duration) time.Duration {
+	var total time.Duration
+	for i, p := range s.Points {
+		if p.At >= to {
+			break
+		}
+		end := to
+		if i+1 < len(s.Points) && s.Points[i+1].At < to {
+			end = s.Points[i+1].At
+		}
+		start := p.At
+		if start < from {
+			start = from
+		}
+		if end <= start {
+			continue
+		}
+		if p.Value > threshold {
+			total += end - start
+		}
+	}
+	return total
+}
+
+// LastAbove returns the time of the final observation above threshold at or
+// after from, and false when the signal never exceeds threshold. The
+// degradation-duration metric of Figure 4/14/15 is LastAbove - eventTime:
+// how long until the metric permanently re-converges below the threshold.
+func (s *Series) LastAbove(threshold float64, from time.Duration) (time.Duration, bool) {
+	var last time.Duration
+	found := false
+	for _, p := range s.Points {
+		if p.At < from {
+			continue
+		}
+		if p.Value > threshold {
+			last = p.At
+			found = true
+		}
+	}
+	return last, found
+}
+
+// PerSecondCounts buckets event timestamps into one-second bins over
+// [0, total) and returns the count per bin. The video pipeline uses it to
+// compute the per-second frame rate series.
+func PerSecondCounts(events []time.Duration, total time.Duration) []int {
+	n := int(total / time.Second)
+	if n <= 0 {
+		return nil
+	}
+	counts := make([]int, n)
+	for _, e := range events {
+		i := int(e / time.Second)
+		if i >= 0 && i < n {
+			counts[i]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,107 @@
+package netem
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+func TestFlowKeyReverse(t *testing.T) {
+	k := FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 10, DstPort: 20, Proto: 6}
+	r := k.Reverse()
+	if r.SrcIP != 2 || r.DstIP != 1 || r.SrcPort != 20 || r.DstPort != 10 || r.Proto != 6 {
+		t.Errorf("reverse = %+v", r)
+	}
+	if r.Reverse() != k {
+		t.Error("double reverse should be identity")
+	}
+}
+
+func TestFlowKeyCanonical(t *testing.T) {
+	k := FlowKey{SrcIP: 9, DstIP: 2, SrcPort: 10, DstPort: 20, Proto: 6}
+	if k.Canonical() != k.Reverse().Canonical() {
+		t.Error("both directions must share a canonical key")
+	}
+}
+
+func TestPropertyHashStableAndDirectional(t *testing.T) {
+	f := func(a, b uint32, p1, p2 uint16) bool {
+		k := FlowKey{SrcIP: a, DstIP: b, SrcPort: p1, DstPort: p2, Proto: 17}
+		return k.Hash() == k.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashSpreadsAcrossBuckets(t *testing.T) {
+	// Ports differing only in high bits must still spread over 64 buckets
+	// (regression test for the pre-avalanche hash).
+	seen := map[uint32]bool{}
+	for i := 0; i < 64; i++ {
+		k := FlowKey{SrcIP: 1, DstIP: 2, SrcPort: uint16(i), DstPort: 80, Proto: 6}
+		seen[k.Hash()%64] = true
+	}
+	if len(seen) < 32 {
+		t.Errorf("64 distinct flows hit only %d of 64 buckets", len(seen))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{KindData: "data", KindAck: "ack", KindFeedback: "feedback", Kind(99): "unknown"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestLinkSerialisesAndDelays(t *testing.T) {
+	s := sim.New(1)
+	var times []sim.Time
+	dst := ReceiverFunc(func(p *Packet) { times = append(times, s.Now()) })
+	// 1 Mbps, 10ms propagation: a 1250B packet takes 10ms to serialise.
+	l := NewLink(s, 1e6, 10*time.Millisecond, dst)
+	for i := 0; i < 3; i++ {
+		l.Receive(&Packet{Size: 1250})
+	}
+	s.Run()
+	want := []sim.Time{20 * time.Millisecond, 30 * time.Millisecond, 40 * time.Millisecond}
+	if len(times) != 3 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("packet %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestLinkInfiniteRate(t *testing.T) {
+	s := sim.New(1)
+	var at sim.Time
+	l := NewLink(s, 0, 5*time.Millisecond, ReceiverFunc(func(p *Packet) { at = s.Now() }))
+	l.Receive(&Packet{Size: 1 << 20})
+	s.Run()
+	if at != 5*time.Millisecond {
+		t.Errorf("delivered at %v, want pure propagation 5ms", at)
+	}
+}
+
+func TestLinkIdleGapResetsSerialisation(t *testing.T) {
+	s := sim.New(1)
+	var times []sim.Time
+	l := NewLink(s, 1e6, 0, ReceiverFunc(func(p *Packet) { times = append(times, s.Now()) }))
+	l.Receive(&Packet{Size: 1250}) // done at 10ms
+	s.At(time.Second, func() { l.Receive(&Packet{Size: 1250}) })
+	s.Run()
+	if times[1] != time.Second+10*time.Millisecond {
+		t.Errorf("second packet at %v, want 1.01s (no stale busyUntil)", times[1])
+	}
+}
+
+func TestSinkDiscards(t *testing.T) {
+	Sink.Receive(&Packet{Size: 1}) // must not panic
+}

@@ -1,0 +1,182 @@
+// Package netem provides the network-emulation primitives shared by every
+// component of the simulator: the packet model, flow identification, and
+// fixed-rate serialising links. The wireless bottleneck link lives in
+// internal/wireless; queue disciplines in internal/queue.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// FlowKey is the 5-tuple Zhuge uses to identify flows (§5.2: "Zhuge only
+// looks at the 5-tuple ... and views the sequence and ACK streams as
+// blackboxes").
+type FlowKey struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// Reverse returns the key of the opposite direction of the same flow.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{
+		SrcIP: k.DstIP, DstIP: k.SrcIP,
+		SrcPort: k.DstPort, DstPort: k.SrcPort,
+		Proto: k.Proto,
+	}
+}
+
+// Canonical returns a direction-independent key: both directions of a flow
+// map to the same canonical key, useful for per-connection state at the AP.
+func (k FlowKey) Canonical() FlowKey {
+	r := k.Reverse()
+	if k.SrcIP < r.SrcIP || (k.SrcIP == r.SrcIP && k.SrcPort <= r.SrcPort) {
+		return k
+	}
+	return r
+}
+
+// String formats the key for logs.
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%d.%d:%d>%d.%d:%d/%d",
+		k.SrcIP>>16, k.SrcIP&0xffff, k.SrcPort,
+		k.DstIP>>16, k.DstIP&0xffff, k.DstPort, k.Proto)
+}
+
+// Hash is a cheap mixing hash for flow classification (FQ-CoDel buckets).
+func (k FlowKey) Hash() uint32 {
+	h := uint32(2166136261)
+	mix := func(v uint32) {
+		h ^= v
+		h *= 16777619
+	}
+	mix(k.SrcIP)
+	mix(k.DstIP)
+	mix(uint32(k.SrcPort)<<16 | uint32(k.DstPort))
+	mix(uint32(k.Proto))
+	// Murmur3 finalizer: avalanche high bits into low bits so bucket
+	// selection (hash mod N) sees every input bit.
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// Kind classifies packets for components that treat data and feedback
+// differently (the Feedback Updater delays ACKs, not data).
+type Kind uint8
+
+// Packet kinds.
+const (
+	KindData Kind = iota
+	KindAck
+	KindFeedback // in-band feedback (e.g. RTCP)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	case KindFeedback:
+		return "feedback"
+	default:
+		return "unknown"
+	}
+}
+
+// Packet is the simulator's unit of transmission. Payload carries the
+// protocol-specific view (a TCP segment, an RTP packet, ...) which only the
+// endpoints interpret; in-network elements see size, flow and kind, exactly
+// the visibility a real AP has into (possibly encrypted) traffic.
+type Packet struct {
+	Flow FlowKey
+	Kind Kind
+	Size int // bytes on the wire, headers included
+
+	// Seq is a transport-scoped identifier used only by endpoints and
+	// debug output; in-network elements must not interpret it.
+	Seq uint64
+
+	SentAt     sim.Time // stamped by the original sender
+	EnqueuedAt sim.Time // stamped by the bottleneck qdisc on enqueue
+
+	// APArrival and Predicted are stamped by the Zhuge AP on downlink
+	// data packets: when the packet reached the AP and the Fortune
+	// Teller's total-delay prediction for it. The experiment harness
+	// compares Predicted against the actual AP-to-client delay
+	// (Figure 19 prediction accuracy).
+	APArrival sim.Time
+	Predicted time.Duration
+
+	// ABCMark carries the one-bit accelerate/brake mark of the ABC
+	// baseline (it models ABC's reuse of an ECN-like header bit).
+	ABCMark uint8
+
+	Payload any
+}
+
+// Receiver consumes packets. Every hop in a topology is a Receiver.
+type Receiver interface {
+	Receive(p *Packet)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(p *Packet)
+
+// Receive implements Receiver.
+func (f ReceiverFunc) Receive(p *Packet) { f(p) }
+
+// Sink discards packets; useful as a default destination in tests.
+var Sink Receiver = ReceiverFunc(func(*Packet) {})
+
+// Link is a fixed-rate, fixed-propagation-delay serialising link with an
+// unbounded implicit queue. It models the stable segments of the path: the
+// WAN between sender and AP, and the AP's Ethernet uplink (§2.3: "the
+// latency of the uplink queue at the AP and the latency of WAN is usually
+// stable").
+type Link struct {
+	sim       *sim.Simulator
+	rate      float64 // bits per second; 0 means infinite
+	delay     time.Duration
+	dst       Receiver
+	busyUntil sim.Time
+}
+
+// NewLink returns a link serialising at rate bps with the given one-way
+// propagation delay, delivering to dst.
+func NewLink(s *sim.Simulator, rate float64, delay time.Duration, dst Receiver) *Link {
+	return &Link{sim: s, rate: rate, delay: delay, dst: dst}
+}
+
+// SetDst changes the delivery destination (used while wiring topologies).
+func (l *Link) SetDst(dst Receiver) { l.dst = dst }
+
+// Delay returns the link's one-way propagation delay.
+func (l *Link) Delay() time.Duration { return l.delay }
+
+// Receive serialises p and schedules delivery after transmission +
+// propagation. Packets share the link in FIFO order.
+func (l *Link) Receive(p *Packet) {
+	now := l.sim.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	var tx time.Duration
+	if l.rate > 0 {
+		tx = time.Duration(float64(p.Size*8) / l.rate * float64(time.Second))
+	}
+	l.busyUntil = start + tx
+	deliverAt := l.busyUntil + l.delay
+	dst := l.dst
+	l.sim.At(deliverAt, func() { dst.Receive(p) })
+}

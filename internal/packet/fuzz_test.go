@@ -1,0 +1,94 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestParsersNeverPanicOnGarbage throws random bytes at every decoder; they
+// must return errors, not panic — an AP parses hostile traffic.
+func TestParsersNeverPanicOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	decoders := []struct {
+		name string
+		fn   func([]byte)
+	}{
+		{"ipv4", func(b []byte) { var h IPv4Header; h.Unmarshal(b) }},
+		{"udp", func(b []byte) { var h UDPHeader; h.Unmarshal(b) }},
+		{"tcp", func(b []byte) { var h TCPHeader; h.Unmarshal(b) }},
+		{"rtp", func(b []byte) { var h RTPHeader; h.Unmarshal(b) }},
+		{"twcc", func(b []byte) { UnmarshalTWCC(b) }},
+		{"nack", func(b []byte) { UnmarshalNACK(b) }},
+		{"rr", func(b []byte) { UnmarshalReceiverReport(b) }},
+		{"sr", func(b []byte) { UnmarshalSenderReport(b) }},
+		{"kind", func(b []byte) { RTCPKind(b) }},
+		{"isrtcp", func(b []byte) { IsRTCP(b) }},
+	}
+	for _, d := range decoders {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s panicked: %v", d.name, r)
+				}
+			}()
+			for i := 0; i < 2000; i++ {
+				n := rng.Intn(128)
+				b := make([]byte, n)
+				rng.Read(b)
+				d.fn(b)
+			}
+			// Also mutate valid packets: flip bytes in real messages.
+			valid := [][]byte{
+				(&RTPHeader{PayloadType: 96, HasTWCC: true, TWCCSeq: 5}).Marshal(nil, make([]byte, 40)),
+				BuildTWCC(1, 2, 3, []TWCCArrival{{Seq: 9, At: 1e6}, {Seq: 12, At: 2e6}}).Marshal(nil),
+				(&NACK{SenderSSRC: 1, MediaSSRC: 2, Lost: []uint16{4, 5}}).Marshal(nil),
+				(&SenderReport{SSRC: 1, Reports: []ReportBlock{{SSRC: 2}}}).Marshal(nil),
+			}
+			for i := 0; i < 2000; i++ {
+				src := valid[rng.Intn(len(valid))]
+				b := append([]byte(nil), src...)
+				for k := 0; k < 1+rng.Intn(4); k++ {
+					b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+				}
+				if rng.Intn(4) == 0 && len(b) > 1 {
+					b = b[:rng.Intn(len(b))]
+				}
+				d.fn(b)
+			}
+		})
+	}
+}
+
+// TestPropertyTWCCDecodeBounded: whatever the input claims, the decoder
+// never allocates unbounded status lists beyond the wire-implied limits.
+func TestPropertyTWCCDecodeBounded(t *testing.T) {
+	f := func(body []byte) bool {
+		fb, err := UnmarshalTWCC(body)
+		if err != nil {
+			return true
+		}
+		return len(fb.Packets) <= 1<<16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChecksumIncrementalConsistency: checksum over a buffer equals the
+// checksum computed with the pseudo-header folded in both orders.
+func TestChecksumIncrementalConsistency(t *testing.T) {
+	f := func(payload []byte, src, dst uint32) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		h := UDPHeader{SrcPort: 1, DstPort: 2}
+		wire := h.Marshal(nil, src, dst, payload)
+		sum := Checksum(wire, PseudoHeaderSum(src, dst, ProtoUDP, uint16(len(wire))))
+		return sum == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package packet implements the wire formats Zhuge touches on a real
+// access point: IPv4/UDP/TCP headers for flow identification, and the
+// RTP/RTCP formats (including the transport-wide congestion control
+// feedback message) that the in-band Feedback Updater parses and rewrites.
+//
+// The simulator reuses the typed structures (notably TWCCFeedback) as
+// packet payloads so the exact same marshalling code is exercised both by
+// the discrete-event experiments and by the live UDP relay in cmd/zhuge-ap.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// IP protocol numbers.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// IPv4Header is a 20-byte IPv4 header without options.
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	SrcIP    uint32
+	DstIP    uint32
+}
+
+// IPv4HeaderLen is the length of a header without options.
+const IPv4HeaderLen = 20
+
+var (
+	// ErrTruncated reports a buffer too short for the claimed structure.
+	ErrTruncated = errors.New("packet: truncated")
+	// ErrBadVersion reports an unexpected protocol version field.
+	ErrBadVersion = errors.New("packet: bad version")
+)
+
+// Marshal appends the wire form of h to b and returns the result.
+// The checksum is computed over the final header.
+func (h *IPv4Header) Marshal(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, IPv4HeaderLen)...)
+	hdr := b[off:]
+	hdr[0] = 0x45 // version 4, IHL 5
+	hdr[1] = h.TOS
+	binary.BigEndian.PutUint16(hdr[2:], h.TotalLen)
+	binary.BigEndian.PutUint16(hdr[4:], h.ID)
+	hdr[6], hdr[7] = 0x40, 0 // DF, no fragmentation
+	hdr[8] = h.TTL
+	hdr[9] = h.Protocol
+	binary.BigEndian.PutUint32(hdr[12:], h.SrcIP)
+	binary.BigEndian.PutUint32(hdr[16:], h.DstIP)
+	binary.BigEndian.PutUint16(hdr[10:], Checksum(hdr, 0))
+	return b
+}
+
+// Unmarshal parses an IPv4 header from the front of b and returns the
+// payload following it.
+func (h *IPv4Header) Unmarshal(b []byte) (payload []byte, err error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(b[0]&0xf) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return nil, fmt.Errorf("packet: bad IHL %d", ihl)
+	}
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:])
+	h.ID = binary.BigEndian.Uint16(b[4:])
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.SrcIP = binary.BigEndian.Uint32(b[12:])
+	h.DstIP = binary.BigEndian.Uint32(b[16:])
+	return b[ihl:], nil
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over b, starting from
+// the partial sum initial (use 0, or a pseudo-header sum for TCP/UDP).
+func Checksum(b []byte, initial uint32) uint16 {
+	sum := initial
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// PseudoHeaderSum returns the partial checksum of the IPv4 pseudo-header
+// used by TCP and UDP.
+func PseudoHeaderSum(srcIP, dstIP uint32, proto uint8, length uint16) uint32 {
+	var sum uint32
+	sum += srcIP >> 16
+	sum += srcIP & 0xffff
+	sum += dstIP >> 16
+	sum += dstIP & 0xffff
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}

@@ -1,0 +1,314 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := IPv4Header{TOS: 0x10, TotalLen: 120, ID: 77, TTL: 64, Protocol: ProtoUDP, SrcIP: 0x0a000001, DstIP: 0xc0a80102}
+	wire := h.Marshal(nil)
+	if len(wire) != IPv4HeaderLen {
+		t.Fatalf("marshal len %d, want 20", len(wire))
+	}
+	// Header checksum must validate: summing the header with its checksum
+	// in place yields 0xffff complemented to 0.
+	if got := Checksum(wire, 0); got != 0 {
+		t.Errorf("checksum over marshaled header = %#x, want 0", got)
+	}
+	var out IPv4Header
+	rest, err := out.Unmarshal(append(wire, 0xaa, 0xbb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != h {
+		t.Errorf("round trip %+v != %+v", out, h)
+	}
+	if !bytes.Equal(rest, []byte{0xaa, 0xbb}) {
+		t.Errorf("payload %x", rest)
+	}
+}
+
+func TestIPv4Truncated(t *testing.T) {
+	var h IPv4Header
+	if _, err := h.Unmarshal(make([]byte, 10)); err == nil {
+		t.Error("want error on short buffer")
+	}
+	if _, err := h.Unmarshal(make([]byte, 20)); err == nil {
+		t.Error("want error on version 0")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	h := UDPHeader{SrcPort: 5004, DstPort: 6000}
+	payload := []byte("rtp-ish payload")
+	wire := h.Marshal(nil, 0x0a000001, 0x0a000002, payload)
+	var out UDPHeader
+	got, err := out.Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SrcPort != 5004 || out.DstPort != 6000 {
+		t.Errorf("ports %d,%d", out.SrcPort, out.DstPort)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload %q, want %q", got, payload)
+	}
+	// Checksum with pseudo-header must validate.
+	sum := Checksum(wire, PseudoHeaderSum(0x0a000001, 0x0a000002, ProtoUDP, uint16(len(wire))))
+	if sum != 0 {
+		t.Errorf("UDP checksum validation = %#x, want 0", sum)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	h := TCPHeader{SrcPort: 443, DstPort: 51000, Seq: 1e9, Ack: 2e9, Flags: TCPAck | TCPPsh, Window: 65535, Options: []byte{8, 10, 0, 0, 0, 1, 0, 0, 0, 2}}
+	payload := []byte("data")
+	wire := h.Marshal(nil, 1, 2, payload)
+	var out TCPHeader
+	got, err := out.Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SrcPort != h.SrcPort || out.Seq != h.Seq || out.Ack != h.Ack || out.Flags != h.Flags {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload %q", got)
+	}
+	sum := Checksum(wire, PseudoHeaderSum(1, 2, ProtoTCP, uint16(len(wire))))
+	if sum != 0 {
+		t.Errorf("TCP checksum validation = %#x, want 0", sum)
+	}
+}
+
+func TestRTPRoundTripWithTWCC(t *testing.T) {
+	h := RTPHeader{Marker: true, PayloadType: 96, Seq: 4321, Timestamp: 90000, SSRC: 0xdeadbeef, HasTWCC: true, TWCCSeq: 999}
+	payload := bytes.Repeat([]byte{0xab}, 100)
+	wire := h.Marshal(nil, payload)
+	if len(wire) != h.MarshaledLen(len(payload)) {
+		t.Errorf("MarshaledLen %d != actual %d", h.MarshaledLen(len(payload)), len(wire))
+	}
+	var out RTPHeader
+	got, err := out.Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.HasTWCC || out.TWCCSeq != 999 {
+		t.Errorf("TWCC ext lost: %+v", out)
+	}
+	if out.Seq != 4321 || out.SSRC != 0xdeadbeef || !out.Marker || out.PayloadType != 96 {
+		t.Errorf("header mismatch: %+v", out)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestRTPWithoutExtension(t *testing.T) {
+	h := RTPHeader{PayloadType: 111, Seq: 1, Timestamp: 2, SSRC: 3}
+	wire := h.Marshal(nil, []byte{1, 2, 3})
+	var out RTPHeader
+	got, err := out.Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.HasTWCC {
+		t.Error("spurious TWCC extension")
+	}
+	if len(got) != 3 {
+		t.Errorf("payload len %d", len(got))
+	}
+}
+
+func TestIsRTCP(t *testing.T) {
+	rtp := (&RTPHeader{PayloadType: 96}).Marshal(nil, nil)
+	if IsRTCP(rtp) {
+		t.Error("RTP classified as RTCP")
+	}
+	twcc := (&TWCCFeedback{}).Marshal(nil)
+	if !IsRTCP(twcc) {
+		t.Error("TWCC not classified as RTCP")
+	}
+}
+
+func TestTWCCBuildAndArrivals(t *testing.T) {
+	arrivals := []TWCCArrival{
+		{Seq: 100, At: 1*time.Second + 10*time.Millisecond},
+		{Seq: 101, At: 1*time.Second + 12*time.Millisecond},
+		{Seq: 103, At: 1*time.Second + 30*time.Millisecond}, // 102 lost
+		{Seq: 104, At: 1*time.Second + 31*time.Millisecond},
+	}
+	fb := BuildTWCC(1, 2, 7, arrivals)
+	if fb.BaseSeq != 100 || len(fb.Packets) != 5 {
+		t.Fatalf("base %d count %d, want 100/5", fb.BaseSeq, len(fb.Packets))
+	}
+	if fb.Packets[2].Received {
+		t.Error("seq 102 should be missing")
+	}
+	back := fb.Arrivals()
+	if len(back) != 4 {
+		t.Fatalf("reconstructed %d arrivals, want 4", len(back))
+	}
+	for i, a := range back {
+		if a.Seq != arrivals[i].Seq {
+			t.Errorf("arrival %d seq %d, want %d", i, a.Seq, arrivals[i].Seq)
+		}
+		diff := a.At - arrivals[i].At
+		if diff < -time.Millisecond || diff > time.Millisecond {
+			t.Errorf("arrival %d time %v, want %v (+-250us quantisation)", i, a.At, arrivals[i].At)
+		}
+	}
+}
+
+func TestTWCCWireRoundTrip(t *testing.T) {
+	arrivals := []TWCCArrival{
+		{Seq: 65530, At: 500 * time.Millisecond},
+		{Seq: 65531, At: 502 * time.Millisecond},
+		{Seq: 65535, At: 590 * time.Millisecond},
+		{Seq: 0, At: 591 * time.Millisecond}, // wraps
+		{Seq: 1, At: 800 * time.Millisecond}, // large delta (209ms)
+	}
+	fb := BuildTWCC(0x11111111, 0x22222222, 3, arrivals)
+	wire := fb.Marshal(nil)
+	if len(wire)%4 != 0 {
+		t.Errorf("wire length %d not 32-bit aligned", len(wire))
+	}
+	out, err := UnmarshalTWCC(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SenderSSRC != fb.SenderSSRC || out.MediaSSRC != fb.MediaSSRC ||
+		out.BaseSeq != fb.BaseSeq || out.FBCount != 3 || out.RefTime != fb.RefTime {
+		t.Errorf("header mismatch: %+v vs %+v", out, fb)
+	}
+	if len(out.Packets) != len(fb.Packets) {
+		t.Fatalf("status count %d, want %d", len(out.Packets), len(fb.Packets))
+	}
+	for i := range fb.Packets {
+		if out.Packets[i] != fb.Packets[i] {
+			t.Errorf("packet %d: %+v vs %+v", i, out.Packets[i], fb.Packets[i])
+		}
+	}
+}
+
+func TestTWCCLongRunUsesRunLength(t *testing.T) {
+	// 100 consecutive received packets with identical small deltas should
+	// produce a compact encoding (run-length chunks).
+	var arrivals []TWCCArrival
+	for i := 0; i < 100; i++ {
+		arrivals = append(arrivals, TWCCArrival{Seq: uint16(i), At: time.Duration(i) * time.Millisecond})
+	}
+	fb := BuildTWCC(1, 2, 0, arrivals)
+	wire := fb.Marshal(nil)
+	// 16-byte body header + ~2 chunks + 100 one-byte deltas + header.
+	if len(wire) > 140 {
+		t.Errorf("wire length %d; run-length encoding expected to compress", len(wire))
+	}
+	out, err := UnmarshalTWCC(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Packets) != 100 {
+		t.Fatalf("decoded %d packets", len(out.Packets))
+	}
+}
+
+func TestPropertyTWCCRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := uint16(rng.Intn(65536))
+		at := time.Duration(rng.Intn(1000)) * time.Millisecond
+		var arrivals []TWCCArrival
+		n := 1 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			seq += uint16(1 + rng.Intn(4)) // gaps up to 3
+			at += time.Duration(rng.Intn(80)) * time.Millisecond
+			arrivals = append(arrivals, TWCCArrival{Seq: seq, At: at})
+		}
+		fb := BuildTWCC(1, 2, uint8(seed), arrivals)
+		out, err := UnmarshalTWCC(fb.Marshal(nil))
+		if err != nil {
+			return false
+		}
+		if out.BaseSeq != fb.BaseSeq || len(out.Packets) != len(fb.Packets) {
+			return false
+		}
+		for i := range fb.Packets {
+			if out.Packets[i] != fb.Packets[i] {
+				return false
+			}
+		}
+		// Arrivals must reconstruct within quantisation error.
+		back := out.Arrivals()
+		if len(back) != len(arrivals) {
+			return false
+		}
+		for i := range back {
+			d := back[i].At - arrivals[i].At
+			if d < -time.Millisecond || d > time.Millisecond {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNACKRoundTrip(t *testing.T) {
+	n := &NACK{SenderSSRC: 5, MediaSSRC: 6, Lost: []uint16{100, 101, 105, 300}}
+	wire := n.Marshal(nil)
+	out, err := UnmarshalNACK(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SenderSSRC != 5 || out.MediaSSRC != 6 {
+		t.Errorf("ssrc mismatch: %+v", out)
+	}
+	want := map[uint16]bool{100: true, 101: true, 105: true, 300: true}
+	if len(out.Lost) != len(want) {
+		t.Fatalf("lost %v, want %v", out.Lost, n.Lost)
+	}
+	for _, s := range out.Lost {
+		if !want[s] {
+			t.Errorf("unexpected lost seq %d", s)
+		}
+	}
+}
+
+func TestRTCPKind(t *testing.T) {
+	twcc := (&TWCCFeedback{}).Marshal(nil)
+	pt, fmtField, length, err := RTCPKind(twcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt != RTCPTypeRTPFB || fmtField != RTPFBTWCC || length != len(twcc) {
+		t.Errorf("kind = %d/%d/%d, want 205/15/%d", pt, fmtField, length, len(twcc))
+	}
+	nack := (&NACK{Lost: []uint16{1}}).Marshal(nil)
+	pt, fmtField, _, err = RTCPKind(nack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt != RTCPTypeRTPFB || fmtField != RTPFBNack {
+		t.Errorf("NACK kind = %d/%d", pt, fmtField)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: 0x0001f203f4f5f6f7 -> checksum 0x220d... compute
+	// directly: sum = 0x0001+0xf203+0xf4f5+0xf6f7 = 0x2ddf0 -> 0xddf2 -> ^= 0x220d
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b, 0); got != 0x220d {
+		t.Errorf("checksum = %#x, want 0x220d", got)
+	}
+	// Odd length: trailing byte padded with zero.
+	if got := Checksum([]byte{0x01}, 0); got != ^uint16(0x0100) {
+		t.Errorf("odd checksum = %#x", got)
+	}
+}

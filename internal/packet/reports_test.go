@@ -1,0 +1,77 @@
+package packet
+
+import (
+	"testing"
+	"time"
+)
+
+func sampleBlock() ReportBlock {
+	return ReportBlock{
+		SSRC: 0xabcd, FractionLost: 12, TotalLost: 345,
+		HighestSeq: 70000, Jitter: 88, LastSR: 0x11223344, DelaySinceSR: 4096,
+	}
+}
+
+func TestReceiverReportRoundTrip(t *testing.T) {
+	rr := &ReceiverReport{SSRC: 42, Reports: []ReportBlock{sampleBlock(), sampleBlock()}}
+	wire := rr.Marshal(nil)
+	if len(wire)%4 != 0 {
+		t.Errorf("length %d not aligned", len(wire))
+	}
+	pt, fmtField, length, err := RTCPKind(wire)
+	if err != nil || pt != RTCPTypeReceiverReport || fmtField != 2 || length != len(wire) {
+		t.Fatalf("kind = %d/%d/%d err=%v", pt, fmtField, length, err)
+	}
+	out, err := UnmarshalReceiverReport(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SSRC != 42 || len(out.Reports) != 2 {
+		t.Fatalf("round trip: %+v", out)
+	}
+	if out.Reports[0] != sampleBlock() {
+		t.Errorf("block mismatch: %+v", out.Reports[0])
+	}
+}
+
+func TestSenderReportRoundTrip(t *testing.T) {
+	sr := &SenderReport{
+		SSRC: 7, NTPTime: NTPTime(90 * time.Second), RTPTime: 123456,
+		PacketCount: 1000, OctetCount: 1 << 20,
+		Reports: []ReportBlock{sampleBlock()},
+	}
+	wire := sr.Marshal(nil)
+	out, err := UnmarshalSenderReport(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SSRC != 7 || out.PacketCount != 1000 || out.OctetCount != 1<<20 || out.RTPTime != 123456 {
+		t.Fatalf("round trip: %+v", out)
+	}
+	if out.NTPTime != sr.NTPTime || len(out.Reports) != 1 {
+		t.Errorf("ntp/reports mismatch")
+	}
+}
+
+func TestReportsRejectWrongType(t *testing.T) {
+	rr := (&ReceiverReport{SSRC: 1}).Marshal(nil)
+	if _, err := UnmarshalSenderReport(rr); err == nil {
+		t.Error("RR parsed as SR")
+	}
+	sr := (&SenderReport{SSRC: 1}).Marshal(nil)
+	if _, err := UnmarshalReceiverReport(sr); err == nil {
+		t.Error("SR parsed as RR")
+	}
+	if _, err := UnmarshalReceiverReport([]byte{0x81}); err == nil {
+		t.Error("truncated RR accepted")
+	}
+}
+
+func TestNTPTimeMonotone(t *testing.T) {
+	if NTPTime(time.Second) >= NTPTime(time.Second+time.Millisecond) {
+		t.Error("NTP time not monotone")
+	}
+	if NTPTime(2*time.Second)>>32 != 2 {
+		t.Errorf("seconds field wrong: %x", NTPTime(2*time.Second))
+	}
+}

@@ -1,0 +1,361 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// RTCP packet types.
+const (
+	RTCPTypeSenderReport   = 200
+	RTCPTypeReceiverReport = 201
+	RTCPTypeRTPFB          = 205 // transport-layer feedback
+)
+
+// RTPFB feedback message types (FMT field).
+const (
+	RTPFBNack = 1
+	RTPFBTWCC = 15
+)
+
+// twccDeltaUnit is the resolution of receive deltas (250µs) and
+// twccRefUnit the resolution of the reference time (64ms), both from
+// draft-holmer-rmcat-transport-wide-cc-extensions-01.
+const (
+	twccDeltaUnit = 250 * time.Microsecond
+	twccRefUnit   = 64 * time.Millisecond
+)
+
+// maxTWCCStatuses bounds one feedback message's packet-status count; the
+// field is 16 bits on the wire but practical messages stay far smaller.
+const maxTWCCStatuses = 4096
+
+// TWCCStatus describes one transport-wide sequence number in a feedback
+// message: whether it arrived and, if so, the arrival delta relative to the
+// previous received packet (or the reference time for the first).
+type TWCCStatus struct {
+	Received bool
+	Delta    time.Duration
+}
+
+// TWCCFeedback is a transport-wide congestion control feedback message.
+// Packets covers consecutive sequence numbers starting at BaseSeq.
+type TWCCFeedback struct {
+	SenderSSRC uint32
+	MediaSSRC  uint32
+	BaseSeq    uint16
+	RefTime    time.Duration // receiver clock, multiple of 64ms
+	FBCount    uint8
+	Packets    []TWCCStatus
+}
+
+// TWCCArrival records the arrival of one RTP packet for feedback building.
+type TWCCArrival struct {
+	Seq uint16
+	At  time.Duration // receiver clock
+}
+
+// BuildTWCC constructs a feedback message from arrival records. Records
+// must be sorted by (wrapping) sequence number; gaps become "not received".
+// This is what both a WebRTC receiver and the Zhuge Feedback Updater run:
+// Zhuge feeds it predicted arrival times instead of measured ones (§5.3).
+func BuildTWCC(senderSSRC, mediaSSRC uint32, fbCount uint8, arrivals []TWCCArrival) *TWCCFeedback {
+	if len(arrivals) == 0 {
+		return &TWCCFeedback{SenderSSRC: senderSSRC, MediaSSRC: mediaSSRC, FBCount: fbCount}
+	}
+	fb := &TWCCFeedback{
+		SenderSSRC: senderSSRC,
+		MediaSSRC:  mediaSSRC,
+		BaseSeq:    arrivals[0].Seq,
+		RefTime:    arrivals[0].At / twccRefUnit * twccRefUnit,
+		FBCount:    fbCount,
+	}
+	ref := fb.RefTime
+	seq := arrivals[0].Seq
+	for _, a := range arrivals {
+		// Bound the status list: a mis-sorted or wildly gapped input must
+		// not explode into tens of thousands of "lost" entries.
+		if len(fb.Packets) >= maxTWCCStatuses {
+			break
+		}
+		for seq != a.Seq {
+			fb.Packets = append(fb.Packets, TWCCStatus{Received: false})
+			seq++
+			if len(fb.Packets) >= maxTWCCStatuses {
+				return fb
+			}
+		}
+		// Quantise the delta to 250µs, carrying the running reference so
+		// quantisation error does not accumulate.
+		units := int64((a.At - ref + twccDeltaUnit/2) / twccDeltaUnit)
+		delta := time.Duration(units) * twccDeltaUnit
+		fb.Packets = append(fb.Packets, TWCCStatus{Received: true, Delta: delta})
+		ref += delta
+		seq++
+	}
+	return fb
+}
+
+// Arrivals reconstructs receive times from the feedback: the inverse of
+// BuildTWCC, as run by the sender's congestion controller.
+func (fb *TWCCFeedback) Arrivals() []TWCCArrival {
+	var out []TWCCArrival
+	ref := fb.RefTime
+	seq := fb.BaseSeq
+	for _, p := range fb.Packets {
+		if p.Received {
+			ref += p.Delta
+			out = append(out, TWCCArrival{Seq: seq, At: ref})
+		}
+		seq++
+	}
+	return out
+}
+
+// twcc status symbols
+const (
+	symNotReceived = 0
+	symSmallDelta  = 1
+	symLargeDelta  = 2
+)
+
+func (fb *TWCCFeedback) symbols() []byte {
+	syms := make([]byte, len(fb.Packets))
+	for i, p := range fb.Packets {
+		switch {
+		case !p.Received:
+			syms[i] = symNotReceived
+		case p.Delta >= 0 && p.Delta/twccDeltaUnit <= 0xff:
+			syms[i] = symSmallDelta
+		default:
+			syms[i] = symLargeDelta
+		}
+	}
+	return syms
+}
+
+// Marshal appends the RTCP wire form of the feedback to b.
+func (fb *TWCCFeedback) Marshal(b []byte) []byte {
+	body := make([]byte, 0, 16+len(fb.Packets)*3)
+	body = binary.BigEndian.AppendUint32(body, fb.SenderSSRC)
+	body = binary.BigEndian.AppendUint32(body, fb.MediaSSRC)
+	body = binary.BigEndian.AppendUint16(body, fb.BaseSeq)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(fb.Packets)))
+	ref24 := uint32(fb.RefTime/twccRefUnit) & 0xffffff
+	body = append(body, byte(ref24>>16), byte(ref24>>8), byte(ref24))
+	body = append(body, fb.FBCount)
+
+	// Packet status chunks: run-length for runs >= 7, otherwise 2-bit
+	// status vector chunks of 7 symbols.
+	syms := fb.symbols()
+	for i := 0; i < len(syms); {
+		run := 1
+		for i+run < len(syms) && syms[i+run] == syms[i] && run < 8191 {
+			run++
+		}
+		if run >= 7 {
+			chunk := uint16(syms[i])<<13 | uint16(run)
+			body = binary.BigEndian.AppendUint16(body, chunk)
+			i += run
+			continue
+		}
+		chunk := uint16(1)<<15 | uint16(1)<<14 // vector, 2-bit symbols
+		n := 0
+		for ; n < 7 && i+n < len(syms); n++ {
+			chunk |= uint16(syms[i+n]) << (12 - 2*n)
+		}
+		body = binary.BigEndian.AppendUint16(body, chunk)
+		i += n
+	}
+
+	// Receive deltas.
+	for i, p := range fb.Packets {
+		switch syms[i] {
+		case symSmallDelta:
+			body = append(body, byte(p.Delta/twccDeltaUnit))
+		case symLargeDelta:
+			units := int64(p.Delta / twccDeltaUnit)
+			if units > 32767 {
+				units = 32767
+			}
+			if units < -32768 {
+				units = -32768
+			}
+			body = binary.BigEndian.AppendUint16(body, uint16(int16(units)))
+		}
+	}
+
+	// Pad body to a 32-bit boundary.
+	for len(body)%4 != 0 {
+		body = append(body, 0)
+	}
+	// RTCP header: V=2, FMT=15, PT=205, length in 32-bit words - 1.
+	b = append(b, 2<<6|RTPFBTWCC, RTCPTypeRTPFB)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(body)/4))
+	return append(b, body...)
+}
+
+// UnmarshalTWCC parses a TWCC feedback message from a full RTCP packet.
+func UnmarshalTWCC(b []byte) (*TWCCFeedback, error) {
+	if len(b) < 4 {
+		return nil, ErrTruncated
+	}
+	if b[0]>>6 != 2 {
+		return nil, ErrBadVersion
+	}
+	if b[0]&0x1f != RTPFBTWCC || b[1] != RTCPTypeRTPFB {
+		return nil, fmt.Errorf("packet: not a TWCC feedback (fmt=%d pt=%d)", b[0]&0x1f, b[1])
+	}
+	length := (int(binary.BigEndian.Uint16(b[2:])) + 1) * 4
+	if len(b) < length || length < 20 {
+		return nil, ErrTruncated
+	}
+	body := b[4:length]
+	fb := &TWCCFeedback{
+		SenderSSRC: binary.BigEndian.Uint32(body[0:]),
+		MediaSSRC:  binary.BigEndian.Uint32(body[4:]),
+		BaseSeq:    binary.BigEndian.Uint16(body[8:]),
+	}
+	statusCount := int(binary.BigEndian.Uint16(body[10:]))
+	ref24 := uint32(body[12])<<16 | uint32(body[13])<<8 | uint32(body[14])
+	fb.RefTime = time.Duration(ref24) * twccRefUnit
+	fb.FBCount = body[15]
+
+	// Parse chunks until statusCount symbols are collected.
+	syms := make([]byte, 0, statusCount)
+	off := 16
+	for len(syms) < statusCount {
+		if off+2 > len(body) {
+			return nil, ErrTruncated
+		}
+		chunk := binary.BigEndian.Uint16(body[off:])
+		off += 2
+		if chunk>>15 == 0 { // run length
+			sym := byte(chunk >> 13 & 0x3)
+			run := int(chunk & 0x1fff)
+			for i := 0; i < run && len(syms) < statusCount; i++ {
+				syms = append(syms, sym)
+			}
+		} else if chunk>>14&1 == 0 { // 1-bit vector, 14 symbols
+			for i := 0; i < 14 && len(syms) < statusCount; i++ {
+				syms = append(syms, byte(chunk>>(13-i)&1))
+			}
+		} else { // 2-bit vector, 7 symbols
+			for i := 0; i < 7 && len(syms) < statusCount; i++ {
+				syms = append(syms, byte(chunk>>(12-2*i)&0x3))
+			}
+		}
+	}
+
+	// Parse deltas.
+	fb.Packets = make([]TWCCStatus, statusCount)
+	for i, sym := range syms {
+		switch sym {
+		case symNotReceived:
+		case symSmallDelta:
+			if off+1 > len(body) {
+				return nil, ErrTruncated
+			}
+			fb.Packets[i] = TWCCStatus{Received: true, Delta: time.Duration(body[off]) * twccDeltaUnit}
+			off++
+		case symLargeDelta:
+			if off+2 > len(body) {
+				return nil, ErrTruncated
+			}
+			units := int16(binary.BigEndian.Uint16(body[off:]))
+			fb.Packets[i] = TWCCStatus{Received: true, Delta: time.Duration(units) * twccDeltaUnit}
+			off += 2
+		default:
+			return nil, fmt.Errorf("packet: reserved TWCC status symbol")
+		}
+	}
+	return fb, nil
+}
+
+// NACK is a generic negative acknowledgement (RFC 4585): each lost sequence
+// number is reported via PID + bitmask pairs.
+type NACK struct {
+	SenderSSRC uint32
+	MediaSSRC  uint32
+	Lost       []uint16
+}
+
+// Marshal appends the RTCP wire form of the NACK to b.
+func (n *NACK) Marshal(b []byte) []byte {
+	// Group lost seqs into (PID, BLP) pairs.
+	type pair struct {
+		pid uint16
+		blp uint16
+	}
+	var pairs []pair
+	for _, seq := range n.Lost {
+		placed := false
+		for i := range pairs {
+			d := seq - pairs[i].pid
+			if d >= 1 && d <= 16 {
+				pairs[i].blp |= 1 << (d - 1)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			pairs = append(pairs, pair{pid: seq})
+		}
+	}
+	length := 2 + len(pairs) // total 32-bit words minus one (RFC 3550 length)
+	b = append(b, 2<<6|RTPFBNack, RTCPTypeRTPFB)
+	b = binary.BigEndian.AppendUint16(b, uint16(length))
+	b = binary.BigEndian.AppendUint32(b, n.SenderSSRC)
+	b = binary.BigEndian.AppendUint32(b, n.MediaSSRC)
+	for _, p := range pairs {
+		b = binary.BigEndian.AppendUint16(b, p.pid)
+		b = binary.BigEndian.AppendUint16(b, p.blp)
+	}
+	return b
+}
+
+// UnmarshalNACK parses a generic NACK from a full RTCP packet.
+func UnmarshalNACK(b []byte) (*NACK, error) {
+	if len(b) < 12 {
+		return nil, ErrTruncated
+	}
+	if b[0]>>6 != 2 || b[0]&0x1f != RTPFBNack || b[1] != RTCPTypeRTPFB {
+		return nil, fmt.Errorf("packet: not a NACK")
+	}
+	length := (int(binary.BigEndian.Uint16(b[2:])) + 1) * 4
+	if len(b) < length {
+		return nil, ErrTruncated
+	}
+	n := &NACK{
+		SenderSSRC: binary.BigEndian.Uint32(b[4:]),
+		MediaSSRC:  binary.BigEndian.Uint32(b[8:]),
+	}
+	for off := 12; off+4 <= length; off += 4 {
+		pid := binary.BigEndian.Uint16(b[off:])
+		blp := binary.BigEndian.Uint16(b[off+2:])
+		n.Lost = append(n.Lost, pid)
+		for i := 0; i < 16; i++ {
+			if blp>>i&1 != 0 {
+				n.Lost = append(n.Lost, pid+uint16(i)+1)
+			}
+		}
+	}
+	return n, nil
+}
+
+// RTCPKind classifies the first RTCP packet in buf, returning its packet
+// type, FMT field and total length (for compound packet walking).
+func RTCPKind(b []byte) (pt, fmtField uint8, length int, err error) {
+	if len(b) < 4 {
+		return 0, 0, 0, ErrTruncated
+	}
+	if b[0]>>6 != 2 {
+		return 0, 0, 0, ErrBadVersion
+	}
+	length = (int(binary.BigEndian.Uint16(b[2:])) + 1) * 4
+	if length > len(b) {
+		return 0, 0, 0, ErrTruncated
+	}
+	return b[1], b[0] & 0x1f, length, nil
+}

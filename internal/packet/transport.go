@@ -1,0 +1,115 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UDPHeader is an 8-byte UDP header.
+type UDPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+	Length  uint16 // header + payload
+}
+
+// UDPHeaderLen is the UDP header length.
+const UDPHeaderLen = 8
+
+// Marshal appends the wire form of h plus payload to b. The checksum is
+// computed with the pseudo-header of (srcIP, dstIP).
+func (h *UDPHeader) Marshal(b []byte, srcIP, dstIP uint32, payload []byte) []byte {
+	off := len(b)
+	length := uint16(UDPHeaderLen + len(payload))
+	b = append(b, make([]byte, UDPHeaderLen)...)
+	b = append(b, payload...)
+	hdr := b[off:]
+	binary.BigEndian.PutUint16(hdr[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:], h.DstPort)
+	binary.BigEndian.PutUint16(hdr[4:], length)
+	sum := Checksum(hdr[:length], PseudoHeaderSum(srcIP, dstIP, ProtoUDP, length))
+	if sum == 0 {
+		sum = 0xffff
+	}
+	binary.BigEndian.PutUint16(hdr[6:], sum)
+	return b
+}
+
+// Unmarshal parses a UDP header from b and returns its payload.
+func (h *UDPHeader) Unmarshal(b []byte) (payload []byte, err error) {
+	if len(b) < UDPHeaderLen {
+		return nil, ErrTruncated
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:])
+	h.DstPort = binary.BigEndian.Uint16(b[2:])
+	h.Length = binary.BigEndian.Uint16(b[4:])
+	if int(h.Length) < UDPHeaderLen || int(h.Length) > len(b) {
+		return nil, fmt.Errorf("packet: bad UDP length %d", h.Length)
+	}
+	return b[UDPHeaderLen:h.Length], nil
+}
+
+// TCP header flags.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+)
+
+// TCPHeader is a TCP header; Options holds raw option bytes (padded to a
+// 4-byte multiple on marshal).
+type TCPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	Options []byte
+}
+
+// TCPHeaderLen is the length of a TCP header without options.
+const TCPHeaderLen = 20
+
+// Marshal appends the wire form of h plus payload to b, computing the
+// checksum with the (srcIP, dstIP) pseudo-header.
+func (h *TCPHeader) Marshal(b []byte, srcIP, dstIP uint32, payload []byte) []byte {
+	optLen := (len(h.Options) + 3) &^ 3
+	hdrLen := TCPHeaderLen + optLen
+	off := len(b)
+	b = append(b, make([]byte, hdrLen)...)
+	b = append(b, payload...)
+	seg := b[off:]
+	binary.BigEndian.PutUint16(seg[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(seg[2:], h.DstPort)
+	binary.BigEndian.PutUint32(seg[4:], h.Seq)
+	binary.BigEndian.PutUint32(seg[8:], h.Ack)
+	seg[12] = uint8(hdrLen/4) << 4
+	seg[13] = h.Flags
+	binary.BigEndian.PutUint16(seg[14:], h.Window)
+	copy(seg[TCPHeaderLen:], h.Options)
+	total := uint16(hdrLen + len(payload))
+	sum := Checksum(seg[:total], PseudoHeaderSum(srcIP, dstIP, ProtoTCP, total))
+	binary.BigEndian.PutUint16(seg[16:], sum)
+	return b
+}
+
+// Unmarshal parses a TCP header from b and returns its payload.
+func (h *TCPHeader) Unmarshal(b []byte) (payload []byte, err error) {
+	if len(b) < TCPHeaderLen {
+		return nil, ErrTruncated
+	}
+	hdrLen := int(b[12]>>4) * 4
+	if hdrLen < TCPHeaderLen || hdrLen > len(b) {
+		return nil, fmt.Errorf("packet: bad TCP data offset %d", hdrLen)
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:])
+	h.DstPort = binary.BigEndian.Uint16(b[2:])
+	h.Seq = binary.BigEndian.Uint32(b[4:])
+	h.Ack = binary.BigEndian.Uint32(b[8:])
+	h.Flags = b[13]
+	h.Window = binary.BigEndian.Uint16(b[14:])
+	h.Options = append([]byte(nil), b[TCPHeaderLen:hdrLen]...)
+	return b[hdrLen:], nil
+}

@@ -1,0 +1,163 @@
+package queue
+
+import (
+	"math"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// CoDel parameters (RFC 8289 defaults).
+const (
+	CoDelTarget   = 5 * time.Millisecond
+	CoDelInterval = 100 * time.Millisecond
+	mtu           = 1514
+)
+
+// codelState holds the RFC 8289 control-law state for one queue.
+type codelState struct {
+	firstAboveTime sim.Time
+	dropNext       sim.Time
+	count          int
+	lastCount      int
+	dropping       bool
+	target         time.Duration
+	interval       time.Duration
+}
+
+func newCodelState() codelState {
+	return codelState{target: CoDelTarget, interval: CoDelInterval}
+}
+
+func (c *codelState) controlLaw(t sim.Time) sim.Time {
+	return t + time.Duration(float64(c.interval)/math.Sqrt(float64(c.count)))
+}
+
+// shouldDrop implements the dodequeue() test of RFC 8289: given the packet
+// at the front (its sojourn time) and the remaining backlog, decide whether
+// the standing queue is above target.
+func (c *codelState) aboveTarget(now sim.Time, sojourn time.Duration, backlogBytes int) bool {
+	if sojourn < c.target || backlogBytes <= mtu {
+		c.firstAboveTime = 0
+		return false
+	}
+	if c.firstAboveTime == 0 {
+		c.firstAboveTime = now + c.interval
+		return false
+	}
+	return now >= c.firstAboveTime
+}
+
+// dequeue pulls from core, applying CoDel drop-from-front. Returns the
+// packet to transmit (nil if the queue drained) and the number of drops.
+func (c *codelState) dequeue(now sim.Time, core *fifoCore) (*netem.Packet, int) {
+	drops := 0
+	p := core.pop(now)
+	if p == nil {
+		c.dropping = false
+		return nil, 0
+	}
+	okToDrop := c.aboveTarget(now, now-p.EnqueuedAt, core.size())
+
+	if c.dropping {
+		if !okToDrop {
+			c.dropping = false
+		} else {
+			for now >= c.dropNext && c.dropping {
+				drops++ // drop p
+				c.count++
+				p = core.pop(now)
+				if p == nil {
+					c.dropping = false
+					return nil, drops
+				}
+				if !c.aboveTarget(now, now-p.EnqueuedAt, core.size()) {
+					c.dropping = false
+				} else {
+					c.dropNext = c.controlLaw(c.dropNext)
+				}
+			}
+		}
+	} else if okToDrop {
+		drops++ // drop p
+		p = core.pop(now)
+		c.dropping = true
+		// If we've been dropping recently, resume at a higher rate.
+		if now-c.dropNext < c.interval {
+			if c.lastCount > 2 {
+				c.count = c.lastCount - 2
+			} else {
+				c.count = 1
+			}
+		} else {
+			c.count = 1
+		}
+		c.lastCount = c.count
+		c.dropNext = c.controlLaw(now)
+		if p == nil {
+			c.dropping = false
+		}
+	}
+	if c.dropping {
+		c.lastCount = c.count
+	}
+	return p, drops
+}
+
+// CoDel is a single-queue CoDel discipline (RFC 8289) with tail-drop
+// overflow protection. It drops from the front of the queue, which the
+// paper notes delivers the congestion signal faster than tail drop (§7.2).
+type CoDel struct {
+	core  fifoCore
+	state codelState
+	limit int
+	drops int
+}
+
+// NewCoDel returns a CoDel qdisc bounded at limitBytes (DefaultFIFOLimit
+// when limitBytes <= 0).
+func NewCoDel(limitBytes int) *CoDel {
+	if limitBytes <= 0 {
+		limitBytes = DefaultFIFOLimit
+	}
+	return &CoDel{state: newCodelState(), limit: limitBytes}
+}
+
+// Enqueue implements Qdisc.
+func (q *CoDel) Enqueue(now sim.Time, p *netem.Packet) bool {
+	if q.core.bytes+p.Size > q.limit {
+		q.drops++
+		return false
+	}
+	p.EnqueuedAt = now
+	q.core.push(now, p)
+	return true
+}
+
+// Dequeue implements Qdisc, applying the CoDel control law.
+func (q *CoDel) Dequeue(now sim.Time) *netem.Packet {
+	p, drops := q.state.dequeue(now, &q.core)
+	q.drops += drops
+	return p
+}
+
+// Len implements Qdisc.
+func (q *CoDel) Len() int { return q.core.len() }
+
+// Bytes implements Qdisc.
+func (q *CoDel) Bytes() int { return q.core.size() }
+
+// FlowBytes implements Qdisc; CoDel shares one queue across flows.
+func (q *CoDel) FlowBytes(netem.FlowKey) int { return q.core.size() }
+
+// FrontSince implements Qdisc.
+func (q *CoDel) FrontSince(netem.FlowKey) (sim.Time, bool) {
+	if q.core.empty() {
+		return 0, false
+	}
+	return q.core.frontSince, true
+}
+
+// Drops implements Qdisc.
+func (q *CoDel) Drops() int { return q.drops }

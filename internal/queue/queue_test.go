@@ -1,0 +1,265 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+func pkt(flow uint16, size int, seq uint64) *netem.Packet {
+	return &netem.Packet{
+		Flow: netem.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: flow, DstPort: 80, Proto: 6},
+		Size: size,
+		Seq:  seq,
+	}
+}
+
+func TestFIFOOrderAndAccounting(t *testing.T) {
+	q := NewFIFO(10000)
+	for i := 0; i < 5; i++ {
+		if !q.Enqueue(sim.Time(i), pkt(1, 1000, uint64(i))) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	if q.Len() != 5 || q.Bytes() != 5000 {
+		t.Fatalf("len=%d bytes=%d, want 5/5000", q.Len(), q.Bytes())
+	}
+	for i := 0; i < 5; i++ {
+		p := q.Dequeue(sim.Time(100 + i))
+		if p == nil || p.Seq != uint64(i) {
+			t.Fatalf("dequeue %d: got %v", i, p)
+		}
+	}
+	if q.Dequeue(0) != nil {
+		t.Error("empty dequeue should be nil")
+	}
+	if q.Len() != 0 || q.Bytes() != 0 {
+		t.Errorf("drained queue len=%d bytes=%d", q.Len(), q.Bytes())
+	}
+}
+
+func TestFIFOTailDrop(t *testing.T) {
+	q := NewFIFO(2500)
+	ok1 := q.Enqueue(0, pkt(1, 1000, 1))
+	ok2 := q.Enqueue(0, pkt(1, 1000, 2))
+	ok3 := q.Enqueue(0, pkt(1, 1000, 3))
+	if !ok1 || !ok2 || ok3 {
+		t.Errorf("enqueues = %v,%v,%v want true,true,false", ok1, ok2, ok3)
+	}
+	if q.Drops() != 1 {
+		t.Errorf("drops = %d, want 1", q.Drops())
+	}
+}
+
+func TestFIFOFrontSince(t *testing.T) {
+	q := NewFIFO(0)
+	if _, ok := q.FrontSince(netem.FlowKey{}); ok {
+		t.Error("empty queue should report no front")
+	}
+	q.Enqueue(10, pkt(1, 100, 1))
+	q.Enqueue(20, pkt(1, 100, 2))
+	if at, ok := q.FrontSince(netem.FlowKey{}); !ok || at != 10 {
+		t.Errorf("front since %v,%v want 10,true", at, ok)
+	}
+	q.Dequeue(50)
+	// Packet 2 became front at dequeue time.
+	if at, ok := q.FrontSince(netem.FlowKey{}); !ok || at != 50 {
+		t.Errorf("front since after dequeue %v,%v want 50,true", at, ok)
+	}
+}
+
+func TestCoDelPassesBelowTarget(t *testing.T) {
+	q := NewCoDel(0)
+	// Sojourn times below target: no drops ever.
+	now := sim.Time(0)
+	for i := 0; i < 1000; i++ {
+		q.Enqueue(now, pkt(1, 1000, uint64(i)))
+		now += time.Millisecond
+		if q.Dequeue(now) == nil {
+			t.Fatal("unexpected empty queue")
+		}
+	}
+	if q.Drops() != 0 {
+		t.Errorf("drops = %d, want 0 below target", q.Drops())
+	}
+}
+
+func TestCoDelDropsPersistentQueue(t *testing.T) {
+	q := NewCoDel(0)
+	// Build a standing queue: enqueue much faster than dequeue for >interval.
+	now := sim.Time(0)
+	seq := uint64(0)
+	delivered := 0
+	for step := 0; step < 3000; step++ {
+		// 2 packets in, 1 out each ms: queue grows, sojourn inflates.
+		q.Enqueue(now, pkt(1, 1000, seq))
+		seq++
+		q.Enqueue(now, pkt(1, 1000, seq))
+		seq++
+		if p := q.Dequeue(now); p != nil {
+			delivered++
+		}
+		now += time.Millisecond
+	}
+	if q.Drops() == 0 {
+		t.Error("CoDel should drop under a persistent standing queue")
+	}
+	if delivered == 0 {
+		t.Error("CoDel should still deliver packets")
+	}
+}
+
+func TestCoDelRecoversAfterDrain(t *testing.T) {
+	q := NewCoDel(0)
+	now := sim.Time(0)
+	var seq uint64
+	// Phase 1: standing queue to trigger dropping state.
+	for step := 0; step < 1000; step++ {
+		q.Enqueue(now, pkt(1, 1000, seq))
+		seq++
+		q.Enqueue(now, pkt(1, 1000, seq))
+		seq++
+		q.Dequeue(now)
+		now += time.Millisecond
+	}
+	// Phase 2: drain.
+	for q.Dequeue(now) != nil {
+		now += 100 * time.Microsecond
+	}
+	dropsAfterDrain := q.Drops()
+	// Phase 3: light load again; no more drops.
+	for step := 0; step < 500; step++ {
+		q.Enqueue(now, pkt(1, 1000, seq))
+		seq++
+		now += time.Millisecond
+		q.Dequeue(now)
+	}
+	if q.Drops() != dropsAfterDrain {
+		t.Errorf("CoDel dropped %d packets under light load", q.Drops()-dropsAfterDrain)
+	}
+}
+
+func TestFQCoDelIsolatesFlows(t *testing.T) {
+	q := NewFQCoDel(64, 0)
+	// Flow 1 hogs, flow 2 sends a little.
+	for i := 0; i < 100; i++ {
+		q.Enqueue(0, pkt(1, 1000, uint64(i)))
+	}
+	for i := 0; i < 2; i++ {
+		q.Enqueue(0, pkt(2, 1000, uint64(1000+i)))
+	}
+	// DRR should interleave: flow 2's packets should not wait for all of
+	// flow 1's backlog. Collect the positions of flow-2 packets.
+	pos := []int{}
+	for i := 0; i < 102; i++ {
+		p := q.Dequeue(sim.Time(i))
+		if p == nil {
+			t.Fatalf("dequeue %d empty (drops=%d)", i, q.Drops())
+		}
+		if p.Seq >= 1000 {
+			pos = append(pos, i)
+		}
+	}
+	if len(pos) != 2 {
+		t.Fatalf("flow 2 packets delivered: %d, want 2", len(pos))
+	}
+	if pos[1] > 10 {
+		t.Errorf("flow 2 packets served at positions %v; DRR should serve them early", pos)
+	}
+}
+
+func TestFQCoDelPerFlowStats(t *testing.T) {
+	q := NewFQCoDel(64, 0)
+	f1 := netem.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 1, DstPort: 80, Proto: 6}
+	f2 := netem.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 2, DstPort: 80, Proto: 6}
+	q.Enqueue(5, &netem.Packet{Flow: f1, Size: 1000})
+	q.Enqueue(7, &netem.Packet{Flow: f1, Size: 1000})
+	q.Enqueue(9, &netem.Packet{Flow: f2, Size: 500})
+	if got := q.FlowBytes(f1); got != 2000 {
+		t.Errorf("flow1 bytes %d, want 2000", got)
+	}
+	if got := q.FlowBytes(f2); got != 500 {
+		t.Errorf("flow2 bytes %d, want 500", got)
+	}
+	if at, ok := q.FrontSince(f2); !ok || at != 9 {
+		t.Errorf("flow2 front since %v,%v want 9,true", at, ok)
+	}
+	if q.Bytes() != 2500 || q.Len() != 3 {
+		t.Errorf("totals bytes=%d len=%d, want 2500/3", q.Bytes(), q.Len())
+	}
+}
+
+func TestFQCoDelAccountingInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := NewFQCoDel(8, 50000)
+		now := sim.Time(0)
+		var seq uint64
+		for _, op := range ops {
+			now += time.Duration(op%7) * time.Millisecond
+			if op%3 != 0 {
+				q.Enqueue(now, pkt(uint16(op%5), 200+int(op)*4, seq))
+				seq++
+			} else {
+				q.Dequeue(now)
+			}
+			// Invariant: counters match the actual bucket contents.
+			totalBytes, totalPkts := 0, 0
+			for i := range q.buckets {
+				totalBytes += q.buckets[i].core.size()
+				totalPkts += q.buckets[i].core.len()
+			}
+			if totalBytes != q.Bytes() || totalPkts != q.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQdiscConformance(t *testing.T) {
+	// All disciplines deliver every accepted packet exactly once under
+	// light load, in per-flow FIFO order.
+	disciplines := map[string]func() Qdisc{
+		"fifo":    func() Qdisc { return NewFIFO(0) },
+		"codel":   func() Qdisc { return NewCoDel(0) },
+		"fqcodel": func() Qdisc { return NewFQCoDel(64, 0) },
+	}
+	for name, mk := range disciplines {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			now := sim.Time(0)
+			lastSeq := map[uint16]uint64{}
+			accepted := 0
+			delivered := 0
+			for i := 0; i < 200; i++ {
+				flow := uint16(i % 3)
+				if q.Enqueue(now, pkt(flow, 1000, uint64(i))) {
+					accepted++
+				}
+				now += time.Millisecond
+				if p := q.Dequeue(now); p != nil {
+					delivered++
+					if last, ok := lastSeq[p.Flow.SrcPort]; ok && p.Seq <= last {
+						t.Fatalf("flow %d out of order: %d after %d", p.Flow.SrcPort, p.Seq, last)
+					}
+					lastSeq[p.Flow.SrcPort] = p.Seq
+				}
+			}
+			for q.Len() > 0 {
+				if p := q.Dequeue(now); p != nil {
+					delivered++
+				}
+				now += time.Millisecond
+			}
+			if delivered != accepted {
+				t.Errorf("delivered %d of %d accepted packets", delivered, accepted)
+			}
+		})
+	}
+}

@@ -1,0 +1,365 @@
+package scenario
+
+import (
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/cca"
+	"github.com/zhuge-project/zhuge/internal/core"
+	"github.com/zhuge-project/zhuge/internal/metrics"
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/sim"
+	"github.com/zhuge-project/zhuge/internal/transport/rtp"
+	"github.com/zhuge-project/zhuge/internal/transport/tcpsim"
+	"github.com/zhuge-project/zhuge/internal/video"
+)
+
+// FlowMetrics aggregates the paper's per-flow measurements.
+type FlowMetrics struct {
+	// RTT is the per-data-packet network RTT: the measured one-way
+	// downlink delay plus the stable return path. Identical definition
+	// for every solution, so Zhuge's deliberate ACK delays cannot skew
+	// the comparison.
+	RTT *metrics.Histogram
+	// RTTSeries records (time, RTT ms) for degradation-duration analysis.
+	RTTSeries metrics.Series
+	// RateSeries records (time, target rate bps) of the sender's CCA.
+	RateSeries metrics.Series
+	// GoodputSeries records (time, delivered application bits) samples.
+	DeliveredBytes float64
+}
+
+func newFlowMetrics() *FlowMetrics {
+	return &FlowMetrics{RTT: metrics.NewHistogram()}
+}
+
+// TailRatios summarises the headline tail metrics of Figures 11/12.
+func (m *FlowMetrics) TailRatios() (rttOver200 float64) {
+	return m.RTT.FractionAbove(200 * time.Millisecond)
+}
+
+// RTPFlowConfig parameterises an RTP video flow.
+type RTPFlowConfig struct {
+	CCA       string  // rate controller: "gcc" (default) or "nada"
+	FPS       int     // default 25
+	StartRate float64 // default 1 Mbps
+	MinRate   float64 // default 150 kbps
+	MaxRate   float64 // default 6 Mbps (paper: ~2 Mbps average video)
+	StartAt   time.Duration
+	// Unoptimized leaves this flow outside Zhuge even when the path runs
+	// SolutionZhuge (the external-fairness experiment, Figure 20 bar b).
+	Unoptimized bool
+}
+
+func (c RTPFlowConfig) withDefaults() RTPFlowConfig {
+	if c.FPS == 0 {
+		c.FPS = 25
+	}
+	if c.StartRate == 0 {
+		c.StartRate = 1e6
+	}
+	if c.MinRate == 0 {
+		c.MinRate = 150e3
+	}
+	if c.MaxRate == 0 {
+		c.MaxRate = 6e6
+	}
+	return c
+}
+
+// RTPFlow is a WebRTC-style video call over RTP/RTCP with GCC.
+type RTPFlow struct {
+	Flow    netem.FlowKey
+	Sender  *rtp.Sender
+	Encoder *video.Encoder
+	Decoder *video.Decoder
+	Metrics *FlowMetrics
+}
+
+// AddRTPFlow attaches an RTP/GCC video flow to the path. With
+// SolutionZhuge the flow is optimised in in-band mode.
+func (p *Path) AddRTPFlow(cfg RTPFlowConfig) *RTPFlow {
+	cfg = cfg.withDefaults()
+	flow := p.NewFlowKey()
+	m := newFlowMetrics()
+
+	var rc cca.Rate
+	if cfg.CCA == "nada" {
+		rc = cca.NewNADA(cfg.StartRate, cfg.MinRate, cfg.MaxRate)
+	} else {
+		rc = cca.NewGCC(cfg.StartRate, cfg.MinRate, cfg.MaxRate)
+	}
+	snd := rtp.NewSender(p.S, flow, uint32(flow.SrcPort), rc, p.ServerOut())
+	dec := video.NewDecoder()
+	rcv := rtp.NewReceiver(p.S, flow.Reverse(), uint32(flow.SrcPort), dec, p.ClientOut())
+	p.RegisterClient(flow, rcv)
+	p.RegisterServer(flow, snd)
+
+	enc := video.NewEncoder(p.S, video.EncoderConfig{FPS: cfg.FPS, StartBitrate: cfg.StartRate},
+		p.S.NewRand("enc"+flow.String()))
+	enc.OnFrame = snd.SendFrame
+	snd.Encoder = enc
+	snd.OnRate = func(now sim.Time, bps float64) { m.RateSeries.Add(now, bps) }
+
+	if p.Opts.Solution == SolutionZhuge && !cfg.Unoptimized {
+		p.AP.Optimize(flow, core.ModeInBand)
+	}
+
+	p.AddDeliveryTap(func(pkt *netem.Packet) {
+		if pkt.Flow != flow || pkt.Kind != netem.KindData {
+			return
+		}
+		now := p.S.Now()
+		rtt := now - pkt.SentAt + p.ReturnBase()
+		m.RTT.Add(rtt)
+		m.RTTSeries.Add(now, float64(rtt.Milliseconds()))
+		m.DeliveredBytes += float64(pkt.Size)
+	})
+
+	p.S.At(cfg.StartAt, func() {
+		enc.Start()
+		rcv.Start()
+	})
+	return &RTPFlow{Flow: flow, Sender: snd, Encoder: enc, Decoder: dec, Metrics: m}
+}
+
+// TCPFlowConfig parameterises a video stream over TCP.
+type TCPFlowConfig struct {
+	CCA       string // "copa" (default), "cubic", "bbr", "abc"
+	FPS       int
+	StartRate float64
+	MinRate   float64
+	MaxRate   float64
+	StartAt   time.Duration
+	// Unoptimized leaves this flow outside Zhuge/FastAck even when the
+	// path runs them (the external-fairness experiment, Figure 20 bar b).
+	Unoptimized bool
+}
+
+func (c TCPFlowConfig) withDefaults() TCPFlowConfig {
+	if c.CCA == "" {
+		c.CCA = "copa"
+	}
+	if c.FPS == 0 {
+		c.FPS = 25
+	}
+	if c.StartRate == 0 {
+		c.StartRate = 1e6
+	}
+	if c.MinRate == 0 {
+		c.MinRate = 150e3
+	}
+	if c.MaxRate == 0 {
+		c.MaxRate = 6e6
+	}
+	return c
+}
+
+// TCPVideoFlow is an RTC stream over TCP (the cloud-gaming/low-latency
+// streaming style of Table 2): encoder frames are written into a TCP byte
+// stream; the application adapts the encoder bitrate to the delivery rate
+// and drops frames when the transport backlog exceeds one second of video.
+type TCPVideoFlow struct {
+	Flow    netem.FlowKey
+	Sender  *tcpsim.Sender
+	Metrics *FlowMetrics
+
+	// frame accounting
+	FramesSent       int
+	FramesDropped    int
+	FrameDelay       *metrics.Histogram
+	FrameDelaySeries metrics.Series // (delivery time, delay ms)
+	completions      []time.Duration
+
+	frames []tcpFrame
+}
+
+type tcpFrame struct {
+	end      uint64 // stream offset one past the frame's last byte
+	captured sim.Time
+}
+
+// FrameRateSeries returns the per-second delivered frame rate.
+func (f *TCPVideoFlow) FrameRateSeries(total time.Duration) *metrics.Series {
+	counts := metrics.PerSecondCounts(f.completions, total)
+	s := &metrics.Series{}
+	for i, c := range counts {
+		s.Add(time.Duration(i)*time.Second, float64(c))
+	}
+	return s
+}
+
+// newTCPController builds the controller named in the config.
+func newTCPController(name string) cca.TCP {
+	switch name {
+	case "cubic":
+		return cca.NewCubic()
+	case "bbr":
+		return cca.NewBBR()
+	case "abc":
+		return cca.NewABCSender()
+	default:
+		return cca.NewCopa()
+	}
+}
+
+// AddTCPVideoFlow attaches a TCP video stream. With SolutionZhuge the flow
+// is optimised in out-of-band mode; with SolutionFastAck its ACKs are
+// counterfeited by the AP.
+func (p *Path) AddTCPVideoFlow(cfg TCPFlowConfig) *TCPVideoFlow {
+	cfg = cfg.withDefaults()
+	flow := p.NewFlowKey()
+	flow.Proto = 6
+	m := newFlowMetrics()
+	f := &TCPVideoFlow{
+		Flow:       flow,
+		Metrics:    m,
+		FrameDelay: metrics.NewHistogram(),
+	}
+
+	cc := newTCPController(cfg.CCA)
+	snd := tcpsim.NewSender(p.S, flow, cc, p.ServerOut())
+	rcv := tcpsim.NewReceiver(p.S, flow.Reverse(), p.ClientOut())
+	p.RegisterClient(flow, rcv)
+	p.RegisterServer(flow, snd)
+	f.Sender = snd
+
+	if !cfg.Unoptimized {
+		switch p.Opts.Solution {
+		case SolutionZhuge:
+			p.AP.Optimize(flow, core.ModeOutOfBand)
+		case SolutionFastAck:
+			p.FastAck.Optimize(flow)
+		}
+	}
+
+	// Frame completion at the client: in-order delivery reaching a frame
+	// boundary decodes the frame.
+	rcv.OnDeliver = func(now sim.Time, upTo uint64) {
+		for len(f.frames) > 0 && f.frames[0].end <= upTo {
+			fr := f.frames[0]
+			f.frames = f.frames[1:]
+			f.FrameDelay.Add(now - fr.captured)
+			f.FrameDelaySeries.Add(now, float64((now - fr.captured).Milliseconds()))
+			f.completions = append(f.completions, now)
+		}
+	}
+	enc := video.NewEncoder(p.S, video.EncoderConfig{FPS: cfg.FPS, StartBitrate: cfg.StartRate},
+		p.S.NewRand("enc"+flow.String()))
+	var streamEnd uint64
+	var lastAcked uint64
+	var lastRateUpdate sim.Time
+	enc.OnFrame = func(fr video.Frame) {
+		// The adaptation loop of TCP-based RTC services: probe the
+		// bitrate up while the transport keeps pace (un-acked backlog
+		// under ~100ms of video), follow 0.85x the measured delivery
+		// rate when it falls behind. Because the congestion window only
+		// grows while it is actually used (RFC 7661 in internal/cca),
+		// the delivery rate — and hence the encoder — is governed by the
+		// CCA the moment the path degrades; that is the control loop
+		// Zhuge shortens. Frames are dropped outright when the backlog
+		// exceeds ~1s of video.
+		now := p.S.Now()
+		acked := snd.Acked()
+		backlog := streamEnd - acked
+		if now > lastRateUpdate+500*time.Millisecond && now > time.Second {
+			elapsed := (now - lastRateUpdate).Seconds()
+			ackRate := float64(acked-lastAcked) * 8 / elapsed
+			var target float64
+			if float64(backlog) < 0.1*enc.Target()/8 {
+				target = enc.Target() * 1.08
+			} else {
+				target = 0.85 * ackRate
+			}
+			if target < cfg.MinRate {
+				target = cfg.MinRate
+			}
+			if target > cfg.MaxRate {
+				target = cfg.MaxRate
+			}
+			enc.SetTargetBitrate(target)
+			m.RateSeries.Add(now, target)
+			lastAcked = acked
+			lastRateUpdate = now
+		}
+		if float64(backlog) > enc.Target()/8 {
+			f.FramesDropped++
+			return
+		}
+		f.FramesSent++
+		streamEnd += uint64(fr.Size)
+		f.frames = append(f.frames, tcpFrame{end: streamEnd, captured: fr.CapturedAt})
+		snd.Write(fr.Size)
+	}
+
+	p.AddDeliveryTap(func(pkt *netem.Packet) {
+		if pkt.Flow != flow || pkt.Kind != netem.KindData {
+			return
+		}
+		now := p.S.Now()
+		rtt := now - pkt.SentAt + p.ReturnBase()
+		m.RTT.Add(rtt)
+		m.RTTSeries.Add(now, float64(rtt.Milliseconds()))
+		m.DeliveredBytes += float64(pkt.Size)
+	})
+
+	p.S.At(cfg.StartAt, enc.Start)
+	return f
+}
+
+// BulkFlow is a CUBIC bulk transfer used as competitor (Figure 16) and as
+// the scp workload of Figure 18.
+type BulkFlow struct {
+	Flow   netem.FlowKey
+	Sender *tcpsim.Sender
+}
+
+// AddBulkFlow attaches a CUBIC bulk download sharing the primary station's
+// queue (a competitor on the same device, e.g. the scp scenario). If
+// period > 0 the transfer alternates period on / period off (scp style);
+// otherwise it runs continuously from startAt.
+func (p *Path) AddBulkFlow(startAt, period time.Duration) *BulkFlow {
+	return p.addBulk(startAt, period, false)
+}
+
+// AddStationBulkFlow attaches a CUBIC bulk download to its own wireless
+// station: it competes with the RTC flow for channel airtime but fills its
+// own per-station queue, the way a different client on the same AP behaves
+// (the Figure 16 competition model).
+func (p *Path) AddStationBulkFlow(startAt, period time.Duration) *BulkFlow {
+	return p.addBulk(startAt, period, true)
+}
+
+func (p *Path) addBulk(startAt, period time.Duration, ownStation bool) *BulkFlow {
+	flow := p.NewFlowKey()
+	flow.Proto = 6
+	if ownStation {
+		// Each station-bulk flow is its own client: it fills its own
+		// per-station queue and costs the primary station airtime.
+		p.RouteToStation(flow, p.AddStation())
+	}
+	snd := tcpsim.NewSender(p.S, flow, cca.NewCubic(), p.ServerOut())
+	rcv := tcpsim.NewReceiver(p.S, flow.Reverse(), p.ClientOut())
+	p.RegisterClient(flow, rcv)
+	p.RegisterServer(flow, snd)
+
+	// Keep the pipe full by topping up the app buffer periodically while
+	// "on".
+	on := true
+	if period > 0 {
+		var flip func()
+		flip = func() {
+			on = !on
+			p.S.After(period, flip)
+		}
+		p.S.At(startAt+period, flip)
+	}
+	var feed func()
+	feed = func() {
+		if on && snd.Pending() < 1<<20 {
+			snd.Write(1 << 20)
+		}
+		p.S.After(100*time.Millisecond, feed)
+	}
+	p.S.At(startAt, feed)
+	return &BulkFlow{Flow: flow, Sender: snd}
+}

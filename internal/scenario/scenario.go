@@ -1,0 +1,282 @@
+// Package scenario assembles end-to-end topologies for experiments and
+// examples: server(s) — WAN — access point (optionally running Zhuge, ABC
+// or FastAck) — wireless downlink — client(s), with the uplink returning
+// over a contended wireless hop and the AP's Ethernet uplink. Flow
+// factories attach RTP/GCC video calls, TCP video streams and bulk-transfer
+// competitors, and collect the paper's metrics.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/baseline"
+	"github.com/zhuge-project/zhuge/internal/core"
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/queue"
+	"github.com/zhuge-project/zhuge/internal/sim"
+	"github.com/zhuge-project/zhuge/internal/trace"
+	"github.com/zhuge-project/zhuge/internal/wireless"
+)
+
+// Solution selects the AP-side mechanism under test.
+type Solution int
+
+// AP solutions.
+const (
+	// SolutionNone is a plain AP (the FIFO/CoDel baselines).
+	SolutionNone Solution = iota
+	// SolutionZhuge runs the Fortune Teller + Feedback Updater.
+	SolutionZhuge
+	// SolutionFastAck counterfeits TCP ACKs at 802.11 delivery.
+	SolutionFastAck
+	// SolutionABC marks accelerate/brake and requires ABC senders.
+	SolutionABC
+)
+
+func (s Solution) String() string {
+	switch s {
+	case SolutionNone:
+		return "none"
+	case SolutionZhuge:
+		return "zhuge"
+	case SolutionFastAck:
+		return "fastack"
+	case SolutionABC:
+		return "abc"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a path.
+type Options struct {
+	Seed     int64
+	Trace    *trace.Trace  // downlink available bandwidth
+	WANRTT   time.Duration // server<->AP round trip; default from trace
+	Qdisc    string        // "fifo" (default), "codel", "fqcodel"
+	QueueCap int           // bytes; default queue.DefaultFIFOLimit
+
+	Interferers int // stations contending on the channel (Figure 17)
+
+	Solution Solution
+	FTConfig core.FortuneTellerConfig // Zhuge estimator variants
+	OOB      core.OOBOptions          // Zhuge out-of-band ablation variants
+
+	// MCSScale optionally scales the downlink PHY rate over time (the
+	// "mcs" testbed scenario of Figure 18).
+	MCSScale func(at sim.Time) float64
+}
+
+// Path is an assembled topology ready for flows.
+type Path struct {
+	S    *sim.Simulator
+	Opts Options
+
+	Downlink *wireless.Link
+	Uplink   *wireless.Link
+
+	// entry points
+	downIn netem.Receiver // server-side packets toward clients
+	upIn   netem.Receiver // client-side packets toward servers
+
+	wanDown *netem.Link // server -> AP
+	wanUp   *netem.Link // AP -> server
+
+	AP      *core.AP
+	FastAck *baseline.FastAck
+	ABC     *baseline.ABCRouter
+
+	Channel *wireless.Channel
+
+	clients  map[netem.FlowKey]netem.Receiver
+	servers  map[netem.FlowKey]netem.Receiver
+	stations map[netem.FlowKey]netem.Receiver // flows routed to other STAs
+
+	stationN int
+
+	nextPort uint16
+	// deliveryTaps run when a downlink packet is delivered to its client
+	// (the 802.11 ACK instant): metrics and FastAck hook here.
+	deliveryTaps []func(p *netem.Packet)
+}
+
+// NewPath assembles the topology.
+func NewPath(o Options) *Path {
+	if o.Trace == nil {
+		panic("scenario: Options.Trace is required")
+	}
+	if o.WANRTT == 0 {
+		o.WANRTT = o.Trace.BaseRTT
+	}
+	s := sim.New(o.Seed)
+	p := &Path{
+		S:        s,
+		Opts:     o,
+		Channel:  wireless.NewChannel(),
+		clients:  make(map[netem.FlowKey]netem.Receiver),
+		servers:  make(map[netem.FlowKey]netem.Receiver),
+		stations: make(map[netem.FlowKey]netem.Receiver),
+		nextPort: 5000,
+	}
+
+	var q queue.Qdisc
+	switch o.Qdisc {
+	case "", "fifo":
+		q = queue.NewFIFO(o.QueueCap)
+	case "codel":
+		q = queue.NewCoDel(o.QueueCap)
+	case "fqcodel":
+		q = queue.NewFQCoDel(0, o.QueueCap)
+	default:
+		panic(fmt.Sprintf("scenario: unknown qdisc %q", o.Qdisc))
+	}
+
+	// Downlink wireless: trace-driven rate, delivering to the client
+	// demux through the delivery taps.
+	clientDemux := netem.ReceiverFunc(func(pkt *netem.Packet) {
+		for _, tap := range p.deliveryTaps {
+			tap(pkt)
+		}
+		if dst, ok := p.clients[pkt.Flow]; ok {
+			dst.Receive(pkt)
+		}
+	})
+	p.Downlink = wireless.NewLink(s, wireless.Config{
+		Channel:     p.Channel,
+		Rate:        func(at sim.Time) float64 { return o.Trace.RateAt(at) },
+		MCSScale:    o.MCSScale,
+		Interferers: o.Interferers,
+	}, q, clientDemux, s.NewRand("downlink"))
+
+	// Server demux sits behind the AP's Ethernet uplink.
+	serverDemux := netem.ReceiverFunc(func(pkt *netem.Packet) {
+		if dst, ok := p.servers[pkt.Flow.Reverse()]; ok {
+			dst.Receive(pkt)
+		}
+	})
+	p.wanUp = netem.NewLink(s, 200e6, o.WANRTT/2, serverDemux)
+
+	// Uplink wireless: clients contend on the same channel to reach the
+	// AP. It shares the trace rate and interferer count; feedback traffic
+	// is light so its queue rarely builds.
+	uplinkQ := queue.NewFIFO(0)
+	p.Uplink = wireless.NewLink(s, wireless.Config{
+		Rate:        func(at sim.Time) float64 { return o.Trace.RateAt(at) },
+		Interferers: o.Interferers,
+	}, uplinkQ, nil, s.NewRand("uplink"))
+
+	// AP uplink-side processing depends on the solution.
+	switch o.Solution {
+	case SolutionZhuge:
+		ap := core.NewAP(s, p.Downlink, p.wanUp, s.NewRand("zhuge"), o.FTConfig)
+		ap.OOB().SetOptions(o.OOB)
+		p.AP = ap
+		p.downIn = ap.DownlinkIn()
+		p.Uplink.SetDst(ap.UplinkIn())
+	case SolutionFastAck:
+		fa := baseline.NewFastAck(s, p.wanUp)
+		p.FastAck = fa
+		p.downIn = p.Downlink
+		p.Uplink.SetDst(fa.UplinkIn())
+		p.deliveryTaps = append(p.deliveryTaps, fa.OnDelivered)
+	case SolutionABC:
+		abc := baseline.NewABCRouter(s, q)
+		p.ABC = abc
+		p.Downlink.AddObserver(abc)
+		p.downIn = p.Downlink
+		p.Uplink.SetDst(p.wanUp)
+	default:
+		p.downIn = p.Downlink
+		p.Uplink.SetDst(p.wanUp)
+	}
+
+	// Server -> AP WAN link feeds a router: flows bound to secondary
+	// stations go to their own queue; everything else takes the primary
+	// station's entry (through the AP solution, if any).
+	router := netem.ReceiverFunc(func(pkt *netem.Packet) {
+		if dst, ok := p.stations[pkt.Flow]; ok {
+			dst.Receive(pkt)
+			return
+		}
+		p.downIn.Receive(pkt)
+	})
+	p.wanDown = netem.NewLink(s, 200e6, o.WANRTT/2, router)
+	p.upIn = p.Uplink
+
+	return p
+}
+
+// AddStation attaches another wireless client (its own per-station queue at
+// the AP) contending on the same channel, and routes the given downlink
+// flows to it. Competing traffic to other stations costs the primary flow
+// airtime, not queue space — how 802.11 competition actually behaves.
+func (p *Path) AddStation(flows ...netem.FlowKey) *wireless.Link {
+	clientDemux := netem.ReceiverFunc(func(pkt *netem.Packet) {
+		for _, tap := range p.deliveryTaps {
+			tap(pkt)
+		}
+		if dst, ok := p.clients[pkt.Flow]; ok {
+			dst.Receive(pkt)
+		}
+	})
+	p.stationN++
+	link := wireless.NewLink(p.S, wireless.Config{
+		Channel:     p.Channel,
+		Rate:        func(at sim.Time) float64 { return p.Opts.Trace.RateAt(at) },
+		Interferers: p.Opts.Interferers,
+	}, queue.NewFIFO(p.Opts.QueueCap), clientDemux, p.S.NewRand(fmt.Sprintf("station%d", p.stationN)))
+	for _, f := range flows {
+		p.stations[f] = link
+	}
+	return link
+}
+
+// RouteToStation binds a downlink flow to an existing secondary station.
+func (p *Path) RouteToStation(flow netem.FlowKey, st *wireless.Link) {
+	p.stations[flow] = st
+}
+
+// NewFlowKey allocates a fresh downlink 5-tuple for a flow.
+func (p *Path) NewFlowKey() netem.FlowKey {
+	p.nextPort++
+	return netem.FlowKey{
+		SrcIP: 0x0a000001, DstIP: 0xc0a80002,
+		SrcPort: p.nextPort, DstPort: p.nextPort, Proto: 17,
+	}
+}
+
+// RegisterClient binds the client-side receiver for a downlink flow.
+func (p *Path) RegisterClient(flow netem.FlowKey, r netem.Receiver) {
+	p.clients[flow] = r
+}
+
+// RegisterServer binds the server-side receiver for a downlink flow (it
+// receives the flow's uplink/feedback packets).
+func (p *Path) RegisterServer(flow netem.FlowKey, r netem.Receiver) {
+	p.servers[flow] = r
+}
+
+// AddDeliveryTap registers a function invoked when any downlink packet is
+// delivered over the air to its client.
+func (p *Path) AddDeliveryTap(tap func(p *netem.Packet)) {
+	p.deliveryTaps = append(p.deliveryTaps, tap)
+}
+
+// ServerOut returns the receiver a server writes downlink packets into.
+func (p *Path) ServerOut() netem.Receiver { return p.wanDown }
+
+// ClientOut returns the receiver a client writes uplink packets into.
+func (p *Path) ClientOut() netem.Receiver { return p.upIn }
+
+// ReturnBase estimates the stable reverse-path latency (AP uplink wire +
+// WAN), used to turn one-way data delays into network RTTs for metrics.
+func (p *Path) ReturnBase() time.Duration {
+	return p.Opts.WANRTT/2 + 2*time.Millisecond
+}
+
+// Run executes the simulation up to virtual time d. It may be called
+// repeatedly with increasing times to observe intermediate state.
+func (p *Path) Run(d time.Duration) {
+	p.S.RunUntil(d)
+}

@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/trace"
+)
+
+// dropTrace is a 30 Mbps link dropping 30x (below the media rate) between
+// 5s and 8s, the transient-congestion pattern of Figure 3(a).
+func dropTrace() *trace.Trace {
+	tr := &trace.Trace{Name: "drop", BaseRTT: 50 * time.Millisecond}
+	for at := time.Duration(0); at < 15*time.Second; at += 50 * time.Millisecond {
+		r := 30e6
+		if at >= 5*time.Second && at < 8*time.Second {
+			r = 1e6
+		}
+		tr.Samples = append(tr.Samples, trace.Sample{At: at, Rate: r})
+	}
+	return tr
+}
+
+func TestRTPFlowRunsOverPath(t *testing.T) {
+	p := NewPath(Options{Seed: 1, Trace: trace.Constant("c30", 30e6, 10*time.Second)})
+	f := p.AddRTPFlow(RTPFlowConfig{})
+	p.Run(10 * time.Second)
+	if f.Decoder.Decoded < 200 {
+		t.Fatalf("decoded %d frames over 10s, want ~250", f.Decoder.Decoded)
+	}
+	if f.Metrics.RTT.Count() == 0 {
+		t.Fatal("no RTT samples")
+	}
+	// Clean 30 Mbps path: median RTT near base (50ms WAN + small).
+	if med := f.Metrics.RTT.Quantile(0.5); med > 100*time.Millisecond {
+		t.Errorf("median RTT %v on a clean path", med)
+	}
+}
+
+func TestTCPVideoFlowRunsOverPath(t *testing.T) {
+	p := NewPath(Options{Seed: 1, Trace: trace.Constant("c30", 30e6, 10*time.Second)})
+	f := p.AddTCPVideoFlow(TCPFlowConfig{CCA: "copa"})
+	p.Run(10 * time.Second)
+	if f.FrameDelay.Count() < 200 {
+		t.Fatalf("delivered %d frames over 10s, want ~250", f.FrameDelay.Count())
+	}
+	if med := f.Metrics.RTT.Quantile(0.5); med > 120*time.Millisecond {
+		t.Errorf("median RTT %v on a clean path", med)
+	}
+}
+
+func TestZhugeReducesRTPTailLatency(t *testing.T) {
+	run := func(sol Solution, qdisc string) float64 {
+		p := NewPath(Options{Seed: 42, Trace: dropTrace(), Solution: sol, Qdisc: qdisc})
+		f := p.AddRTPFlow(RTPFlowConfig{})
+		p.Run(15 * time.Second)
+		return f.Metrics.RTT.FractionAbove(200 * time.Millisecond)
+	}
+	fifo := run(SolutionNone, "fifo")
+	zhuge := run(SolutionZhuge, "fifo")
+	if fifo == 0 {
+		t.Fatal("baseline shows no tail latency; the drop scenario is broken")
+	}
+	if zhuge >= fifo {
+		t.Errorf("P(RTT>200ms): zhuge %.4f >= fifo %.4f; Zhuge should reduce the tail", zhuge, fifo)
+	}
+	t.Logf("P(RTT>200ms): fifo=%.4f zhuge=%.4f (%.0f%% reduction)", fifo, zhuge, 100*(1-zhuge/fifo))
+}
+
+func TestZhugeReducesTCPTailLatency(t *testing.T) {
+	run := func(sol Solution) float64 {
+		p := NewPath(Options{Seed: 42, Trace: dropTrace(), Solution: sol})
+		f := p.AddTCPVideoFlow(TCPFlowConfig{CCA: "copa"})
+		p.Run(15 * time.Second)
+		return f.Metrics.RTT.FractionAbove(200 * time.Millisecond)
+	}
+	plain := run(SolutionNone)
+	zhuge := run(SolutionZhuge)
+	if plain == 0 {
+		t.Fatal("baseline shows no tail latency; the drop scenario is broken")
+	}
+	if zhuge >= plain {
+		t.Errorf("P(RTT>200ms): copa+zhuge %.4f >= copa %.4f", zhuge, plain)
+	}
+	t.Logf("P(RTT>200ms): copa=%.4f copa+zhuge=%.4f", plain, zhuge)
+}
+
+func TestABCAndFastAckRun(t *testing.T) {
+	// Smoke: baselines run and deliver frames.
+	for _, tc := range []struct {
+		sol Solution
+		cca string
+	}{
+		{SolutionABC, "abc"},
+		{SolutionFastAck, "copa"},
+	} {
+		p := NewPath(Options{Seed: 7, Trace: trace.Constant("c20", 20e6, 8*time.Second), Solution: tc.sol})
+		f := p.AddTCPVideoFlow(TCPFlowConfig{CCA: tc.cca})
+		p.Run(8 * time.Second)
+		if f.FrameDelay.Count() < 100 {
+			t.Errorf("%v/%s delivered only %d frames", tc.sol, tc.cca, f.FrameDelay.Count())
+		}
+		if tc.sol == SolutionABC && (p.ABC.Accelerates() == 0 || p.ABC.Brakes() == 0) {
+			t.Errorf("ABC marks: accel=%d brake=%d, want both nonzero", p.ABC.Accelerates(), p.ABC.Brakes())
+		}
+		if tc.sol == SolutionFastAck && p.FastAck.Synthesized() == 0 {
+			t.Error("FastAck synthesized no ACKs")
+		}
+	}
+}
+
+func TestCompetingBulkFlowDegradesRTC(t *testing.T) {
+	run := func(withBulk bool) float64 {
+		p := NewPath(Options{Seed: 5, Trace: trace.Constant("c20", 20e6, 10*time.Second)})
+		f := p.AddRTPFlow(RTPFlowConfig{})
+		if withBulk {
+			p.AddBulkFlow(time.Second, 0)
+		}
+		p.Run(10 * time.Second)
+		return f.Metrics.RTT.FractionAbove(200 * time.Millisecond)
+	}
+	alone := run(false)
+	contested := run(true)
+	if contested <= alone {
+		t.Errorf("bulk competitor should inflate tail latency: alone=%.4f contested=%.4f", alone, contested)
+	}
+}
+
+func TestZhugeDoesNotHurtSteadyState(t *testing.T) {
+	// Figure 18(c)/Figure 20 property: on a stable link, Zhuge leaves the
+	// achieved media rate essentially unchanged.
+	run := func(sol Solution) float64 {
+		p := NewPath(Options{Seed: 9, Trace: trace.Constant("c20", 20e6, 20*time.Second), Solution: sol})
+		f := p.AddRTPFlow(RTPFlowConfig{})
+		p.Run(20 * time.Second)
+		return f.Metrics.DeliveredBytes * 8 / 20
+	}
+	plain := run(SolutionNone)
+	zhuge := run(SolutionZhuge)
+	if zhuge < 0.7*plain {
+		t.Errorf("steady-state goodput with Zhuge %.0f vs %.0f plain; should be comparable", zhuge, plain)
+	}
+	t.Logf("steady goodput: plain=%.0f zhuge=%.0f", plain, zhuge)
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (uint64, int) {
+		p := NewPath(Options{Seed: 11, Trace: dropTrace(), Solution: SolutionZhuge})
+		f := p.AddRTPFlow(RTPFlowConfig{})
+		p.Run(6 * time.Second)
+		return f.Metrics.RTT.Count(), f.Decoder.Decoded
+	}
+	c1, d1 := run()
+	c2, d2 := run()
+	if c1 != c2 || d1 != d2 {
+		t.Errorf("runs differ: (%d,%d) vs (%d,%d)", c1, d1, c2, d2)
+	}
+}
+
+func TestInterferersDegradePerformance(t *testing.T) {
+	run := func(n int) float64 {
+		p := NewPath(Options{Seed: 3, Trace: trace.Constant("c20", 20e6, 8*time.Second), Interferers: n})
+		f := p.AddRTPFlow(RTPFlowConfig{})
+		p.Run(8 * time.Second)
+		return f.Metrics.RTT.FractionAbove(200 * time.Millisecond)
+	}
+	quiet := run(0)
+	noisy := run(40)
+	if noisy <= quiet {
+		t.Errorf("40 interferers should inflate tail: quiet=%.4f noisy=%.4f", quiet, noisy)
+	}
+}
+

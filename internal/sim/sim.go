@@ -1,0 +1,163 @@
+// Package sim implements a deterministic discrete-event simulator.
+//
+// The simulator is the substrate every scenario in this repository runs on:
+// a virtual clock, an event heap and per-component deterministic random
+// number generators. All time values are time.Duration offsets from the
+// simulation start, so scenarios are reproducible bit-for-bit given a seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp measured from the start of the simulation.
+type Time = time.Duration
+
+// Timer is a handle for a scheduled event. It can be stopped before firing.
+type Timer struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int // heap index, -1 once popped
+}
+
+// At returns the virtual time this timer is scheduled to fire.
+func (t *Timer) At() Time { return t.at }
+
+// Stop cancels the timer. Stopping an already-fired timer is a no-op.
+// It reports whether the call prevented the timer from firing.
+func (t *Timer) Stop() bool {
+	if t.stopped || t.index == -1 {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Stopped reports whether Stop was called before the timer fired.
+func (t *Timer) Stopped() bool { return t.stopped }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Simulator owns the virtual clock and the pending event set.
+// It is not safe for concurrent use; scenarios are single-goroutine.
+type Simulator struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	seed    int64
+	stopped bool
+}
+
+// New returns a simulator whose component RNGs derive from seed.
+func New(seed int64) *Simulator {
+	return &Simulator{seed: seed}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Seed returns the root seed the simulator was created with.
+func (s *Simulator) Seed() int64 { return s.seed }
+
+// Pending returns the number of events waiting to fire.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a scenario bug, and silently reordering events
+// would destroy determinism.
+func (s *Simulator) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
+	}
+	s.seq++
+	timer := &Timer{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, timer)
+	return timer
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Simulator) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step fires the next pending event, advancing the clock to it.
+// It reports whether an event fired.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		t := heap.Pop(&s.events).(*Timer)
+		if t.stopped {
+			continue
+		}
+		s.now = t.at
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= end, then advances the clock to
+// end. Events scheduled after end stay pending.
+func (s *Simulator) RunUntil(end Time) {
+	s.stopped = false
+	for !s.stopped && len(s.events) > 0 && s.events[0].at <= end {
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}
+
+// Stop makes the innermost Run or RunUntil return after the current event.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// NewRand derives a deterministic RNG for the named component. Distinct
+// labels give independent streams; the same (seed, label) pair always gives
+// the same stream, so adding a component never perturbs the others.
+func (s *Simulator) NewRand(label string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", s.seed, label)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}

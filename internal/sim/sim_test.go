@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []time.Duration
+	for _, d := range []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		d := d
+		s.After(d, func() { got = append(got, s.Now()) })
+	}
+	s.Run()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTiesFireInScheduleOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order %v, want ascending schedule order", order)
+		}
+	}
+}
+
+func TestStopTimer(t *testing.T) {
+	s := New(1)
+	fired := false
+	timer := s.After(time.Second, func() { fired = true })
+	if !timer.Stop() {
+		t.Error("first Stop should report true")
+	}
+	if timer.Stop() {
+		t.Error("second Stop should report false")
+	}
+	s.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	if !timer.Stopped() {
+		t.Error("Stopped() should be true")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.After(100*time.Millisecond, func() { fired++ })
+	s.After(300*time.Millisecond, func() { fired++ })
+	s.RunUntil(200 * time.Millisecond)
+	if fired != 1 {
+		t.Errorf("fired %d events before 200ms, want 1", fired)
+	}
+	if s.Now() != 200*time.Millisecond {
+		t.Errorf("clock %v after RunUntil, want 200ms", s.Now())
+	}
+	s.Run()
+	if fired != 2 {
+		t.Errorf("fired %d events total, want 2", fired)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := New(1)
+	var chain []time.Duration
+	var step func()
+	step = func() {
+		chain = append(chain, s.Now())
+		if len(chain) < 5 {
+			s.After(10*time.Millisecond, step)
+		}
+	}
+	s.After(10*time.Millisecond, step)
+	s.Run()
+	if len(chain) != 5 {
+		t.Fatalf("chain length %d, want 5", len(chain))
+	}
+	if chain[4] != 50*time.Millisecond {
+		t.Errorf("last event at %v, want 50ms", chain[4])
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New(1)
+	s.After(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	s.Run()
+}
+
+func TestStopSimulator(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Errorf("ran %d events after Stop, want 3", count)
+	}
+	s.Run()
+	if count != 10 {
+		t.Errorf("resumed run fired %d total, want 10", count)
+	}
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Error("negative After should fire immediately")
+	}
+	if s.Now() != 0 {
+		t.Errorf("clock moved to %v, want 0", s.Now())
+	}
+}
+
+func TestNewRandDeterministicPerLabel(t *testing.T) {
+	a := New(42).NewRand("link")
+	b := New(42).NewRand("link")
+	c := New(42).NewRand("other")
+	same, diff := true, false
+	for i := 0; i < 100; i++ {
+		va, vb, vc := a.Int63(), b.Int63(), c.Int63()
+		if va != vb {
+			same = false
+		}
+		if va != vc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same (seed,label) should give identical streams")
+	}
+	if !diff {
+		t.Error("different labels should give different streams")
+	}
+}
+
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(7)
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			s.After(time.Duration(d)*time.Microsecond, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAllEventsFire(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(9)
+		fired := 0
+		for _, d := range delays {
+			s.After(time.Duration(d)*time.Microsecond, func() { fired++ })
+		}
+		s.Run()
+		return fired == len(delays) && s.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

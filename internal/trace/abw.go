@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// WindowAverages splits the trace into consecutive windows of the given
+// length and returns the mean rate of each. The paper measures ABW over
+// 200 ms windows ("during when the CCA should respond", §2.1).
+func WindowAverages(t *Trace, window time.Duration) []float64 {
+	dur := t.Duration()
+	if dur < window || window <= 0 {
+		return nil
+	}
+	n := int(dur / window)
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Duration(i) * window
+		// Integrate the piecewise-constant signal over the window by
+		// sampling at sub-window resolution bounded by the trace step.
+		step := window / 8
+		var sum float64
+		var cnt int
+		for at := start; at < start+window; at += step {
+			sum += t.RateAt(at)
+			cnt++
+		}
+		out = append(out, sum/float64(cnt))
+	}
+	return out
+}
+
+// ReductionRatios returns, for each consecutive pair of windows, the factor
+// by which ABW dropped: prev/cur. Ratios below 1 (increases) are reported
+// as-is so callers can build the full distribution of Figure 3(b).
+func ReductionRatios(t *Trace, window time.Duration) []float64 {
+	avgs := WindowAverages(t, window)
+	if len(avgs) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(avgs)-1)
+	for i := 1; i < len(avgs); i++ {
+		if avgs[i] <= 0 {
+			continue
+		}
+		out = append(out, avgs[i-1]/avgs[i])
+	}
+	return out
+}
+
+// FractionAbove returns the fraction of ratios strictly greater than k.
+func FractionAbove(ratios []float64, k float64) float64 {
+	if len(ratios) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range ratios {
+		if r > k {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ratios))
+}
+
+// ReductionCDFPoint is one point of the Figure 3(b) curve: the fraction of
+// window pairs whose reduction ratio is <= K.
+type ReductionCDFPoint struct {
+	K   float64
+	CDF float64
+}
+
+// ReductionCDF evaluates the reduction-ratio CDF at the paper's x-axis
+// points (1x, 2x, 5x, 10x, 20x, 50x).
+func ReductionCDF(ratios []float64) []ReductionCDFPoint {
+	ks := []float64{1, 2, 5, 10, 20, 50}
+	sorted := append([]float64(nil), ratios...)
+	sort.Float64s(sorted)
+	out := make([]ReductionCDFPoint, len(ks))
+	for i, k := range ks {
+		idx := sort.SearchFloat64s(sorted, k)
+		// all entries < k; include equals via upper bound on k+eps
+		for idx < len(sorted) && sorted[idx] <= k {
+			idx++
+		}
+		cdf := 0.0
+		if len(sorted) > 0 {
+			cdf = float64(idx) / float64(len(sorted))
+		}
+		out[i] = ReductionCDFPoint{K: k, CDF: cdf}
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRateAtStepFunction(t *testing.T) {
+	tr := &Trace{Samples: []Sample{
+		{At: 0, Rate: 10e6},
+		{At: 100 * time.Millisecond, Rate: 20e6},
+		{At: 200 * time.Millisecond, Rate: 5e6},
+	}}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 10e6},
+		{50 * time.Millisecond, 10e6},
+		{100 * time.Millisecond, 20e6},
+		{150 * time.Millisecond, 20e6},
+		{250 * time.Millisecond, 5e6},
+	}
+	for _, c := range cases {
+		if got := tr.RateAt(c.at); got != c.want {
+			t.Errorf("RateAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestRateAtWrapsAround(t *testing.T) {
+	tr := &Trace{Samples: []Sample{
+		{At: 0, Rate: 10e6},
+		{At: 100 * time.Millisecond, Rate: 20e6},
+	}}
+	// Duration = 200ms; at 210ms it wraps to 10ms -> 10e6.
+	if got := tr.RateAt(210 * time.Millisecond); got != 10e6 {
+		t.Errorf("wrapped RateAt = %v, want 10e6", got)
+	}
+	if got := tr.RateAt(310 * time.Millisecond); got != 20e6 {
+		t.Errorf("wrapped RateAt = %v, want 20e6", got)
+	}
+}
+
+func TestMeanTimeWeighted(t *testing.T) {
+	tr := &Trace{Samples: []Sample{
+		{At: 0, Rate: 10e6},
+		{At: 100 * time.Millisecond, Rate: 30e6},
+	}}
+	if got := tr.Mean(); math.Abs(got-20e6) > 1 {
+		t.Errorf("mean = %v, want 20e6", got)
+	}
+}
+
+func TestStepTrace(t *testing.T) {
+	tr := Step("drop", 30e6, 3e6, 5*time.Second, 10*time.Second)
+	if got := tr.RateAt(4 * time.Second); got != 30e6 {
+		t.Errorf("pre-step rate %v, want 30e6", got)
+	}
+	if got := tr.RateAt(6 * time.Second); got != 3e6 {
+		t.Errorf("post-step rate %v, want 3e6", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := Generate(OfficeWiFi(), 10*time.Second, rand.New(rand.NewSource(3)))
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(orig.Name, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Samples) != len(orig.Samples) {
+		t.Fatalf("loaded %d samples, want %d", len(loaded.Samples), len(orig.Samples))
+	}
+	if loaded.BaseRTT != orig.BaseRTT {
+		t.Errorf("loaded BaseRTT %v, want %v", loaded.BaseRTT, orig.BaseRTT)
+	}
+	for i := range orig.Samples {
+		if math.Abs(loaded.Samples[i].Rate-orig.Samples[i].Rate) > 1 {
+			t.Fatalf("sample %d rate %v, want %v", i, loaded.Samples[i].Rate, orig.Samples[i].Rate)
+		}
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"not,a,trace\n",
+		"abc,100\n",
+		"1.0,xyz\n",
+		"2.0,100\n1.0,200\n", // out of order
+	}
+	for _, c := range cases {
+		if _, err := Load("bad", strings.NewReader(c)); err == nil {
+			t.Errorf("Load(%q) should fail", c)
+		}
+	}
+}
+
+func TestGeneratorMeanCalibration(t *testing.T) {
+	for _, p := range []GenParams{RestaurantWiFi(), OfficeWiFi(), City4G()} {
+		tr := Generate(p, 10*time.Minute, rand.New(rand.NewSource(11)))
+		got := tr.Mean()
+		// Fades pull the mean below target; allow [0.5, 1.2]x.
+		if got < 0.5*p.Mean || got > 1.2*p.Mean {
+			t.Errorf("%s mean %v, want within [0.5,1.2]x of %v", p.Name, got, p.Mean)
+		}
+	}
+}
+
+// TestGeneratorCalibration pins the headline statistic of Figure 3(b): for
+// wireless traces 0.6-7.3%% of 200 ms windows see >10x ABW reduction, and
+// for wired ones fewer than 0.1%%.
+func TestGeneratorCalibration(t *testing.T) {
+	dur := 30 * time.Minute
+	for _, p := range []GenParams{RestaurantWiFi(), OfficeWiFi(), IndoorMixed45G(), City4G(), City5G()} {
+		tr := Generate(p, dur, rand.New(rand.NewSource(42)))
+		frac := FractionAbove(ReductionRatios(tr, 200*time.Millisecond), 10)
+		if frac < 0.002 || frac > 0.08 {
+			t.Errorf("%s: P(reduction>10x) = %.4f, want within [0.002, 0.08]", p.Name, frac)
+		}
+	}
+	eth := Generate(Ethernet(), dur, rand.New(rand.NewSource(42)))
+	if frac := FractionAbove(ReductionRatios(eth, 200*time.Millisecond), 10); frac > 0.001 {
+		t.Errorf("ethernet: P(reduction>10x) = %.4f, want <0.001", frac)
+	}
+}
+
+func TestReductionRatiosStepDrop(t *testing.T) {
+	tr := Step("k10", 30e6, 3e6, 2*time.Second, 4*time.Second)
+	ratios := ReductionRatios(tr, 200*time.Millisecond)
+	max := 0.0
+	for _, r := range ratios {
+		if r > max {
+			max = r
+		}
+	}
+	if math.Abs(max-10) > 0.5 {
+		t.Errorf("max reduction ratio %v, want ~10", max)
+	}
+}
+
+func TestReductionCDFMonotone(t *testing.T) {
+	tr := Generate(RestaurantWiFi(), 5*time.Minute, rand.New(rand.NewSource(5)))
+	pts := ReductionCDF(ReductionRatios(tr, 200*time.Millisecond))
+	if len(pts) != 6 {
+		t.Fatalf("want 6 CDF points, got %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CDF < pts[i-1].CDF {
+			t.Fatal("reduction CDF not monotone")
+		}
+	}
+	if pts[len(pts)-1].CDF < 0.99 {
+		t.Errorf("CDF at 50x = %v, want >= 0.99", pts[len(pts)-1].CDF)
+	}
+}
+
+func TestScale(t *testing.T) {
+	tr := Constant("c", 10e6, time.Second)
+	s := tr.Scale(0.5)
+	if got := s.RateAt(0); got != 5e6 {
+		t.Errorf("scaled rate %v, want 5e6", got)
+	}
+	if tr.RateAt(0) != 10e6 {
+		t.Error("Scale must not mutate the original")
+	}
+}
+
+func TestStandardSetDeterministic(t *testing.T) {
+	a := StandardSet(10*time.Second, 1)
+	b := StandardSet(10*time.Second, 1)
+	if len(a) != 5 {
+		t.Fatalf("StandardSet returned %d traces, want 5", len(a))
+	}
+	for i := range a {
+		if len(a[i].Samples) != len(b[i].Samples) {
+			t.Fatalf("trace %d lengths differ", i)
+		}
+		for j := range a[i].Samples {
+			if a[i].Samples[j] != b[i].Samples[j] {
+				t.Fatalf("trace %d sample %d differs between runs", i, j)
+			}
+		}
+	}
+}
+
+func TestPropertyGeneratedRatesPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := Generate(City5G(), 20*time.Second, rand.New(rand.NewSource(seed)))
+		for _, s := range tr.Samples {
+			if s.Rate <= 0 || math.IsNaN(s.Rate) || math.IsInf(s.Rate, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyWindowAveragesWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := Generate(OfficeWiFi(), 30*time.Second, rand.New(rand.NewSource(seed)))
+		min, max := tr.Min(), 0.0
+		for _, s := range tr.Samples {
+			if s.Rate > max {
+				max = s.Rate
+			}
+		}
+		for _, a := range WindowAverages(tr, 200*time.Millisecond) {
+			if a < min-1 || a > max+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

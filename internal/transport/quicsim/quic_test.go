@@ -1,0 +1,274 @@
+package quicsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/cca"
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+var testFlow = netem.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 443, DstPort: 50000, Proto: 17}
+
+func pipe(s *sim.Simulator, cc cca.TCP, rate float64, delay time.Duration) (*Sender, *Receiver) {
+	fwd := netem.NewLink(s, rate, delay, nil)
+	rev := netem.NewLink(s, rate, delay, nil)
+	snd := NewSender(s, testFlow, cc, fwd)
+	rcv := NewReceiver(s, testFlow.Reverse(), rev)
+	fwd.SetDst(rcv)
+	rev.SetDst(snd)
+	return snd, rcv
+}
+
+func TestBulkTransferDelivers(t *testing.T) {
+	s := sim.New(1)
+	snd, rcv := pipe(s, cca.NewCubic(), 10e6, 25*time.Millisecond)
+	const total = 500 * 1000
+	snd.Write(total)
+	s.RunUntil(30 * time.Second)
+	if rcv.Delivered() != total {
+		t.Fatalf("delivered %d, want %d (lost=%d pto=%d)", rcv.Delivered(), total, snd.LostPackets(), snd.Timeouts())
+	}
+	if snd.Acked() != total {
+		t.Errorf("acked %d, want %d", snd.Acked(), total)
+	}
+	if snd.InFlight() != 0 {
+		t.Errorf("in flight %d after completion", snd.InFlight())
+	}
+}
+
+func TestRTTSamples(t *testing.T) {
+	s := sim.New(1)
+	snd, _ := pipe(s, cca.NewCubic(), 100e6, 30*time.Millisecond)
+	var samples int
+	snd.OnRTT = func(_ sim.Time, rtt time.Duration) {
+		samples++
+		if rtt < 60*time.Millisecond || rtt > 90*time.Millisecond {
+			t.Fatalf("RTT sample %v outside [60,90]ms", rtt)
+		}
+	}
+	snd.Write(100 * 1000)
+	s.RunUntil(10 * time.Second)
+	if samples == 0 {
+		t.Fatal("no RTT samples")
+	}
+}
+
+// lossyHop drops the i-th data packets listed in drop (first pass only).
+type lossyHop struct {
+	out     netem.Receiver
+	dropPNs map[uint64]bool
+	dropped int
+}
+
+func (l *lossyHop) Receive(p *netem.Packet) {
+	if p.Kind == netem.KindData && l.dropPNs[p.Seq] {
+		delete(l.dropPNs, p.Seq)
+		l.dropped++
+		return
+	}
+	l.out.Receive(p)
+}
+
+func TestLossRecoveredByNewPacketNumbers(t *testing.T) {
+	s := sim.New(1)
+	fwd := netem.NewLink(s, 10e6, 20*time.Millisecond, nil)
+	rev := netem.NewLink(s, 10e6, 20*time.Millisecond, nil)
+	hop := &lossyHop{dropPNs: map[uint64]bool{5: true, 6: true}}
+	snd := NewSender(s, testFlow, cca.NewCubic(), hop)
+	rcv := NewReceiver(s, testFlow.Reverse(), rev)
+	hop.out = fwd
+	fwd.SetDst(rcv)
+	rev.SetDst(snd)
+
+	const total = 200 * 1000
+	snd.Write(total)
+	s.RunUntil(20 * time.Second)
+	if rcv.Delivered() != total {
+		t.Fatalf("delivered %d, want %d", rcv.Delivered(), total)
+	}
+	if hop.dropped != 2 {
+		t.Fatalf("dropped %d, want 2", hop.dropped)
+	}
+	if snd.LostPackets() < 2 {
+		t.Errorf("declared %d lost, want >= 2", snd.LostPackets())
+	}
+	if snd.Timeouts() > 0 {
+		t.Errorf("recovered via %d PTOs; packet-threshold detection expected", snd.Timeouts())
+	}
+}
+
+func TestBlackoutRecoversViaPTO(t *testing.T) {
+	s := sim.New(1)
+	fwd := netem.NewLink(s, 10e6, 20*time.Millisecond, nil)
+	rev := netem.NewLink(s, 10e6, 20*time.Millisecond, nil)
+	active := false
+	hole := netem.ReceiverFunc(func(p *netem.Packet) {
+		if !active {
+			fwd.Receive(p)
+		}
+	})
+	snd := NewSender(s, testFlow, cca.NewCubic(), hole)
+	rcv := NewReceiver(s, testFlow.Reverse(), rev)
+	fwd.SetDst(rcv)
+	rev.SetDst(snd)
+
+	const total = 100 * 1000
+	snd.Write(total)
+	s.At(50*time.Millisecond, func() { active = true })
+	s.At(2*time.Second, func() { active = false })
+	s.RunUntil(60 * time.Second)
+	if rcv.Delivered() != total {
+		t.Fatalf("delivered %d, want %d (pto=%d)", rcv.Delivered(), total, snd.Timeouts())
+	}
+	if snd.Timeouts() == 0 {
+		t.Error("blackout should force a PTO")
+	}
+}
+
+func TestAllCCAsComplete(t *testing.T) {
+	for name, mk := range map[string]func() cca.TCP{
+		"cubic": func() cca.TCP { return cca.NewCubic() },
+		"copa":  func() cca.TCP { return cca.NewCopa() },
+		"bbr":   func() cca.TCP { return cca.NewBBR() },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := sim.New(2)
+			snd, rcv := pipe(s, mk(), 20e6, 25*time.Millisecond)
+			const total = 1000 * 1000
+			snd.Write(total)
+			s.RunUntil(120 * time.Second)
+			if rcv.Delivered() != total {
+				t.Fatalf("delivered %d of %d", rcv.Delivered(), total)
+			}
+		})
+	}
+}
+
+func TestPacketNumbersNeverReused(t *testing.T) {
+	s := sim.New(3)
+	fwd := netem.NewLink(s, 5e6, 20*time.Millisecond, nil)
+	rev := netem.NewLink(s, 5e6, 20*time.Millisecond, nil)
+	seen := map[uint64]bool{}
+	dupe := false
+	tap := netem.ReceiverFunc(func(p *netem.Packet) {
+		if p.Kind == netem.KindData {
+			if seen[p.Seq] {
+				dupe = true
+			}
+			seen[p.Seq] = true
+		}
+		// Drop 1 in 20 to force retransmissions.
+		if p.Seq%20 == 7 && !seen[p.Seq+1<<40] {
+			seen[p.Seq+1<<40] = true
+			return
+		}
+		fwd.Receive(p)
+	})
+	snd := NewSender(s, testFlow, cca.NewCubic(), tap)
+	rcv := NewReceiver(s, testFlow.Reverse(), rev)
+	fwd.SetDst(rcv)
+	rev.SetDst(snd)
+	snd.Write(300 * 1000)
+	s.RunUntil(30 * time.Second)
+	if dupe {
+		t.Error("a packet number was reused")
+	}
+	if rcv.Delivered() != 300*1000 {
+		t.Errorf("delivered %d", rcv.Delivered())
+	}
+}
+
+func TestPropertyRangeSetMatchesBrute(t *testing.T) {
+	f := func(ops [][2]uint8) bool {
+		rs := newRangeSet()
+		brute := map[uint64]bool{}
+		for _, op := range ops {
+			lo := uint64(op[0])
+			hi := lo + uint64(op[1]%16) + 1
+			rs.add(lo, hi)
+			for v := lo; v < hi; v++ {
+				brute[v] = true
+			}
+			// Invariants: ascending, non-overlapping, gap >= 1.
+			for i := 1; i < len(rs.ranges); i++ {
+				if rs.ranges[i].Lo <= rs.ranges[i-1].Hi+1 {
+					return false
+				}
+			}
+			// Membership equivalence.
+			total := uint64(0)
+			for _, r := range rs.ranges {
+				for v := r.Lo; v <= r.Hi; v++ {
+					if !brute[v] {
+						return false
+					}
+					total++
+				}
+			}
+			if int(total) != len(brute) {
+				return false
+			}
+			// Contiguous prefix check.
+			want := uint64(0)
+			for brute[want] {
+				want++
+			}
+			if rs.contiguous() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDescendingRangesBounded(t *testing.T) {
+	rs := newRangeSet()
+	for i := uint64(0); i < 100; i += 2 {
+		rs.add(i, i+1)
+	}
+	out := rs.descendingRanges(5)
+	if len(out) != 5 {
+		t.Fatalf("got %d ranges, want 5", len(out))
+	}
+	if out[0].Lo != 98 {
+		t.Errorf("first range %+v, want the highest", out[0])
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Hi >= out[i-1].Lo {
+			t.Error("ranges not descending")
+		}
+	}
+}
+
+// TestPropertyReliableUnderRandomLoss mirrors the TCP property over QUIC.
+func TestPropertyReliableUnderRandomLoss(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		s := sim.New(seed)
+		rng := s.NewRand("loss")
+		fwd := netem.NewLink(s, 10e6, 20*time.Millisecond, nil)
+		rev := netem.NewLink(s, 10e6, 20*time.Millisecond, nil)
+		drop := netem.ReceiverFunc(func(p *netem.Packet) {
+			if rng.Float64() < 0.15 {
+				return
+			}
+			fwd.Receive(p)
+		})
+		snd := NewSender(s, testFlow, cca.NewCubic(), drop)
+		rcv := NewReceiver(s, testFlow.Reverse(), rev)
+		fwd.SetDst(rcv)
+		rev.SetDst(snd)
+		const total = 150 * 1000
+		snd.Write(total)
+		s.RunUntil(5 * time.Minute)
+		if rcv.Delivered() != total {
+			t.Errorf("seed %d: delivered %d of %d (lost=%d pto=%d)",
+				seed, rcv.Delivered(), total, snd.LostPackets(), snd.Timeouts())
+		}
+	}
+}

@@ -1,0 +1,469 @@
+// Package rtp implements the RTP/RTCP media transport of the evaluation: a
+// sender that packetises encoder frames, paces them, tracks transport-wide
+// sequence numbers and feeds TWCC feedback to GCC; and a receiver that
+// reassembles frames, requests retransmissions via NACK, and periodically
+// returns TWCC feedback. Feedback packets carry real RTCP bytes produced by
+// internal/packet, so the simulator exercises the same codec as the live AP.
+package rtp
+
+import (
+	"sort"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/cca"
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/packet"
+	"github.com/zhuge-project/zhuge/internal/sim"
+	"github.com/zhuge-project/zhuge/internal/video"
+)
+
+// MTU is the media payload size per RTP packet.
+const MTU = 1200
+
+// rtpOverhead approximates IP+UDP+RTP(+TWCC ext) header bytes.
+const rtpOverhead = 48
+
+// feedbackOverhead approximates IP+UDP bytes around an RTCP payload.
+const feedbackOverhead = 28
+
+// Payload is the simulator-level view of one RTP data packet. On a real
+// wire, RTPSeq/TWCCSeq live in the (unencrypted) RTP header and the frame
+// fields are implied by the payload; Zhuge's in-band updater reads only
+// TWCCSeq, mirroring its header-only visibility under SRTP (§5.3).
+type Payload struct {
+	SSRC      uint32
+	RTPSeq    uint16
+	TWCCSeq   uint16
+	FrameID   uint64
+	FrameIdx  int
+	FrameTot  int
+	Key       bool
+	Captured  sim.Time
+	Retransmit bool
+}
+
+// TWCCInfo exposes the transport-wide sequence number the way a real AP
+// reads it from the RTP header extension (implements core.TWCCCarrier).
+func (p *Payload) TWCCInfo() (ssrc uint32, seq uint16) { return p.SSRC, p.TWCCSeq }
+
+// FeedbackPayload wraps the raw RTCP bytes of an uplink feedback packet.
+type FeedbackPayload struct {
+	Raw []byte // marshaled TWCC or NACK
+}
+
+// RawRTCP exposes the RTCP bytes (implements core.RTCPCarrier).
+func (f FeedbackPayload) RawRTCP() []byte { return f.Raw }
+
+// Sender packetises frames, paces them out, and adapts rate via GCC.
+type Sender struct {
+	s    *sim.Simulator
+	out  netem.Receiver
+	flow netem.FlowKey
+	cc   cca.Rate
+	ssrc uint32
+
+	rtpSeq  uint16
+	twccSeq uint16
+
+	// sent records per-TWCC-seq send metadata for feedback matching.
+	sent [1 << 16]sentRecord
+
+	// pacer queue
+	queue     []*netem.Packet
+	pacing    bool
+	pacingAt  sim.Time
+
+	// retransmission store: recent packets by RTP seq.
+	store [1 << 16]*Payload
+
+	// Encoder to drive with rate updates (optional).
+	Encoder *video.Encoder
+
+	// OnRate, if set, observes every rate update.
+	OnRate func(now sim.Time, bps float64)
+
+	sentPackets int
+	retransmits int
+}
+
+type sentRecord struct {
+	at    sim.Time
+	size  int
+	valid bool
+}
+
+// NewSender builds an RTP sender for flow with rate controller cc, writing
+// packets into out.
+func NewSender(s *sim.Simulator, flow netem.FlowKey, ssrc uint32, cc cca.Rate, out netem.Receiver) *Sender {
+	return &Sender{s: s, out: out, flow: flow, cc: cc, ssrc: ssrc}
+}
+
+// Controller returns the sender's rate controller.
+func (snd *Sender) Controller() cca.Rate { return snd.cc }
+
+// SentPackets returns the cumulative count of media packets sent.
+func (snd *Sender) SentPackets() int { return snd.sentPackets }
+
+// Retransmits returns the cumulative retransmission count.
+func (snd *Sender) Retransmits() int { return snd.retransmits }
+
+// SendFrame packetises one encoded frame and queues it on the pacer.
+func (snd *Sender) SendFrame(f video.Frame) {
+	total := (f.Size + MTU - 1) / MTU
+	if total == 0 {
+		total = 1
+	}
+	remaining := f.Size
+	for i := 0; i < total; i++ {
+		n := remaining
+		if n > MTU {
+			n = MTU
+		}
+		remaining -= n
+		pl := &Payload{
+			SSRC: snd.ssrc, RTPSeq: snd.rtpSeq, FrameID: f.ID,
+			FrameIdx: i, FrameTot: total, Key: f.Key, Captured: f.CapturedAt,
+		}
+		snd.store[pl.RTPSeq] = pl
+		snd.rtpSeq++
+		snd.enqueue(pl, n+rtpOverhead)
+	}
+	snd.pace()
+}
+
+// enqueue stamps a fresh TWCC sequence number and queues the packet.
+func (snd *Sender) enqueue(pl *Payload, wireSize int) {
+	p := &netem.Packet{
+		Flow:    snd.flow,
+		Kind:    netem.KindData,
+		Size:    wireSize,
+		Payload: pl,
+	}
+	snd.queue = append(snd.queue, p)
+}
+
+// pace drains the queue at 1.5x the target rate (WebRTC's pacing factor),
+// stamping TWCC sequence numbers at the actual send instant.
+func (snd *Sender) pace() {
+	if snd.pacing {
+		return
+	}
+	snd.pacing = true
+	snd.paceNext()
+}
+
+func (snd *Sender) paceNext() {
+	if len(snd.queue) == 0 {
+		snd.pacing = false
+		return
+	}
+	now := snd.s.Now()
+	at := snd.pacingAt
+	if at < now {
+		at = now
+	}
+	p := snd.queue[0]
+	snd.queue = snd.queue[1:]
+	rate := snd.cc.Rate() * 1.5
+	gap := time.Duration(float64(p.Size*8) / rate * float64(time.Second))
+	snd.pacingAt = at + gap
+	snd.s.At(at, func() {
+		sendAt := snd.s.Now()
+		pl := p.Payload.(*Payload)
+		pl.TWCCSeq = snd.twccSeq
+		snd.sent[pl.TWCCSeq] = sentRecord{at: sendAt, size: p.Size, valid: true}
+		snd.twccSeq++
+		p.SentAt = sendAt
+		p.Seq = uint64(pl.TWCCSeq)
+		snd.sentPackets++
+		snd.out.Receive(p)
+		snd.paceNext()
+	})
+}
+
+// Receive implements netem.Receiver: RTCP feedback from the network. Any
+// payload exposing raw RTCP bytes is accepted — the client's own feedback
+// and feedback constructed by a Zhuge AP look identical here.
+func (snd *Sender) Receive(p *netem.Packet) {
+	fb, ok := p.Payload.(interface{ RawRTCP() []byte })
+	if !ok {
+		return
+	}
+	pt, fmtField, _, err := packet.RTCPKind(fb.RawRTCP())
+	if err != nil || pt != packet.RTCPTypeRTPFB {
+		return
+	}
+	switch fmtField {
+	case packet.RTPFBTWCC:
+		snd.onTWCC(fb.RawRTCP())
+	case packet.RTPFBNack:
+		snd.onNACK(fb.RawRTCP())
+	}
+}
+
+func (snd *Sender) onTWCC(raw []byte) {
+	fb, err := packet.UnmarshalTWCC(raw)
+	if err != nil {
+		return
+	}
+	now := snd.s.Now()
+	var samples []cca.FeedbackSample
+	seq := fb.BaseSeq
+	arrivals := fb.Arrivals()
+	ai := 0
+	for range fb.Packets {
+		rec := snd.sent[seq]
+		if rec.valid {
+			s := cca.FeedbackSample{Seq: seq, SendAt: rec.at, Size: rec.size}
+			if ai < len(arrivals) && arrivals[ai].Seq == seq {
+				s.Arrived = true
+				s.ArriveAt = arrivals[ai].At
+				ai++
+			}
+			samples = append(samples, s)
+			snd.sent[seq] = sentRecord{}
+		} else if ai < len(arrivals) && arrivals[ai].Seq == seq {
+			ai++
+		}
+		seq++
+	}
+	if len(samples) > 0 {
+		snd.cc.OnFeedback(now, samples)
+		if snd.Encoder != nil {
+			snd.Encoder.SetTargetBitrate(snd.cc.Rate())
+		}
+		if snd.OnRate != nil {
+			snd.OnRate(now, snd.cc.Rate())
+		}
+	}
+}
+
+func (snd *Sender) onNACK(raw []byte) {
+	nack, err := packet.UnmarshalNACK(raw)
+	if err != nil {
+		return
+	}
+	for _, seq := range nack.Lost {
+		pl := snd.store[seq]
+		if pl == nil {
+			continue
+		}
+		snd.retransmits++
+		clone := *pl
+		clone.Retransmit = true
+		size := MTU
+		if clone.FrameIdx == clone.FrameTot-1 {
+			size = MTU / 2 // tail packets are smaller on average
+		}
+		snd.enqueue(&clone, size+rtpOverhead)
+	}
+	snd.pace()
+}
+
+// Receiver reassembles frames, produces TWCC feedback every interval, and
+// NACKs gaps in the RTP sequence space.
+type Receiver struct {
+	s    *sim.Simulator
+	out  netem.Receiver // toward the sender (uplink)
+	flow netem.FlowKey
+	ssrc uint32
+
+	arrivals []packet.TWCCArrival
+	fbCount  uint8
+	interval time.Duration
+
+	highest     uint16
+	haveHighest bool
+	missing     map[uint16]*missState // rtp seq -> loss-tracking state
+
+	frames  map[uint64]*frameState
+	decoder *video.Decoder
+
+	// DisableTWCC mutes locally generated TWCC feedback (Zhuge in-band
+	// mode constructs feedback at the AP instead and drops the client's;
+	// disabling it at the source models that drop without wasting uplink
+	// airtime in the simulator).
+	DisableTWCC bool
+
+	received int
+	lastRRAt sim.Time
+	rrSent   int
+
+	stopped bool
+}
+
+type frameState struct {
+	frame    video.Frame
+	got      map[int]bool
+	total    int
+	complete bool
+	firstAt  sim.Time
+}
+
+type missState struct {
+	since     sim.Time
+	lastNACK  sim.Time
+	requested bool
+}
+
+// NewReceiver builds an RTP receiver for the media flow whose feedback
+// packets travel into out with flow key fbFlow. Completed frames are fed to
+// decoder.
+func NewReceiver(s *sim.Simulator, fbFlow netem.FlowKey, ssrc uint32, decoder *video.Decoder, out netem.Receiver) *Receiver {
+	return &Receiver{
+		s: s, out: out, flow: fbFlow, ssrc: ssrc,
+		interval: 40 * time.Millisecond, // once per frame at 25 fps (§7.1)
+		missing:  make(map[uint16]*missState),
+		frames:   make(map[uint64]*frameState),
+		decoder:  decoder,
+	}
+}
+
+// Start begins the periodic feedback loop.
+func (r *Receiver) Start() {
+	var tick func()
+	tick = func() {
+		if r.stopped {
+			return
+		}
+		r.sendFeedback()
+		r.sendNACKs()
+		if now := r.s.Now(); now-r.lastRRAt >= time.Second {
+			r.lastRRAt = now
+			r.sendReceiverReport()
+		}
+		r.s.After(r.interval, tick)
+	}
+	r.s.After(r.interval, tick)
+}
+
+// Stop halts the feedback loop.
+func (r *Receiver) Stop() { r.stopped = true }
+
+// Receive implements netem.Receiver: media packets from the network.
+func (r *Receiver) Receive(p *netem.Packet) {
+	pl, ok := p.Payload.(*Payload)
+	if !ok {
+		return
+	}
+	now := r.s.Now()
+	r.received++
+	r.arrivals = append(r.arrivals, packet.TWCCArrival{Seq: pl.TWCCSeq, At: time.Duration(now)})
+
+	// Track RTP-seq gaps for NACK.
+	if !r.haveHighest {
+		r.highest = pl.RTPSeq
+		r.haveHighest = true
+	} else {
+		diff := int16(pl.RTPSeq - r.highest)
+		if diff > 0 {
+			for s := r.highest + 1; s != pl.RTPSeq; s++ {
+				r.missing[s] = &missState{since: now}
+			}
+			r.highest = pl.RTPSeq
+		}
+	}
+	delete(r.missing, pl.RTPSeq)
+
+	// Frame reassembly.
+	fs := r.frames[pl.FrameID]
+	if fs == nil {
+		fs = &frameState{
+			frame:   video.Frame{ID: pl.FrameID, Key: pl.Key, CapturedAt: pl.Captured},
+			got:     make(map[int]bool),
+			total:   pl.FrameTot,
+			firstAt: now,
+		}
+		r.frames[pl.FrameID] = fs
+	}
+	fs.got[pl.FrameIdx] = true
+	if !fs.complete && len(fs.got) == fs.total {
+		fs.complete = true
+		r.decoder.OnFrameComplete(now, fs.frame)
+		delete(r.frames, pl.FrameID)
+	}
+}
+
+// sendFeedback flushes accumulated arrivals as one TWCC feedback packet.
+func (r *Receiver) sendFeedback() {
+	if len(r.arrivals) == 0 || r.DisableTWCC {
+		r.arrivals = r.arrivals[:0]
+		return
+	}
+	fb := packet.BuildTWCC(r.ssrc, r.ssrc, r.fbCount, r.arrivals)
+	r.fbCount++
+	raw := fb.Marshal(nil)
+	r.arrivals = r.arrivals[:0]
+	r.out.Receive(&netem.Packet{
+		Flow:    r.flow,
+		Kind:    netem.KindFeedback,
+		Size:    len(raw) + feedbackOverhead,
+		SentAt:  r.s.Now(),
+		Payload: FeedbackPayload{Raw: raw},
+	})
+}
+
+// sendReceiverReport emits a standard RTCP RR once per second; under a
+// Zhuge AP it passes through untouched while TWCC is rewritten (§5.3).
+func (r *Receiver) sendReceiverReport() {
+	rr := &packet.ReceiverReport{
+		SSRC: r.ssrc,
+		Reports: []packet.ReportBlock{{
+			SSRC:       r.ssrc,
+			TotalLost:  uint32(len(r.missing)),
+			HighestSeq: uint32(r.highest),
+		}},
+	}
+	raw := rr.Marshal(nil)
+	r.rrSent++
+	r.out.Receive(&netem.Packet{
+		Flow:    r.flow,
+		Kind:    netem.KindFeedback,
+		Size:    len(raw) + feedbackOverhead,
+		SentAt:  r.s.Now(),
+		Payload: FeedbackPayload{Raw: raw},
+	})
+}
+
+// sendNACKs requests retransmission of sequence gaps older than 10ms. A
+// sequence is re-requested only after a 200ms retry timeout (the previous
+// retransmission needs at least one RTT to arrive), and abandoned after 2s.
+func (r *Receiver) sendNACKs() {
+	now := r.s.Now()
+	var lost []uint16
+	for seq, st := range r.missing {
+		if now-st.since > 2*time.Second {
+			delete(r.missing, seq)
+			continue
+		}
+		if now-st.since <= 10*time.Millisecond {
+			continue
+		}
+		if st.requested && now-st.lastNACK < 200*time.Millisecond {
+			continue
+		}
+		st.requested = true
+		st.lastNACK = now
+		lost = append(lost, seq)
+	}
+	// Abandon reassembly state for frames that can no longer be saved.
+	for id, fs := range r.frames {
+		if now-fs.firstAt > 4*time.Second {
+			delete(r.frames, id)
+		}
+	}
+	if len(lost) == 0 {
+		return
+	}
+	// Map iteration order is random; sort to keep runs reproducible.
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	nack := &packet.NACK{SenderSSRC: r.ssrc, MediaSSRC: r.ssrc, Lost: lost}
+	raw := nack.Marshal(nil)
+	r.out.Receive(&netem.Packet{
+		Flow:    r.flow,
+		Kind:    netem.KindFeedback,
+		Size:    len(raw) + feedbackOverhead,
+		SentAt:  now,
+		Payload: FeedbackPayload{Raw: raw},
+	})
+}

@@ -1,0 +1,205 @@
+// Package video models the RTC application layer: a rate-adaptive frame
+// encoder and a decoder that enforces the reference chain. It produces the
+// paper's application metrics — frame delay (encode-to-decode, Figure 2/11)
+// and per-second frame rate (Figure 22) — without modelling pixels: only
+// frame sizes, timing and decodability matter to the transport.
+package video
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/metrics"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// Frame is one encoded video frame.
+type Frame struct {
+	ID         uint64
+	Size       int // encoded bytes
+	Key        bool
+	CapturedAt sim.Time
+}
+
+// EncoderConfig parameterises the encoder.
+type EncoderConfig struct {
+	FPS          int     // frames per second (paper: 1080p 24-25 fps)
+	StartBitrate float64 // bits per second (paper: ~2 Mbps average)
+	KeyInterval  int     // frames per group of pictures; default 48
+	KeyScale     float64 // key frame size multiplier; default 3
+	SizeJitter   float64 // lognormal sigma of frame size; default 0.15
+}
+
+func (c EncoderConfig) withDefaults() EncoderConfig {
+	if c.FPS == 0 {
+		c.FPS = 24
+	}
+	if c.KeyInterval == 0 {
+		c.KeyInterval = 48
+	}
+	if c.KeyScale == 0 {
+		c.KeyScale = 3
+	}
+	if c.SizeJitter == 0 {
+		c.SizeJitter = 0.15
+	}
+	return c
+}
+
+// Encoder emits frames at a fixed rate whose sizes track a target bitrate.
+// The target can change at any time (the CCA drives it); the next frame
+// reflects it, modelling WebRTC's per-frame rate adaptation.
+type Encoder struct {
+	s       *sim.Simulator
+	cfg     EncoderConfig
+	rng     *rand.Rand
+	target  float64
+	frameID uint64
+
+	// OnFrame consumes each encoded frame (the transport sender).
+	OnFrame func(Frame)
+
+	stopped bool
+}
+
+// NewEncoder returns an encoder; call Start to begin producing frames.
+func NewEncoder(s *sim.Simulator, cfg EncoderConfig, rng *rand.Rand) *Encoder {
+	cfg = cfg.withDefaults()
+	return &Encoder{s: s, cfg: cfg, rng: rng, target: cfg.StartBitrate}
+}
+
+// SetTargetBitrate updates the encoder's bitrate target in bits per second.
+func (e *Encoder) SetTargetBitrate(bps float64) {
+	if bps > 0 {
+		e.target = bps
+	}
+}
+
+// Target returns the current target bitrate.
+func (e *Encoder) Target() float64 { return e.target }
+
+// Stop halts frame production.
+func (e *Encoder) Stop() { e.stopped = true }
+
+// Start schedules frame production until Stop or the end of simulation.
+func (e *Encoder) Start() {
+	interval := time.Second / time.Duration(e.cfg.FPS)
+	var tick func()
+	tick = func() {
+		if e.stopped {
+			return
+		}
+		e.emit()
+		e.s.After(interval, tick)
+	}
+	e.s.After(0, tick)
+}
+
+func (e *Encoder) emit() {
+	key := e.frameID%uint64(e.cfg.KeyInterval) == 0
+	// Budget per frame so that key frames don't inflate the average:
+	// with one key of weight K per GOP of N, base = N*rate/fps/(N-1+K).
+	n := float64(e.cfg.KeyInterval)
+	base := e.target / float64(e.cfg.FPS) / 8 * n / (n - 1 + e.cfg.KeyScale)
+	size := base
+	if key {
+		size *= e.cfg.KeyScale
+	}
+	size *= math.Exp(e.rng.NormFloat64()*e.cfg.SizeJitter - e.cfg.SizeJitter*e.cfg.SizeJitter/2)
+	if size < 200 {
+		size = 200
+	}
+	f := Frame{ID: e.frameID, Size: int(size), Key: key, CapturedAt: e.s.Now()}
+	e.frameID++
+	if e.OnFrame != nil {
+		e.OnFrame(f)
+	}
+}
+
+// Decoder enforces the reference chain: a frame decodes when it is complete
+// and either it continues the chain (previous frame decoded) or it is a key
+// frame, which resets the chain (frames skipped over are lost). It records
+// the application metrics.
+type Decoder struct {
+	nextID      uint64
+	complete    map[uint64]Frame
+	decodeTimes []sim.Time
+
+	// FrameDelay records encode-to-decode delay per decoded frame.
+	FrameDelay *metrics.Histogram
+	// FrameDelaySeries records (decode time, delay in ms) per frame, for
+	// degradation-duration analysis.
+	FrameDelaySeries metrics.Series
+	// Decoded counts frames decoded; Skipped counts frames abandoned by a
+	// key-frame chain reset.
+	Decoded int
+	Skipped int
+}
+
+// NewDecoder returns an empty decoder.
+func NewDecoder() *Decoder {
+	return &Decoder{
+		complete:   make(map[uint64]Frame),
+		FrameDelay: metrics.NewHistogram(),
+	}
+}
+
+// OnFrameComplete notifies the decoder that all packets of f have arrived.
+// It decodes every frame the reference chain now allows.
+func (d *Decoder) OnFrameComplete(now sim.Time, f Frame) {
+	if f.ID < d.nextID {
+		return // stale duplicate
+	}
+	d.complete[f.ID] = f
+	d.drain(now)
+}
+
+func (d *Decoder) drain(now sim.Time) {
+	for {
+		if f, ok := d.complete[d.nextID]; ok {
+			d.decode(now, f)
+			continue
+		}
+		// Chain is stuck; a completed key frame further ahead resets it.
+		reset, found := uint64(0), false
+		for id, f := range d.complete {
+			if f.Key && id > d.nextID && (!found || id < reset) {
+				reset, found = id, true
+			}
+		}
+		if !found {
+			return
+		}
+		d.Skipped += int(reset - d.nextID)
+		for id := d.nextID; id < reset; id++ {
+			delete(d.complete, id)
+		}
+		d.nextID = reset
+	}
+}
+
+func (d *Decoder) decode(now sim.Time, f Frame) {
+	delete(d.complete, f.ID)
+	d.nextID = f.ID + 1
+	d.Decoded++
+	d.FrameDelay.Add(now - f.CapturedAt)
+	d.FrameDelaySeries.Add(now, float64((now-f.CapturedAt).Milliseconds()))
+	d.decodeTimes = append(d.decodeTimes, now)
+}
+
+// FrameRateSeries returns the per-second decoded frame rate over [0, total).
+func (d *Decoder) FrameRateSeries(total time.Duration) *metrics.Series {
+	counts := metrics.PerSecondCounts(d.decodeTimes, total)
+	s := &metrics.Series{}
+	for i, c := range counts {
+		s.Add(time.Duration(i)*time.Second, float64(c))
+	}
+	return s
+}
+
+// LowFrameRateRatio returns the fraction of seconds with fewer than
+// threshold decoded frames (the paper uses 10 fps).
+func (d *Decoder) LowFrameRateRatio(total time.Duration, threshold float64) float64 {
+	return d.FrameRateSeries(total).FractionBelow(threshold)
+}

@@ -1,0 +1,279 @@
+// Package wireless models the last-mile wireless hop: a qdisc-fed link with
+// 802.11-style frame aggregation (AMPDU), channel-access contention with
+// interferers, MCS scaling and a time-varying available bandwidth driven by
+// a trace. It reproduces the two phenomena the paper identifies as the
+// source of the transience-equilibrium nexus (§3.1): bursty packet
+// departures (aggregation) and fluctuating dequeue rates (contention).
+package wireless
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/queue"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// Observer receives the AP-datapath events the Zhuge Fortune Teller (and
+// the experiment harness) hook into.
+type Observer interface {
+	// OnEnqueue fires when a packet is offered to the downlink queue.
+	// accepted is false when the qdisc dropped it.
+	OnEnqueue(now sim.Time, p *netem.Packet, accepted bool)
+	// OnDequeue fires for each packet the wireless driver pulls from the
+	// queue while assembling an aggregate, at the pull instant.
+	OnDequeue(now sim.Time, p *netem.Packet)
+}
+
+// Channel models the shared medium: links attached to the same Channel
+// cannot transmit simultaneously. Arbitration is idealised — whoever asks
+// first holds the air for its burst; contention randomness comes from each
+// link's backoff draw.
+type Channel struct {
+	freeAt sim.Time
+}
+
+// NewChannel returns an idle shared channel.
+func NewChannel() *Channel { return &Channel{} }
+
+// FreeAt returns when the channel next becomes idle.
+func (c *Channel) FreeAt() sim.Time { return c.freeAt }
+
+// reserve books the medium for [start, start+airtime) where start is the
+// earliest instant >= now the channel is free.
+func (c *Channel) reserve(now sim.Time, airtime time.Duration) (start sim.Time) {
+	start = now
+	if c.freeAt > start {
+		start = c.freeAt
+	}
+	c.freeAt = start + airtime
+	return start
+}
+
+// Config parameterises a wireless link.
+type Config struct {
+	// Channel optionally shares the medium with other links (per-station
+	// queues at one AP, or other BSSes). Nil gives the link its own air.
+	Channel *Channel
+
+	// Rate returns the link's available bandwidth in bits per second at
+	// virtual time t (typically trace.RateAt).
+	Rate func(t sim.Time) float64
+	// MCSScale optionally scales Rate, modelling modulation-coding-scheme
+	// changes (the "mcs" testbed scenario). Nil means 1.0.
+	MCSScale func(t sim.Time) float64
+
+	// MaxAggPackets bounds packets per aggregate (AMPDU). Default 32.
+	MaxAggPackets int
+	// MaxAggAirtime bounds the estimated air time of one aggregate,
+	// like an 802.11 TXOP limit. Default 4ms.
+	MaxAggAirtime time.Duration
+	// PerTxOverhead is fixed per-aggregate overhead (preamble, SIFS,
+	// block ACK). Default 300µs.
+	PerTxOverhead time.Duration
+	// BaseAccess is the mean channel-access delay with an idle channel
+	// (DIFS + average backoff). Default 100µs.
+	BaseAccess time.Duration
+	// Interferers is the number of stations contending on the same
+	// channel from other BSSes (Figure 17). Each adds
+	// InterfererAirtime of expected wait per channel access.
+	Interferers int
+	// InterfererAirtime is the expected extra access wait contributed by
+	// one interferer. Default 300µs.
+	InterfererAirtime time.Duration
+	// StormProb is the per-access probability, per interferer, of hitting
+	// a channel-occupancy storm — a long stretch where other BSSes hold
+	// the medium (the heavy tail behind Table 1's reports of >100ms WiFi
+	// hops). Default 0.0008 per interferer.
+	StormProb float64
+	// StormMin/StormMax bound a storm's duration. Default 50-400ms.
+	StormMin time.Duration
+	StormMax time.Duration
+	// PropDelay is the over-the-air propagation delay. Default 0.
+	PropDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAggPackets == 0 {
+		c.MaxAggPackets = 32
+	}
+	if c.MaxAggAirtime == 0 {
+		c.MaxAggAirtime = 4 * time.Millisecond
+	}
+	if c.PerTxOverhead == 0 {
+		c.PerTxOverhead = 300 * time.Microsecond
+	}
+	if c.BaseAccess == 0 {
+		c.BaseAccess = 100 * time.Microsecond
+	}
+	if c.InterfererAirtime == 0 {
+		c.InterfererAirtime = 300 * time.Microsecond
+	}
+	if c.StormProb == 0 {
+		c.StormProb = 0.0003
+	}
+	if c.StormMin == 0 {
+		c.StormMin = 30 * time.Millisecond
+	}
+	if c.StormMax == 0 {
+		c.StormMax = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Link is a wireless hop: packets received are enqueued into the qdisc; a
+// transmit loop contends for the channel, aggregates packets, and delivers
+// them to dst after the aggregate's air time.
+type Link struct {
+	s   *sim.Simulator
+	q   queue.Qdisc
+	dst netem.Receiver
+	cfg Config
+	rng *rand.Rand
+
+	observers []Observer
+	busy      bool
+
+	// stats
+	delivered     int
+	deliveredBits float64
+}
+
+// NewLink builds a wireless link draining q into dst. The RNG drives
+// contention backoff; derive it from the simulator for determinism.
+func NewLink(s *sim.Simulator, cfg Config, q queue.Qdisc, dst netem.Receiver, rng *rand.Rand) *Link {
+	if cfg.Rate == nil {
+		panic("wireless: Config.Rate is required")
+	}
+	return &Link{s: s, q: q, dst: dst, cfg: cfg.withDefaults(), rng: rng}
+}
+
+// AddObserver registers an AP-datapath observer (e.g. the Fortune Teller).
+func (l *Link) AddObserver(o Observer) { l.observers = append(l.observers, o) }
+
+// Queue returns the link's qdisc.
+func (l *Link) Queue() queue.Qdisc { return l.q }
+
+// SetDst changes the delivery destination.
+func (l *Link) SetDst(dst netem.Receiver) { l.dst = dst }
+
+// Delivered returns the count of packets delivered over the air.
+func (l *Link) Delivered() int { return l.delivered }
+
+// DeliveredBits returns the total payload bits delivered, for goodput.
+func (l *Link) DeliveredBits() float64 { return l.deliveredBits }
+
+// CurrentRate returns the effective link rate at virtual time t.
+func (l *Link) CurrentRate(t sim.Time) float64 {
+	r := l.cfg.Rate(t)
+	if l.cfg.MCSScale != nil {
+		r *= l.cfg.MCSScale(t)
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Receive implements netem.Receiver: packets entering the AP's downlink.
+func (l *Link) Receive(p *netem.Packet) {
+	now := l.s.Now()
+	accepted := l.q.Enqueue(now, p)
+	for _, o := range l.observers {
+		o.OnEnqueue(now, p, accepted)
+	}
+	if accepted {
+		l.maybeStart()
+	}
+}
+
+// Kick restarts the transmit loop; used after direct qdisc manipulation in
+// tests and by competing traffic injectors.
+func (l *Link) Kick() { l.maybeStart() }
+
+func (l *Link) maybeStart() {
+	if l.busy || l.q.Len() == 0 {
+		return
+	}
+	l.busy = true
+	l.s.After(l.accessDelay(), l.transmitBurst)
+}
+
+// accessDelay draws the channel-access wait: base DIFS/backoff, an
+// exponential wait proportional to the number of interferers, and — rarely
+// — a channel-occupancy storm whose probability grows with the interferer
+// count. The storm term gives contention its measured heavy tail.
+func (l *Link) accessDelay() time.Duration {
+	// The random slot is unconditional: deterministic backoff would let
+	// one saturated station win every contention tie and starve the rest.
+	d := l.cfg.BaseAccess + time.Duration(l.rng.ExpFloat64()*float64(l.cfg.BaseAccess))
+	if l.cfg.Interferers > 0 {
+		mean := float64(l.cfg.Interferers) * float64(l.cfg.InterfererAirtime)
+		d += time.Duration(l.rng.ExpFloat64() * mean)
+		if l.rng.Float64() < l.cfg.StormProb*float64(l.cfg.Interferers) {
+			span := float64(l.cfg.StormMax - l.cfg.StormMin)
+			d += l.cfg.StormMin + time.Duration(l.rng.Float64()*span)
+		}
+	}
+	return d
+}
+
+// transmitBurst assembles an aggregate at the head of the queue and
+// transmits it. Packets leave the qdisc here — before the air time — which
+// is exactly when a real driver pulls them to build an AMPDU, and when the
+// Fortune Teller's dequeue-interval estimator observes them.
+func (l *Link) transmitBurst() {
+	now := l.s.Now()
+	// On a shared channel, wait out another station's transmission and
+	// re-contend with a fresh backoff.
+	if ch := l.cfg.Channel; ch != nil && ch.freeAt > now {
+		l.s.At(ch.freeAt, func() {
+			l.s.After(l.accessDelay(), l.transmitBurst)
+		})
+		return
+	}
+	rate := l.CurrentRate(now)
+
+	var burst []*netem.Packet
+	var bits float64
+	for len(burst) < l.cfg.MaxAggPackets {
+		peekAir := time.Duration((bits + 12112) / rate * float64(time.Second))
+		if len(burst) > 0 && peekAir > l.cfg.MaxAggAirtime {
+			break
+		}
+		p := l.q.Dequeue(now)
+		if p == nil {
+			break
+		}
+		burst = append(burst, p)
+		bits += float64(p.Size * 8)
+		for _, o := range l.observers {
+			o.OnDequeue(now, p)
+		}
+	}
+	if len(burst) == 0 {
+		// CoDel may have dropped everything.
+		l.busy = false
+		l.maybeStart()
+		return
+	}
+
+	airtime := time.Duration(bits/rate*float64(time.Second)) + l.cfg.PerTxOverhead
+	if ch := l.cfg.Channel; ch != nil {
+		ch.reserve(now, airtime)
+	}
+	deliverAt := now + airtime + l.cfg.PropDelay
+	dst := l.dst
+	l.s.At(deliverAt, func() {
+		for _, p := range burst {
+			l.delivered++
+			l.deliveredBits += float64(p.Size * 8)
+			dst.Receive(p)
+		}
+	})
+	l.s.At(now+airtime, func() {
+		l.busy = false
+		l.maybeStart()
+	})
+}

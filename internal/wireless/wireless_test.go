@@ -1,0 +1,247 @@
+package wireless
+
+import (
+	"testing"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/queue"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+type capture struct {
+	pkts  []*netem.Packet
+	times []sim.Time
+	s     *sim.Simulator
+}
+
+func (c *capture) Receive(p *netem.Packet) {
+	c.pkts = append(c.pkts, p)
+	c.times = append(c.times, c.s.Now())
+}
+
+func fixedRate(bps float64) func(sim.Time) float64 {
+	return func(sim.Time) float64 { return bps }
+}
+
+func newTestLink(s *sim.Simulator, cfg Config) (*Link, *capture) {
+	dst := &capture{s: s}
+	l := NewLink(s, cfg, queue.NewFIFO(0), dst, s.NewRand("wl"))
+	return l, dst
+}
+
+func mkPkt(seq uint64, size int) *netem.Packet {
+	return &netem.Packet{
+		Flow: netem.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 10, DstPort: 20, Proto: 17},
+		Size: size, Seq: seq, Kind: netem.KindData,
+	}
+}
+
+func TestDeliversAllInOrder(t *testing.T) {
+	s := sim.New(1)
+	l, dst := newTestLink(s, Config{Rate: fixedRate(10e6)})
+	for i := 0; i < 100; i++ {
+		l.Receive(mkPkt(uint64(i), 1000))
+	}
+	s.Run()
+	if len(dst.pkts) != 100 {
+		t.Fatalf("delivered %d, want 100", len(dst.pkts))
+	}
+	for i, p := range dst.pkts {
+		if p.Seq != uint64(i) {
+			t.Fatalf("packet %d has seq %d", i, p.Seq)
+		}
+	}
+}
+
+func TestThroughputMatchesRate(t *testing.T) {
+	s := sim.New(1)
+	l, dst := newTestLink(s, Config{Rate: fixedRate(20e6)})
+	// Saturate: 2500 x 1250B = 25 Mbit over a 20 Mbps link ~= 1.25s + overheads.
+	for i := 0; i < 2500; i++ {
+		l.Receive(mkPkt(uint64(i), 1250))
+	}
+	s.Run()
+	last := dst.times[len(dst.times)-1]
+	goodput := float64(len(dst.pkts)) * 1250 * 8 / last.Seconds()
+	if goodput < 15e6 || goodput > 20e6 {
+		t.Errorf("goodput %.1f Mbps, want within [15,20]", goodput/1e6)
+	}
+}
+
+func TestAggregationBatchesDeliveries(t *testing.T) {
+	s := sim.New(1)
+	l, dst := newTestLink(s, Config{Rate: fixedRate(50e6)})
+	for i := 0; i < 64; i++ {
+		l.Receive(mkPkt(uint64(i), 1500))
+	}
+	s.Run()
+	// Count distinct delivery instants; with aggregation there should be
+	// far fewer instants than packets.
+	instants := map[sim.Time]int{}
+	for _, at := range dst.times {
+		instants[at]++
+	}
+	if len(instants) >= 64 {
+		t.Errorf("got %d delivery instants for 64 packets; aggregation absent", len(instants))
+	}
+	maxBatch := 0
+	for _, n := range instants {
+		if n > maxBatch {
+			maxBatch = n
+		}
+	}
+	if maxBatch < 2 {
+		t.Errorf("max batch %d, want >= 2", maxBatch)
+	}
+}
+
+func TestAirtimeCapLimitsBurstAtLowRate(t *testing.T) {
+	s := sim.New(1)
+	// At 1 Mbps a 4ms TXOP fits only ~500 bytes: bursts must be 1 packet.
+	l, dst := newTestLink(s, Config{Rate: fixedRate(1e6)})
+	for i := 0; i < 10; i++ {
+		l.Receive(mkPkt(uint64(i), 1500))
+	}
+	s.Run()
+	instants := map[sim.Time]int{}
+	for _, at := range dst.times {
+		instants[at]++
+	}
+	for at, n := range instants {
+		if n > 2 {
+			t.Errorf("burst of %d packets at %v; airtime cap should limit bursts at low rate", n, at)
+		}
+	}
+}
+
+func TestInterferersSlowDelivery(t *testing.T) {
+	elapsed := func(interferers int) sim.Time {
+		s := sim.New(1)
+		l, dst := newTestLink(s, Config{Rate: fixedRate(20e6), Interferers: interferers})
+		for i := 0; i < 500; i++ {
+			l.Receive(mkPkt(uint64(i), 1250))
+		}
+		s.Run()
+		return dst.times[len(dst.times)-1]
+	}
+	quiet := elapsed(0)
+	noisy := elapsed(30)
+	if noisy < quiet*2 {
+		t.Errorf("30 interferers: %v vs quiet %v; want at least 2x slower", noisy, quiet)
+	}
+}
+
+func TestRateDropSlowsDelivery(t *testing.T) {
+	s := sim.New(1)
+	rate := func(at sim.Time) float64 {
+		if at < 500*time.Millisecond {
+			return 30e6
+		}
+		return 3e6
+	}
+	l, dst := newTestLink(s, Config{Rate: rate})
+	// Feed 2 Mbps-worth every 5ms for 2s.
+	var seq uint64
+	for at := time.Duration(0); at < 2*time.Second; at += 5 * time.Millisecond {
+		at := at
+		s.At(at, func() {
+			l.Receive(mkPkt(seq, 1250))
+			seq++
+		})
+	}
+	s.Run()
+	// All packets delivered (2 Mbps < 3 Mbps floor).
+	if len(dst.pkts) != 400 {
+		t.Fatalf("delivered %d, want 400", len(dst.pkts))
+	}
+	// Latency after the drop should exceed latency before.
+	var before, after time.Duration
+	var nb, na int
+	for i, p := range dst.pkts {
+		lat := dst.times[i] - p.EnqueuedAt
+		if p.EnqueuedAt < 500*time.Millisecond {
+			before += lat
+			nb++
+		} else {
+			after += lat
+			na++
+		}
+	}
+	if nb == 0 || na == 0 {
+		t.Fatal("missing samples")
+	}
+	if after/time.Duration(na) <= before/time.Duration(nb) {
+		t.Errorf("mean latency after drop %v <= before %v", after/time.Duration(na), before/time.Duration(nb))
+	}
+}
+
+type countingObserver struct {
+	enq, deq, dropped int
+}
+
+func (c *countingObserver) OnEnqueue(_ sim.Time, _ *netem.Packet, accepted bool) {
+	c.enq++
+	if !accepted {
+		c.dropped++
+	}
+}
+func (c *countingObserver) OnDequeue(_ sim.Time, _ *netem.Packet) { c.deq++ }
+
+func TestObserverSeesEvents(t *testing.T) {
+	s := sim.New(1)
+	obs := &countingObserver{}
+	dst := &capture{s: s}
+	l := NewLink(s, Config{Rate: fixedRate(10e6)}, queue.NewFIFO(5000), dst, s.NewRand("wl"))
+	l.AddObserver(obs)
+	for i := 0; i < 50; i++ {
+		l.Receive(mkPkt(uint64(i), 1000))
+	}
+	s.Run()
+	if obs.enq != 50 {
+		t.Errorf("observer enqueues %d, want 50", obs.enq)
+	}
+	if obs.dropped == 0 {
+		t.Error("5KB queue fed 50KB should drop")
+	}
+	if obs.deq != len(dst.pkts) {
+		t.Errorf("observer dequeues %d != delivered %d", obs.deq, len(dst.pkts))
+	}
+	if l.Delivered() != len(dst.pkts) {
+		t.Errorf("Delivered() %d != %d", l.Delivered(), len(dst.pkts))
+	}
+}
+
+func TestMCSScaleReducesRate(t *testing.T) {
+	run := func(scale float64) sim.Time {
+		s := sim.New(1)
+		cfg := Config{Rate: fixedRate(20e6), MCSScale: func(sim.Time) float64 { return scale }}
+		l, dst := newTestLink(s, cfg)
+		for i := 0; i < 200; i++ {
+			l.Receive(mkPkt(uint64(i), 1250))
+		}
+		s.Run()
+		return dst.times[len(dst.times)-1]
+	}
+	if full, half := run(1.0), run(0.5); half < full*3/2 {
+		t.Errorf("half MCS took %v vs %v full; want ~2x", run(0.5), full)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []sim.Time {
+		s := sim.New(99)
+		l, dst := newTestLink(s, Config{Rate: fixedRate(10e6), Interferers: 10})
+		for i := 0; i < 100; i++ {
+			l.Receive(mkPkt(uint64(i), 1000))
+		}
+		s.Run()
+		return dst.times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
