@@ -23,8 +23,11 @@ import (
 	"github.com/zhuge-project/zhuge/internal/experiments"
 	"github.com/zhuge-project/zhuge/internal/netem"
 	"github.com/zhuge-project/zhuge/internal/packet"
+	"github.com/zhuge-project/zhuge/internal/parallel"
 	"github.com/zhuge-project/zhuge/internal/queue"
+	"github.com/zhuge-project/zhuge/internal/scenario"
 	"github.com/zhuge-project/zhuge/internal/sim"
+	"github.com/zhuge-project/zhuge/internal/trace"
 )
 
 // benchCfg is the reduced scale used by figure benches.
@@ -243,16 +246,72 @@ func BenchmarkFig21WireFormats(b *testing.B) {
 }
 
 // BenchmarkSimulatorCore measures raw event throughput of the discrete
-// event engine, the scaling limit for large experiments.
+// event engine, the scaling limit for large experiments. The handle-less
+// sub-bench is the hot path every datapath component uses; its Timer comes
+// from the simulator's free list, so it must run allocation-free.
 func BenchmarkSimulatorCore(b *testing.B) {
-	b.ReportAllocs()
-	s := sim.New(1)
-	var at sim.Time
-	fn := func() {}
-	for i := 0; i < b.N; i++ {
-		at += time.Microsecond
-		s.At(at, fn)
-		s.Step()
+	b.Run("schedule", func(b *testing.B) {
+		b.ReportAllocs()
+		s := sim.New(1)
+		var at sim.Time
+		fn := func() {}
+		for i := 0; i < b.N; i++ {
+			at += time.Microsecond
+			s.Schedule(at, fn)
+			s.Step()
+		}
+	})
+	b.Run("at-retained", func(b *testing.B) {
+		b.ReportAllocs()
+		s := sim.New(1)
+		var at sim.Time
+		fn := func() {}
+		for i := 0; i < b.N; i++ {
+			at += time.Microsecond
+			s.At(at, fn)
+			s.Step()
+		}
+	})
+}
+
+// BenchmarkParallelSweep measures the cell runner's scaling: one fixed
+// workload (a short RTP run per cell) swept at 1/2/4/8 workers, reporting
+// the speedup over the single-worker wall clock of the same sweep.
+func BenchmarkParallelSweep(b *testing.B) {
+	const cells = 16
+	runCell := func(seed int64) float64 {
+		dur := 2 * time.Second
+		tr := trace.Constant("bench", 20e6, dur)
+		p := scenario.NewPath(scenario.Options{Seed: seed, Trace: tr})
+		f := p.AddRTPFlow(scenario.RTPFlowConfig{})
+		p.Run(dur)
+		return f.Metrics.DeliveredBytes
+	}
+	sweep := func(workers int) {
+		parallel.Map(workers, cells, func(i int) {
+			if runCell(int64(i+1)) <= 0 {
+				b.Fatal("cell delivered nothing")
+			}
+		})
+	}
+
+	// Baseline: sequential wall clock per sweep, measured once.
+	t0 := time.Now()
+	sweep(1)
+	seqPerSweep := time.Since(t0)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				sweep(workers)
+			}
+			elapsed := time.Since(start)
+			if elapsed > 0 {
+				speedup := float64(seqPerSweep) * float64(b.N) / float64(elapsed)
+				b.ReportMetric(speedup, "speedup")
+			}
+		})
 	}
 }
 

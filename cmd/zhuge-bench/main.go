@@ -4,32 +4,38 @@
 //
 //	zhuge-bench -list
 //	zhuge-bench -exp fig11
-//	zhuge-bench -exp all -scale 0.2 -seed 7
+//	zhuge-bench -exp all -scale 0.2 -seed 7 -j 8
 //
-// Every experiment is deterministic for a given (seed, scale) pair. Scale
-// shrinks run durations proportionally (1.0 reproduces the full-length
-// runs used in EXPERIMENTS.md; 0.05 gives a quick smoke pass).
+// Every experiment is deterministic for a given (seed, scale) pair,
+// regardless of -j: parallelism only changes how cells are scheduled onto
+// CPUs, never what they compute. Scale shrinks run durations proportionally
+// (1.0 reproduces the full-length runs used in EXPERIMENTS.md; 0.05 gives a
+// quick smoke pass).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/experiments"
+	"github.com/zhuge-project/zhuge/internal/parallel"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment ID to run, or 'all'")
-		scale  = flag.Float64("scale", 1.0, "duration scale factor")
-		seed   = flag.Int64("seed", 1, "root random seed")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		format = flag.String("format", "table", "output format: table|csv")
-		outDir = flag.String("o", "", "write each table to <dir>/<id>.<ext> instead of stdout")
+		exp     = flag.String("exp", "", "experiment ID to run, or 'all'")
+		scale   = flag.Float64("scale", 1.0, "duration scale factor")
+		seed    = flag.Int64("seed", 1, "root random seed")
+		workers = flag.Int("j", runtime.NumCPU(), "worker count for parallel cells (1 = sequential)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		format  = flag.String("format", "table", "output format: table|csv")
+		outDir  = flag.String("o", "", "write each table to <dir>/<id>.<ext> instead of stdout")
 	)
 	flag.Parse()
 
@@ -44,21 +50,10 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale}
-	run := func(e experiments.Experiment) {
-		start := time.Now()
-		table := e.Run(cfg)
-		if err := emit(table, *format, *outDir); err != nil {
-			fmt.Fprintln(os.Stderr, "zhuge-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-	}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: *workers}
 
 	if *exp == "all" {
-		for _, e := range experiments.All() {
-			run(e)
-		}
+		runAll(cfg, *format, *outDir)
 		return
 	}
 	e := experiments.ByID(*exp)
@@ -66,17 +61,66 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 		os.Exit(2)
 	}
-	run(*e)
+	start := time.Now()
+	table := e.Run(cfg)
+	if err := emit(table, *format, *outDir, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "zhuge-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 }
 
-// emit writes one result table in the chosen format, to stdout or to a file
-// under dir.
-func emit(t *experiments.Table, format, dir string) error {
+// runAll executes every experiment, fanning them across the worker pool on
+// top of each experiment's own cell-level parallelism, and streams results
+// in registry order as they complete.
+func runAll(cfg experiments.Config, format, outDir string) {
+	all := experiments.All()
+	start := time.Now()
+
+	type result struct {
+		out     []byte
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]result, len(all))
+	done := make([]chan struct{}, len(all))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	go parallel.Map(cfg.Workers, len(all), func(i int) {
+		defer close(done[i])
+		t0 := time.Now()
+		table := all[i].Run(cfg)
+		var buf bytes.Buffer
+		err := emit(table, format, outDir, &buf)
+		results[i] = result{out: buf.Bytes(), err: err, elapsed: time.Since(t0)}
+	})
+
+	for i, e := range all {
+		<-done[i]
+		r := results[i]
+		if r.err != nil {
+			fmt.Fprintln(os.Stderr, "zhuge-bench:", r.err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(r.out)
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, r.elapsed.Round(time.Millisecond))
+	}
+
+	fmt.Printf("all done: %d experiments, %d cells, %d workers, %v total\n",
+		len(all), experiments.CellsRun(), parallel.Workers(cfg.Workers),
+		time.Since(start).Round(time.Millisecond))
+}
+
+// emit writes one result table in the chosen format: to a file under dir
+// when dir is set, otherwise to stdout (which callers may buffer).
+func emit(t *experiments.Table, format, dir string, stdout io.Writer) error {
 	ext := "txt"
 	if format == "csv" {
 		ext = "csv"
 	}
-	var w io.Writer = os.Stdout
+	w := stdout
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err

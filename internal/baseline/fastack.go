@@ -72,14 +72,16 @@ func (f *FastAck) OnDelivered(p *netem.Packet) {
 		st.ooo[seg.Seq] = seg
 	}
 	f.synthesized++
-	f.uplinkOut.Receive(&netem.Packet{
+	ack := netem.NewPacket()
+	*ack = netem.Packet{
 		Flow:    p.Flow.Reverse(),
 		Kind:    netem.KindAck,
 		Size:    64,
 		Seq:     st.next,
 		SentAt:  f.s.Now(),
 		Payload: tcpsim.AckInfo{Ack: st.next, Echo: seg.SentAt, ABCMark: p.ABCMark},
-	})
+	}
+	f.uplinkOut.Receive(ack)
 }
 
 // UplinkIn returns a receiver that absorbs client ACKs of optimised flows

@@ -117,9 +117,9 @@ func (u *InbandUpdater) startTicker(f *ibFlow) {
 			return
 		}
 		u.flush(f)
-		u.s.After(u.interval, tick)
+		u.s.ScheduleAfter(u.interval, tick)
 	}
-	u.s.After(u.interval, tick)
+	u.s.ScheduleAfter(u.interval, tick)
 }
 
 // flush implements step 2 (feedback construction): behave like the RTP
@@ -133,13 +133,15 @@ func (u *InbandUpdater) flush(f *ibFlow) {
 	f.records = f.records[:0]
 	raw := fb.Marshal(nil)
 	u.constructed++
-	u.uplink.Receive(&netem.Packet{
+	fbp := netem.NewPacket()
+	*fbp = netem.Packet{
 		Flow:    f.downlink.Reverse(),
 		Kind:    netem.KindFeedback,
 		Size:    len(raw) + feedbackOverhead,
 		SentAt:  u.s.Now(),
 		Payload: APFeedback{Raw: raw},
-	})
+	}
+	u.uplink.Receive(fbp)
 }
 
 // OnFeedbackPacket filters the client's uplink RTCP: TWCC packets are
@@ -150,6 +152,7 @@ func (u *InbandUpdater) OnFeedbackPacket(now sim.Time, p *netem.Packet) {
 		if pt, fmtField, _, err := packet.RTCPKind(carrier.RawRTCP()); err == nil &&
 			pt == packet.RTCPTypeRTPFB && fmtField == packet.RTPFBTWCC {
 			u.dropped++
+			p.Release()
 			return
 		}
 	}

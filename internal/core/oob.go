@@ -196,7 +196,7 @@ func (u *OOBUpdater) OnAckPacket(now sim.Time, downlink netem.FlowKey, p *netem.
 	// Always go through the scheduler, even for zero delay: a previous
 	// ACK may have a send event pending at this exact instant, and event
 	// insertion order is what keeps the two in sequence.
-	u.s.After(actualDelay, func() { u.uplink.Receive(p) })
+	u.s.ScheduleAfter(actualDelay, func() { u.uplink.Receive(p) })
 }
 
 // Stats reports, for a downlink flow, how many ACKs were processed and the

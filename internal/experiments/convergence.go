@@ -63,19 +63,27 @@ func Fig4(cfg Config) *Table {
 		Title:  "Convergence duration after ABW drop (CCA x AQM x k)",
 		Header: []string{"cca", "qdisc", "k", "rttDegradation(s)", "rateReconverge(s)"},
 	}
-	ccas := []string{"cubic", "bbr", "copa", "gcc"}
-	for _, ccaName := range ccas {
+	type cell struct {
+		cca, qdisc string
+		k          float64
+	}
+	var cells []cell
+	for _, ccaName := range []string{"cubic", "bbr", "copa", "gcc"} {
 		for _, qd := range []string{"fifo", "codel"} {
 			for _, k := range dropKs {
-				res := runDrop(cfg, ccaName, qd, scenario.SolutionNone, k)
-				t.Rows = append(t.Rows, []string{
-					ccaName, qd, fmt.Sprintf("%.0fx", k),
-					secs(degradationAfter(res.rttSeries, 200, dropWarmup)),
-					secs(degradationAfter(res.rateSeries, 1.2*dropBase/k, dropWarmup)),
-				})
+				cells = append(cells, cell{ccaName, qd, k})
 			}
 		}
 	}
+	runCells(cfg, t, len(cells), func(i int) [][]string {
+		c := cells[i]
+		res := runDrop(cfg, c.cca, c.qdisc, scenario.SolutionNone, c.k)
+		return [][]string{{
+			c.cca, c.qdisc, fmt.Sprintf("%.0fx", c.k),
+			secs(degradationAfter(res.rttSeries, 200, dropWarmup)),
+			secs(degradationAfter(res.rateSeries, 1.2*dropBase/c.k, dropWarmup)),
+		}}
+	})
 	return t
 }
 
@@ -96,6 +104,7 @@ func runDrop(cfg Config, ccaName, qdisc string, sol scenario.Solution, k float64
 // fed 1000B packets every 400µs; predictions are sampled every millisecond.
 func Fig7(cfg Config) *Table {
 	cfg = cfg.withDefaults()
+	countCell()
 	s := sim.New(cfg.Seed)
 	q := queue.NewFIFO(0)
 	ft := core.NewFortuneTeller(q, core.FortuneTellerConfig{})
@@ -117,7 +126,7 @@ func Fig7(cfg Config) *Table {
 	var seq uint64
 	for at := -40 * time.Millisecond; at < 25*time.Millisecond; at += 400 * time.Microsecond {
 		at := at + 40*time.Millisecond // shift to >= 0
-		s.At(at, func() {
+		s.Schedule(at, func() {
 			wl.Receive(&netem.Packet{Flow: flow, Kind: netem.KindData, Size: 1000, Seq: seq})
 			seq++
 		})

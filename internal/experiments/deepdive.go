@@ -7,6 +7,7 @@ import (
 
 	"github.com/zhuge-project/zhuge/internal/core"
 	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/parallel"
 	"github.com/zhuge-project/zhuge/internal/scenario"
 	"github.com/zhuge-project/zhuge/internal/trace"
 )
@@ -64,18 +65,29 @@ func Fig19(cfg Config) *Table {
 		Title:  "Fortune Teller prediction accuracy",
 		Header: []string{"trace", "err.p50", "err.p90", "err.p99", "samples"},
 	}
-	var all []predSample
-	for _, tr := range standardTraces(cfg, dur) {
+	type cellOut struct {
+		row     []string
+		samples []predSample
+	}
+	outs := parallel.Sweep(cfg.Workers, standardTraces(cfg, dur), func(tr *trace.Trace, _ int) cellOut {
 		samples := collectPredictions(cfg, tr, dur, core.FortuneTellerConfig{})
-		all = append(all, samples...)
+		countCell()
 		p50, p90, p99 := absErrQuantiles(samples)
-		t.Rows = append(t.Rows, []string{
-			tr.Name,
-			p50.Round(10 * time.Microsecond).String(),
-			p90.Round(10 * time.Microsecond).String(),
-			p99.Round(10 * time.Microsecond).String(),
-			fmt.Sprintf("%d", len(samples)),
-		})
+		return cellOut{
+			row: []string{
+				tr.Name,
+				p50.Round(10 * time.Microsecond).String(),
+				p90.Round(10 * time.Microsecond).String(),
+				p99.Round(10 * time.Microsecond).String(),
+				fmt.Sprintf("%d", len(samples)),
+			},
+			samples: samples,
+		}
+	})
+	var all []predSample
+	for _, o := range outs {
+		t.Rows = append(t.Rows, o.row)
+		all = append(all, o.samples...)
 	}
 
 	// Heatmap: rows = predicted bin, cols = real bin (normalised per row).
@@ -138,38 +150,48 @@ func Fig20(cfg Config) *Table {
 		{"b(one)", scenario.SolutionZhuge, false, true},
 		{"c(both)", scenario.SolutionZhuge, false, false},
 	}
+	type cell struct {
+		proto string
+		b     bar
+	}
+	var cells []cell
 	for _, proto := range []string{"rtp", "tcp"} {
 		for _, b := range bars {
-			tr := trace.Constant("fair", capacity, dur)
-			p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: b.sol, WANRTT: 40 * time.Millisecond})
-			var g1, g2 float64
-			if proto == "rtp" {
-				f1 := p.AddRTPFlow(scenario.RTPFlowConfig{Unoptimized: b.f1Un})
-				f2 := p.AddRTPFlow(scenario.RTPFlowConfig{Unoptimized: b.f2Un})
-				p.Run(dur)
-				g1 = f1.Metrics.DeliveredBytes * 8 / dur.Seconds()
-				g2 = f2.Metrics.DeliveredBytes * 8 / dur.Seconds()
-			} else {
-				f1 := p.AddTCPVideoFlow(scenario.TCPFlowConfig{Unoptimized: b.f1Un})
-				f2 := p.AddTCPVideoFlow(scenario.TCPFlowConfig{Unoptimized: b.f2Un})
-				p.Run(dur)
-				g1 = f1.Metrics.DeliveredBytes * 8 / dur.Seconds()
-				g2 = f2.Metrics.DeliveredBytes * 8 / dur.Seconds()
-			}
-			diff := g1 - g2
-			if diff < 0 {
-				diff = -diff
-			}
-			t.Rows = append(t.Rows, []string{
-				proto, b.name,
-				fmt.Sprintf("%v", !b.f1Un && b.sol == scenario.SolutionZhuge),
-				fmt.Sprintf("%v", !b.f2Un && b.sol == scenario.SolutionZhuge),
-				fmt.Sprintf("%.1f%%", g1/capacity*100),
-				fmt.Sprintf("%.1f%%", g2/capacity*100),
-				fmt.Sprintf("%.1f%%", diff/capacity*100),
-			})
+			cells = append(cells, cell{proto, b})
 		}
 	}
+	runCells(cfg, t, len(cells), func(i int) [][]string {
+		c := cells[i]
+		b := c.b
+		tr := trace.Constant("fair", capacity, dur)
+		p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: b.sol, WANRTT: 40 * time.Millisecond})
+		var g1, g2 float64
+		if c.proto == "rtp" {
+			f1 := p.AddRTPFlow(scenario.RTPFlowConfig{Unoptimized: b.f1Un})
+			f2 := p.AddRTPFlow(scenario.RTPFlowConfig{Unoptimized: b.f2Un})
+			p.Run(dur)
+			g1 = f1.Metrics.DeliveredBytes * 8 / dur.Seconds()
+			g2 = f2.Metrics.DeliveredBytes * 8 / dur.Seconds()
+		} else {
+			f1 := p.AddTCPVideoFlow(scenario.TCPFlowConfig{Unoptimized: b.f1Un})
+			f2 := p.AddTCPVideoFlow(scenario.TCPFlowConfig{Unoptimized: b.f2Un})
+			p.Run(dur)
+			g1 = f1.Metrics.DeliveredBytes * 8 / dur.Seconds()
+			g2 = f2.Metrics.DeliveredBytes * 8 / dur.Seconds()
+		}
+		diff := g1 - g2
+		if diff < 0 {
+			diff = -diff
+		}
+		return [][]string{{
+			c.proto, b.name,
+			fmt.Sprintf("%v", !b.f1Un && b.sol == scenario.SolutionZhuge),
+			fmt.Sprintf("%v", !b.f2Un && b.sol == scenario.SolutionZhuge),
+			fmt.Sprintf("%.1f%%", g1/capacity*100),
+			fmt.Sprintf("%.1f%%", g2/capacity*100),
+			fmt.Sprintf("%.1f%%", diff/capacity*100),
+		}}
+	})
 	return t
 }
 
@@ -197,17 +219,18 @@ func AblationEstimators(cfg Config) *Table {
 		Title:  "Fortune Teller estimator ablation on W1",
 		Header: []string{"variant", "err.p50", "err.p90", "P(rtt>200ms)"},
 	}
-	for _, v := range variants {
+	runCells(cfg, t, len(variants), func(i int) [][]string {
+		v := variants[i]
 		samples := collectPredictions(cfg, tr, dur, v.ft)
 		p50, p90, _ := absErrQuantiles(samples)
 		res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: scenario.SolutionZhuge, FTConfig: v.ft}, dur)
-		t.Rows = append(t.Rows, []string{
+		return [][]string{{
 			v.name,
 			p50.Round(10 * time.Microsecond).String(),
 			p90.Round(10 * time.Microsecond).String(),
 			pct(res.rttTail),
-		})
-	}
+		}}
+	})
 	return t
 }
 
@@ -230,7 +253,8 @@ func AblationFeedback(cfg Config) *Table {
 		{"accumulate-deltas", core.OOBOptions{AccumulateDeltas: true}},
 		{"no-tokens", core.OOBOptions{DisableTokens: true}},
 	}
-	for _, v := range variants {
+	runCells(cfg, t, len(variants), func(i int) [][]string {
+		v := variants[i]
 		total := dropWarmup + cfg.dur(dropTail, 10*time.Second)
 		tr := trace.Step("drop10", dropBase, dropBase/10, dropWarmup, total)
 		p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr,
@@ -248,14 +272,14 @@ func AblationFeedback(cfg Config) *Table {
 		sp.Run(total)
 		_, steadyMean := sp.AP.OOB().Stats(sf.Flow)
 
-		t.Rows = append(t.Rows, []string{
+		return [][]string{{
 			v.name,
 			pct(f.Metrics.RTT.FractionAbove(rttThreshold)),
 			secs(degradationAfter(&f.Metrics.RTTSeries, 200, dropWarmup)),
 			mean.Round(10 * time.Microsecond).String(),
 			fmt.Sprintf("%.2f", sf.Metrics.DeliveredBytes*8/total.Seconds()/1e6),
 			steadyMean.Round(10 * time.Microsecond).String(),
-		})
-	}
+		}}
+	})
 	return t
 }

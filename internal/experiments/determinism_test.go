@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParallelismIsInvisible is the contract behind the -j flag: every
+// experiment renders byte-identical tables whether its cells run
+// sequentially or across 8 workers. Cell randomness derives only from
+// (Seed, label) pairs, so scheduling must never leak into results.
+func TestParallelismIsInvisible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			seq := e.Run(Config{Seed: 1, Scale: 0.02, Workers: 1}).String()
+			par := e.Run(Config{Seed: 1, Scale: 0.02, Workers: 8}).String()
+			if seq != par {
+				t.Errorf("rendered table differs between -j 1 and -j 8:\n--- j=1 ---\n%s\n--- j=8 ---\n%s", seq, par)
+			}
+		})
+	}
+}
+
+// TestTableStringRaggedRows pins the width-panic fix: rows wider or narrower
+// than the header must render without panicking, padded to the widest row.
+func TestTableStringRaggedRows(t *testing.T) {
+	tab := &Table{
+		ID:     "x",
+		Title:  "ragged",
+		Header: []string{"a", "b"},
+		Rows: [][]string{
+			{"1"},
+			{"1", "2", "3", "wider-than-header"},
+		},
+	}
+	out := tab.String()
+	if out == "" {
+		t.Fatal("empty rendering")
+	}
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+}

@@ -11,9 +11,11 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/metrics"
+	"github.com/zhuge-project/zhuge/internal/parallel"
 	"github.com/zhuge-project/zhuge/internal/scenario"
 	"github.com/zhuge-project/zhuge/internal/trace"
 )
@@ -22,6 +24,12 @@ import (
 type Config struct {
 	Seed  int64
 	Scale float64 // 1.0 = full run; 0.1 = ten-times shorter
+
+	// Workers bounds how many simulation cells run concurrently: 0 means
+	// one worker per CPU, 1 is the legacy sequential path. Every cell is
+	// an independent simulator run whose randomness derives from (Seed,
+	// label), so the rendered tables are byte-identical at any setting.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -51,17 +59,25 @@ type Table struct {
 	Rows   [][]string
 }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Rows may be ragged — wider
+// than the header or narrower — so widths cover the widest row, not just the
+// header.
 func (t *Table) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
-	widths := make([]int, len(t.Header))
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -190,6 +206,33 @@ func newRNG(cfg Config, label string) *rand.Rand {
 		h = h*131 + int64(b)
 	}
 	return rand.New(rand.NewSource(cfg.Seed*1_000_003 + h))
+}
+
+// cellsRun counts simulator cells executed across all experiments since
+// process start; cmd/zhuge-bench reports it in the -exp all summary.
+var cellsRun atomic.Int64
+
+// CellsRun returns the total number of simulation cells executed so far.
+func CellsRun() int64 { return cellsRun.Load() }
+
+// countCell records one executed cell; experiments that run a single
+// simulation outside runCells call it directly.
+func countCell() { cellsRun.Add(1) }
+
+// runCells is the concurrency boundary of every sweep-shaped experiment: it
+// executes n independent cells — each one full simulator run — through the
+// parallel runner and appends each cell's rows to t in cell order. Cells
+// must not touch shared mutable state; everything they read (traces, specs)
+// is immutable and everything they write goes into the returned rows.
+func runCells(cfg Config, t *Table, n int, cell func(i int) [][]string) {
+	out := make([][][]string, n)
+	parallel.Map(cfg.Workers, n, func(i int) {
+		out[i] = cell(i)
+		countCell()
+	})
+	for _, rows := range out {
+		t.Rows = append(t.Rows, rows...)
+	}
 }
 
 // sortedKeys returns map keys in sorted order for deterministic tables.

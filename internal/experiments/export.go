@@ -53,24 +53,26 @@ func Fig13CCDF(cfg Config) *Table {
 		Title:  "Full CCDF curves for Figure 13 (plot-ready)",
 		Header: []string{"trace", "solution", "metric", "value_ms", "fraction_above"},
 	}
-	appendCurve := func(trName, solName, metric string, h *metrics.Histogram) {
+	curve := func(trName, solName, metric string, h *metrics.Histogram) [][]string {
+		var rows [][]string
 		for _, pt := range h.CCDF() {
 			if pt.Fraction < 1e-5 {
 				break
 			}
-			t.Rows = append(t.Rows, []string{
+			rows = append(rows, []string{
 				trName, solName, metric,
 				fmt.Sprintf("%.2f", pt.Value.Seconds()*1000),
 				fmt.Sprintf("%.6f", pt.Fraction),
 			})
 		}
+		return rows
 	}
-	for _, tr := range picks {
-		for _, sol := range rtpSolutions {
-			res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, Qdisc: sol.qdisc}, dur)
-			appendCurve(tr.Name, sol.name, "rtt", res.rtt)
-			appendCurve(tr.Name, sol.name, "frameDelay", res.frameDelay)
-		}
-	}
+	cells := rtpTraceCells(picks)
+	runCells(cfg, t, len(cells), func(i int) [][]string {
+		c := cells[i]
+		res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc}, dur)
+		rows := curve(c.tr.Name, c.sol.name, "rtt", res.rtt)
+		return append(rows, curve(c.tr.Name, c.sol.name, "frameDelay", res.frameDelay)...)
+	})
 	return t
 }

@@ -24,21 +24,31 @@ func ExtQUIC(cfg Config) *Table {
 	}
 	traces := standardTraces(cfg, dur)
 	picks := []*trace.Trace{traces[0], traces[3]} // W1, C2
+	type cell struct {
+		tr  *trace.Trace
+		cca string
+		sol scenario.Solution
+	}
+	var cells []cell
 	for _, tr := range picks {
 		for _, ccaName := range []string{"copa", "pcc"} {
 			for _, sol := range []scenario.Solution{scenario.SolutionNone, scenario.SolutionZhuge} {
-				p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol})
-				f := p.AddQUICVideoFlow(scenario.TCPFlowConfig{CCA: ccaName})
-				p.Run(dur)
-				t.Rows = append(t.Rows, []string{
-					tr.Name, ccaName, sol.String(),
-					pct(f.Metrics.RTT.FractionAbove(rttThreshold)),
-					pct(f.FrameDelay.FractionAbove(frameThreshold)),
-					pct(f.FrameRateSeries(dur).FractionBelow(lowFPS)),
-				})
+				cells = append(cells, cell{tr, ccaName, sol})
 			}
 		}
 	}
+	runCells(cfg, t, len(cells), func(i int) [][]string {
+		c := cells[i]
+		p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.sol})
+		f := p.AddQUICVideoFlow(scenario.TCPFlowConfig{CCA: c.cca})
+		p.Run(dur)
+		return [][]string{{
+			c.tr.Name, c.cca, c.sol.String(),
+			pct(f.Metrics.RTT.FractionAbove(rttThreshold)),
+			pct(f.FrameDelay.FractionAbove(frameThreshold)),
+			pct(f.FrameRateSeries(dur).FractionBelow(lowFPS)),
+		}}
+	})
 	return t
 }
 
@@ -54,19 +64,28 @@ func ExtNADA(cfg Config) *Table {
 		Header: []string{"trace", "solution", "P(rtt>200ms)", "P(fdelay>400ms)", "goodput(Mbps)"},
 	}
 	traces := standardTraces(cfg, dur)
+	type cell struct {
+		tr  *trace.Trace
+		sol scenario.Solution
+	}
+	var cells []cell
 	for _, tr := range []*trace.Trace{traces[0], traces[2]} { // W1, C1
 		for _, sol := range []scenario.Solution{scenario.SolutionNone, scenario.SolutionZhuge} {
-			p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol})
-			f := p.AddRTPFlow(scenario.RTPFlowConfig{CCA: "nada"})
-			p.Run(dur)
-			t.Rows = append(t.Rows, []string{
-				tr.Name, sol.String(),
-				pct(f.Metrics.RTT.FractionAbove(rttThreshold)),
-				pct(f.Decoder.FrameDelay.FractionAbove(frameThreshold)),
-				fmt.Sprintf("%.2f", f.Metrics.DeliveredBytes*8/dur.Seconds()/1e6),
-			})
+			cells = append(cells, cell{tr, sol})
 		}
 	}
+	runCells(cfg, t, len(cells), func(i int) [][]string {
+		c := cells[i]
+		p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.sol})
+		f := p.AddRTPFlow(scenario.RTPFlowConfig{CCA: "nada"})
+		p.Run(dur)
+		return [][]string{{
+			c.tr.Name, c.sol.String(),
+			pct(f.Metrics.RTT.FractionAbove(rttThreshold)),
+			pct(f.Decoder.FrameDelay.FractionAbove(frameThreshold)),
+			fmt.Sprintf("%.2f", f.Metrics.DeliveredBytes*8/dur.Seconds()/1e6),
+		}}
+	})
 	return t
 }
 
@@ -82,7 +101,9 @@ func ExtSelectiveEstimation(cfg Config) *Table {
 		Title:  "Extension: selective estimation (sampled predictions, §7.6)",
 		Header: []string{"sampleEvery", "P(rtt>200ms)", "P(fdelay>400ms)", "cacheHitRate"},
 	}
-	for _, every := range []time.Duration{0, 2 * time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
+	intervals := []time.Duration{0, 2 * time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond}
+	runCells(cfg, t, len(intervals), func(i int) [][]string {
+		every := intervals[i]
 		p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr,
 			Solution: scenario.SolutionZhuge,
 			FTConfig: coreFTWithSampling(every)})
@@ -99,13 +120,13 @@ func ExtSelectiveEstimation(cfg Config) *Table {
 		if every > 0 {
 			label = every.String()
 		}
-		t.Rows = append(t.Rows, []string{
+		return [][]string{{
 			label,
 			pct(f.Metrics.RTT.FractionAbove(rttThreshold)),
 			pct(f.Decoder.FrameDelay.FractionAbove(frameThreshold)),
 			pct(rate),
-		})
-	}
+		}}
+	})
 	return t
 }
 

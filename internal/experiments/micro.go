@@ -18,19 +18,28 @@ func Fig14(cfg Config) *Table {
 		Title:  "RTP degradation durations after ABW drop",
 		Header: []string{"solution", "k", "rtt>200ms(s)", "fdelay>400ms(s)", "fps<10(s)"},
 	}
+	type cell struct {
+		sol solutionSpec
+		k   float64
+	}
+	var cells []cell
 	for _, sol := range rtpSolutions {
 		for _, k := range dropKs {
-			total := dropWarmup + cfg.dur(dropTail, 10*time.Second)
-			tr := trace.Step(fmt.Sprintf("drop%.0f", k), dropBase, dropBase/k, dropWarmup, total)
-			res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, Qdisc: sol.qdisc, WANRTT: 50 * time.Millisecond}, total)
-			t.Rows = append(t.Rows, []string{
-				sol.name, fmt.Sprintf("%.0fx", k),
-				secs(degradationAfter(res.rttSeries, 200, dropWarmup)),
-				secs(degradationAfter(res.frameSeries, 400, dropWarmup)),
-				secs(degradationBelowAfter(res.fpsSeries, lowFPS, dropWarmup)),
-			})
+			cells = append(cells, cell{sol, k})
 		}
 	}
+	runCells(cfg, t, len(cells), func(i int) [][]string {
+		c := cells[i]
+		total := dropWarmup + cfg.dur(dropTail, 10*time.Second)
+		tr := trace.Step(fmt.Sprintf("drop%.0f", c.k), dropBase, dropBase/c.k, dropWarmup, total)
+		res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc, WANRTT: 50 * time.Millisecond}, total)
+		return [][]string{{
+			c.sol.name, fmt.Sprintf("%.0fx", c.k),
+			secs(degradationAfter(res.rttSeries, 200, dropWarmup)),
+			secs(degradationAfter(res.frameSeries, 400, dropWarmup)),
+			secs(degradationBelowAfter(res.fpsSeries, lowFPS, dropWarmup)),
+		}}
+	})
 	return t
 }
 
@@ -42,19 +51,28 @@ func Fig15(cfg Config) *Table {
 		Title:  "TCP degradation durations after ABW drop",
 		Header: []string{"solution", "k", "rtt>200ms(s)", "fdelay>400ms(s)", "fps<10(s)"},
 	}
+	type cell struct {
+		sol tcpSolutionSpec
+		k   float64
+	}
+	var cells []cell
 	for _, sol := range tcpSolutions {
 		for _, k := range dropKs {
-			total := dropWarmup + cfg.dur(dropTail, 10*time.Second)
-			tr := trace.Step(fmt.Sprintf("drop%.0f", k), dropBase, dropBase/k, dropWarmup, total)
-			res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, WANRTT: 50 * time.Millisecond}, sol.cca, total)
-			t.Rows = append(t.Rows, []string{
-				sol.name, fmt.Sprintf("%.0fx", k),
-				secs(degradationAfter(res.rttSeries, 200, dropWarmup)),
-				secs(degradationAfter(res.frameSeries, 400, dropWarmup)),
-				secs(degradationBelowAfter(res.fpsSeries, lowFPS, dropWarmup)),
-			})
+			cells = append(cells, cell{sol, k})
 		}
 	}
+	runCells(cfg, t, len(cells), func(i int) [][]string {
+		c := cells[i]
+		total := dropWarmup + cfg.dur(dropTail, 10*time.Second)
+		tr := trace.Step(fmt.Sprintf("drop%.0f", c.k), dropBase, dropBase/c.k, dropWarmup, total)
+		res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: c.sol.sol, WANRTT: 50 * time.Millisecond}, c.sol.cca, total)
+		return [][]string{{
+			c.sol.name, fmt.Sprintf("%.0fx", c.k),
+			secs(degradationAfter(res.rttSeries, 200, dropWarmup)),
+			secs(degradationAfter(res.frameSeries, 400, dropWarmup)),
+			secs(degradationBelowAfter(res.fpsSeries, lowFPS, dropWarmup)),
+		}}
+	})
 	return t
 }
 
@@ -69,37 +87,46 @@ func Fig16(cfg Config) *Table {
 	}
 	flowCounts := []int{0, 10, 20, 30, 40}
 	event := 15 * time.Second
+	type cell struct {
+		sol solutionSpec
+		n   int
+	}
+	var cells []cell
 	for _, sol := range rtpSolutions {
 		for _, n := range flowCounts {
-			total := event + cfg.dur(30*time.Second, 10*time.Second)
-			tr := trace.Constant("comp", 30e6, total)
-			p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, Qdisc: sol.qdisc, WANRTT: 50 * time.Millisecond})
-			f := p.AddRTPFlow(scenario.RTPFlowConfig{})
-			for i := 0; i < n; i++ {
-				// Each competitor is its own station: competition costs
-				// the RTC flow airtime, not space in its queue.
-				p.AddStationBulkFlow(event, 0)
-			}
-			p.Run(total)
-			fps := f.Decoder.FrameRateSeries(total)
-			// Competition is persistent, so "duration" here is cumulative
-			// time spent degraded after the onset (a single late spike
-			// would otherwise pin the last-exceedance metric at the
-			// window length).
-			lowFPSDur := time.Duration(0)
-			for _, pt := range fps.Points {
-				if pt.At >= event && pt.Value < lowFPS {
-					lowFPSDur += time.Second
-				}
-			}
-			t.Rows = append(t.Rows, []string{
-				sol.name, fmt.Sprintf("%d", n),
-				secs(f.Metrics.RTTSeries.DurationAbove(200, event, total)),
-				secs(f.Decoder.FrameDelaySeries.DurationAbove(400, event, total)),
-				secs(lowFPSDur),
-			})
+			cells = append(cells, cell{sol, n})
 		}
 	}
+	runCells(cfg, t, len(cells), func(ci int) [][]string {
+		c := cells[ci]
+		total := event + cfg.dur(30*time.Second, 10*time.Second)
+		tr := trace.Constant("comp", 30e6, total)
+		p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc, WANRTT: 50 * time.Millisecond})
+		f := p.AddRTPFlow(scenario.RTPFlowConfig{})
+		for i := 0; i < c.n; i++ {
+			// Each competitor is its own station: competition costs
+			// the RTC flow airtime, not space in its queue.
+			p.AddStationBulkFlow(event, 0)
+		}
+		p.Run(total)
+		fps := f.Decoder.FrameRateSeries(total)
+		// Competition is persistent, so "duration" here is cumulative
+		// time spent degraded after the onset (a single late spike
+		// would otherwise pin the last-exceedance metric at the
+		// window length).
+		lowFPSDur := time.Duration(0)
+		for _, pt := range fps.Points {
+			if pt.At >= event && pt.Value < lowFPS {
+				lowFPSDur += time.Second
+			}
+		}
+		return [][]string{{
+			c.sol.name, fmt.Sprintf("%d", c.n),
+			secs(f.Metrics.RTTSeries.DurationAbove(200, event, total)),
+			secs(f.Decoder.FrameDelaySeries.DurationAbove(400, event, total)),
+			secs(lowFPSDur),
+		}}
+	})
 	return t
 }
 
@@ -114,16 +141,25 @@ func Fig17(cfg Config) *Table {
 		Title:  "RTP degradation frequency under wireless interference",
 		Header: []string{"solution", "interferers", "P(rtt>200ms)", "P(fdelay>400ms)", "P(fps<10)"},
 	}
+	type cell struct {
+		sol solutionSpec
+		n   int
+	}
+	var cells []cell
 	for _, sol := range rtpSolutions {
 		for _, n := range []int{0, 5, 10, 20, 30, 40} {
-			tr := trace.Constant("intf", 30e6, dur)
-			res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, Qdisc: sol.qdisc,
-				Interferers: n, WANRTT: 50 * time.Millisecond}, dur)
-			t.Rows = append(t.Rows, []string{
-				sol.name, fmt.Sprintf("%d", n),
-				pct(res.rttTail), pct(res.frameTail), pct(res.lowFPS),
-			})
+			cells = append(cells, cell{sol, n})
 		}
 	}
+	runCells(cfg, t, len(cells), func(i int) [][]string {
+		c := cells[i]
+		tr := trace.Constant("intf", 30e6, dur)
+		res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc,
+			Interferers: c.n, WANRTT: 50 * time.Millisecond}, dur)
+		return [][]string{{
+			c.sol.name, fmt.Sprintf("%d", c.n),
+			pct(res.rttTail), pct(res.frameTail), pct(res.lowFPS),
+		}}
+	})
 	return t
 }

@@ -31,10 +31,11 @@ func Fig2(cfg Config) *Table {
 		Header: []string{"access", "rtt.p50", "rtt.p99", "P(rtt>200ms)",
 			"fdelay.p50", "fdelay.p99", "P(fdelay>400ms)", "P(fps<10)"},
 	}
-	for _, a := range accesses {
+	runCells(cfg, t, len(accesses), func(i int) [][]string {
+		a := accesses[i]
 		tr := trace.Generate(a.gen, dur, newRNG(cfg, "fig2-"+a.name))
 		res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr}, dur)
-		t.Rows = append(t.Rows, []string{
+		return [][]string{{
 			a.name,
 			res.rtt.Quantile(0.5).Round(time.Millisecond).String(),
 			res.rtt.Quantile(0.99).Round(time.Millisecond).String(),
@@ -43,8 +44,8 @@ func Fig2(cfg Config) *Table {
 			res.frameDelay.Quantile(0.99).Round(time.Millisecond).String(),
 			pct(res.frameTail),
 			pct(res.lowFPS),
-		})
-	}
+		}}
+	})
 	return t
 }
 
@@ -56,6 +57,7 @@ func Fig3a(cfg Config) *Table {
 	tr := trace.Step("fig3a", 30e6, 3e6, warm, 12*time.Second)
 	p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr})
 	p.AddRTPFlow(scenario.RTPFlowConfig{StartRate: 5e6, MaxRate: 10e6})
+	countCell()
 
 	t := &Table{
 		ID:     "fig3a",
@@ -88,7 +90,8 @@ func Fig3b(cfg Config) *Table {
 		trace.RestaurantWiFi(), trace.OfficeWiFi(), trace.IndoorMixed45G(),
 		trace.City4G(), trace.City5G(), trace.Ethernet(),
 	}
-	for _, g := range gens {
+	runCells(cfg, t, len(gens), func(i int) [][]string {
+		g := gens[i]
 		tr := trace.Generate(g, dur, newRNG(cfg, "fig3b-"+g.Name))
 		ratios := trace.ReductionRatios(tr, 200*time.Millisecond)
 		cdf := trace.ReductionCDF(ratios)
@@ -97,7 +100,7 @@ func Fig3b(cfg Config) *Table {
 			row = append(row, fmt.Sprintf("%.3f", pt.CDF))
 		}
 		row = append(row, pct(trace.FractionAbove(ratios, 10)))
-		t.Rows = append(t.Rows, row)
-	}
+		return [][]string{row}
+	})
 	return t
 }

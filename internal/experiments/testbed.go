@@ -68,16 +68,25 @@ func Fig18(cfg Config) *Table {
 		}},
 	}
 
+	type cell struct {
+		sc  scn
+		sol solutionSpec
+	}
+	var cells []cell
 	for _, sc := range scenarios {
 		for _, sol := range rtpSolutions {
-			res := sc.build(sol)
-			t.Rows = append(t.Rows, []string{
-				sc.name, sol.name,
-				pct(res.rttTail), pct(res.frameTail),
-				fmt.Sprintf("%.2f", res.goodput/1e6),
-			})
+			cells = append(cells, cell{sc, sol})
 		}
 	}
+	runCells(cfg, t, len(cells), func(i int) [][]string {
+		c := cells[i]
+		res := c.sc.build(c.sol)
+		return [][]string{{
+			c.sc.name, c.sol.name,
+			pct(res.rttTail), pct(res.frameTail),
+			fmt.Sprintf("%.2f", res.goodput/1e6),
+		}}
+	})
 	return t
 }
 

@@ -21,13 +21,45 @@ func Fig11(cfg Config) *Table {
 		Title:  "Trace-driven RTP/RTCP: tail latency and delayed-frame ratios",
 		Header: []string{"trace", "solution", "P(rtt>200ms)", "P(fdelay>400ms)"},
 	}
-	for _, tr := range standardTraces(cfg, dur) {
+	cells := rtpTraceCells(standardTraces(cfg, dur))
+	runCells(cfg, t, len(cells), func(i int) [][]string {
+		c := cells[i]
+		res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc}, dur)
+		return [][]string{{c.tr.Name, c.sol.name, pct(res.rttTail), pct(res.frameTail)}}
+	})
+	return t
+}
+
+// rtpTraceCell is one (trace, solution) point of the RTP sweeps.
+type rtpTraceCell struct {
+	tr  *trace.Trace
+	sol solutionSpec
+}
+
+func rtpTraceCells(traces []*trace.Trace) []rtpTraceCell {
+	cells := make([]rtpTraceCell, 0, len(traces)*len(rtpSolutions))
+	for _, tr := range traces {
 		for _, sol := range rtpSolutions {
-			res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, Qdisc: sol.qdisc}, dur)
-			t.Rows = append(t.Rows, []string{tr.Name, sol.name, pct(res.rttTail), pct(res.frameTail)})
+			cells = append(cells, rtpTraceCell{tr, sol})
 		}
 	}
-	return t
+	return cells
+}
+
+// tcpTraceCell is one (trace, solution) point of the TCP sweeps.
+type tcpTraceCell struct {
+	tr  *trace.Trace
+	sol tcpSolutionSpec
+}
+
+func tcpTraceCells(traces []*trace.Trace, sols []tcpSolutionSpec) []tcpTraceCell {
+	cells := make([]tcpTraceCell, 0, len(traces)*len(sols))
+	for _, tr := range traces {
+		for _, sol := range sols {
+			cells = append(cells, tcpTraceCell{tr, sol})
+		}
+	}
+	return cells
 }
 
 // Fig12 reproduces the TCP trace-driven comparison: Copa, Copa+FastAck,
@@ -40,12 +72,12 @@ func Fig12(cfg Config) *Table {
 		Title:  "Trace-driven TCP: tail latency and delayed-frame ratios",
 		Header: []string{"trace", "solution", "P(rtt>200ms)", "P(fdelay>400ms)"},
 	}
-	for _, tr := range standardTraces(cfg, dur) {
-		for _, sol := range tcpSolutions {
-			res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol}, sol.cca, dur)
-			t.Rows = append(t.Rows, []string{tr.Name, sol.name, pct(res.rttTail), pct(res.frameTail)})
-		}
-	}
+	cells := tcpTraceCells(standardTraces(cfg, dur), tcpSolutions)
+	runCells(cfg, t, len(cells), func(i int) [][]string {
+		c := cells[i]
+		res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.sol.sol}, c.sol.cca, dur)
+		return [][]string{{c.tr.Name, c.sol.name, pct(res.rttTail), pct(res.frameTail)}}
+	})
 	return t
 }
 
@@ -65,20 +97,20 @@ func Fig13(cfg Config) *Table {
 		Header: []string{"trace", "solution", "rtt.p90", "rtt.p99", "rtt.p999",
 			"fdelay.p90", "fdelay.p99", "P(fps<10)"},
 	}
-	for _, tr := range picks {
-		for _, sol := range rtpSolutions {
-			res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, Qdisc: sol.qdisc}, dur)
-			t.Rows = append(t.Rows, []string{
-				tr.Name, sol.name,
-				res.rtt.Quantile(0.90).Round(time.Millisecond).String(),
-				res.rtt.Quantile(0.99).Round(time.Millisecond).String(),
-				res.rtt.Quantile(0.999).Round(time.Millisecond).String(),
-				res.frameDelay.Quantile(0.90).Round(time.Millisecond).String(),
-				res.frameDelay.Quantile(0.99).Round(time.Millisecond).String(),
-				pct(res.lowFPS),
-			})
-		}
-	}
+	cells := rtpTraceCells(picks)
+	runCells(cfg, t, len(cells), func(i int) [][]string {
+		c := cells[i]
+		res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc}, dur)
+		return [][]string{{
+			c.tr.Name, c.sol.name,
+			res.rtt.Quantile(0.90).Round(time.Millisecond).String(),
+			res.rtt.Quantile(0.99).Round(time.Millisecond).String(),
+			res.rtt.Quantile(0.999).Round(time.Millisecond).String(),
+			res.frameDelay.Quantile(0.90).Round(time.Millisecond).String(),
+			res.frameDelay.Quantile(0.99).Round(time.Millisecond).String(),
+			pct(res.lowFPS),
+		}}
+	})
 	return t
 }
 
@@ -92,16 +124,29 @@ func Fig22(cfg Config) *Table {
 		Title:  "Low frame-rate ratios over the five traces",
 		Header: []string{"trace", "solution", "P(fps<10)"},
 	}
+	type cell struct {
+		tr     *trace.Trace
+		rtpSol *solutionSpec
+		tcpSol *tcpSolutionSpec
+	}
+	var cells []cell
 	for _, tr := range standardTraces(cfg, dur) {
-		for _, sol := range rtpSolutions {
-			res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol, Qdisc: sol.qdisc}, dur)
-			t.Rows = append(t.Rows, []string{tr.Name, sol.name, pct(res.lowFPS)})
+		for i := range rtpSolutions {
+			cells = append(cells, cell{tr: tr, rtpSol: &rtpSolutions[i]})
 		}
-		for _, sol := range tcpSolutions {
-			res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol}, sol.cca, dur)
-			t.Rows = append(t.Rows, []string{tr.Name, sol.name, pct(res.lowFPS)})
+		for i := range tcpSolutions {
+			cells = append(cells, cell{tr: tr, tcpSol: &tcpSolutions[i]})
 		}
 	}
+	runCells(cfg, t, len(cells), func(i int) [][]string {
+		c := cells[i]
+		if c.rtpSol != nil {
+			res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.rtpSol.sol, Qdisc: c.rtpSol.qdisc}, dur)
+			return [][]string{{c.tr.Name, c.rtpSol.name, pct(res.lowFPS)}}
+		}
+		res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.tcpSol.sol}, c.tcpSol.cca, dur)
+		return [][]string{{c.tr.Name, c.tcpSol.name, pct(res.lowFPS)}}
+	})
 	return t
 }
 
@@ -122,10 +167,11 @@ func Table3(cfg Config) *Table {
 		{"ABC", scenario.SolutionABC, "abc"},
 		{"Copa+Zhuge", scenario.SolutionZhuge, "copa"},
 	}
-	for _, sol := range specs {
+	runCells(cfg, t, len(specs), func(i int) [][]string {
+		sol := specs[i]
 		res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol}, sol.cca, dur)
-		t.Rows = append(t.Rows, []string{sol.name, pct(res.rttTail), pct(res.frameTail), pct(res.lowFPS)})
-	}
+		return [][]string{{sol.name, pct(res.rttTail), pct(res.frameTail), pct(res.lowFPS)}}
+	})
 	return t
 }
 

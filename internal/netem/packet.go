@@ -6,6 +6,7 @@ package netem
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/sim"
@@ -124,6 +125,28 @@ type Packet struct {
 	Payload any
 }
 
+// packetPool recycles Packet structs across flows and (when experiments run
+// in parallel) across concurrently running simulations. Endpoints allocate
+// every data/ACK/feedback packet they send; recycling them at the points
+// where packets provably die — final demux delivery, qdisc drops — removes
+// the per-packet allocation from the enqueue hot path.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// NewPacket returns a zeroed Packet from the pool. Callers populate it and
+// hand it into the topology; ownership transfers with it.
+func NewPacket() *Packet {
+	return packetPool.Get().(*Packet)
+}
+
+// Release returns a packet to the pool. Only the component that consumes a
+// packet terminally — the delivery demux, or a qdisc dropping it — may call
+// Release; after the call every reference to p is invalid. Releasing a
+// packet that was not pool-allocated is harmless (it simply joins the pool).
+func (p *Packet) Release() {
+	*p = Packet{}
+	packetPool.Put(p)
+}
+
 // Receiver consumes packets. Every hop in a topology is a Receiver.
 type Receiver interface {
 	Receive(p *Packet)
@@ -178,5 +201,5 @@ func (l *Link) Receive(p *Packet) {
 	l.busyUntil = start + tx
 	deliverAt := l.busyUntil + l.delay
 	dst := l.dst
-	l.sim.At(deliverAt, func() { dst.Receive(p) })
+	l.sim.Schedule(deliverAt, func() { dst.Receive(p) })
 }

@@ -1,0 +1,163 @@
+// Package parallel is the deterministic cell runner behind the experiment
+// sweeps: it fans fully independent units of work ("cells" — one simulator
+// run each) across a bounded worker pool while guaranteeing that results are
+// observed in work-list order. Because every cell derives its randomness
+// from its own (seed, label) pair and shares nothing mutable with its
+// siblings, executing cells concurrently is invisible in the output: a sweep
+// run with 8 workers is byte-identical to the same sweep run with 1.
+//
+// The runner deliberately has no throttling, batching or result channels:
+// cells are CPU-bound simulator runs lasting milliseconds to minutes, so an
+// atomic work counter plus a slot-per-index result slice is both the fastest
+// and the simplest correct design.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError carries a panic out of a worker with the index of the cell that
+// raised it, so a failing sweep names the exact (trace, solution, seed) cell
+// instead of dying in an anonymous goroutine.
+type PanicError struct {
+	Cell  int    // index of the cell that panicked
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at the panic site
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: cell %d panicked: %v\n%s", e.Cell, e.Value, e.Stack)
+}
+
+// Unwrap exposes a wrapped error panic value for errors.Is/As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Workers resolves a requested worker count: values <= 0 mean "one worker
+// per available CPU" (GOMAXPROCS), anything else passes through.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Map runs fn(i) for every i in [0, n) across at most workers goroutines.
+// workers <= 1 runs every cell inline on the calling goroutine — the legacy
+// sequential path, with zero goroutines and zero synchronisation.
+//
+// Cells are claimed from an atomic counter, so execution order is arbitrary;
+// callers preserve determinism by writing results into slot i of a
+// pre-sized slice. If a cell panics, the panic is captured with its cell
+// index, remaining unstarted cells are cancelled, and Map re-panics with a
+// *PanicError once every in-flight cell has finished.
+func Map(workers, n int, fn func(i int)) {
+	if err := MapCtx(context.Background(), workers, n, fn); err != nil {
+		// MapCtx with a background context only returns panic errors.
+		panic(err)
+	}
+}
+
+// MapCtx is Map with cooperative cancellation: when ctx is cancelled, no new
+// cells are started and MapCtx returns ctx.Err() after in-flight cells
+// drain. Cell panics are still propagated as panics (a *PanicError), because
+// a panicking cell is a bug, not a cancellation.
+func MapCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if pe := runCell(i, fn); pe != nil {
+				panic(pe)
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64 // next unclaimed cell
+		stopped  atomic.Bool  // set on panic or cancellation
+		panicked atomic.Pointer[PanicError]
+		wg       sync.WaitGroup
+	)
+	done := ctx.Done()
+	run := func(i int) {
+		if pe := runCell(i, fn); pe != nil {
+			stopped.Store(true)
+			// Keep the first panic; later ones lose the race and are
+			// dropped (they are almost always the same bug anyway).
+			panicked.CompareAndSwap(nil, pe)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				if done != nil {
+					select {
+					case <-done:
+						stopped.Store(true)
+						return
+					default:
+					}
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if pe := panicked.Load(); pe != nil {
+		panic(pe)
+	}
+	return ctx.Err()
+}
+
+// runCell invokes fn(i), converting a panic into an attributed *PanicError.
+func runCell(i int, fn func(int)) (pe *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			pe = &PanicError{Cell: i, Value: v, Stack: buf}
+		}
+	}()
+	fn(i)
+	return nil
+}
+
+// Sweep runs fn over every item across at most workers goroutines and
+// returns the results in item order — the deterministic fan-out primitive
+// the experiment tables are built on. fn receives the item and its index;
+// results[i] always corresponds to items[i] regardless of execution order.
+func Sweep[T, R any](workers int, items []T, fn func(item T, i int) R) []R {
+	results := make([]R, len(items))
+	Map(workers, len(items), func(i int) {
+		results[i] = fn(items[i], i)
+	})
+	return results
+}

@@ -1,0 +1,170 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapRunsEveryCellOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 100} {
+		const n = 257
+		var counts [n]atomic.Int32
+		Map(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: cell %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestMapZeroAndNegative(t *testing.T) {
+	ran := false
+	Map(4, 0, func(int) { ran = true })
+	Map(4, -3, func(int) { ran = true })
+	if ran {
+		t.Error("no cells should run for n <= 0")
+	}
+}
+
+func TestSweepPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i * 3
+	}
+	got := Sweep(8, items, func(item, i int) int {
+		if item != i*3 {
+			t.Errorf("item %d delivered to index %d", item, i)
+		}
+		return item * item
+	})
+	for i, v := range got {
+		if v != (i*3)*(i*3) {
+			t.Fatalf("results[%d] = %d, want %d", i, v, (i*3)*(i*3))
+		}
+	}
+}
+
+func TestSweepSequentialMatchesParallel(t *testing.T) {
+	items := []string{"a", "bb", "ccc", "dddd", "eeeee"}
+	fn := func(s string, i int) string { return strings.Repeat(s, i+1) }
+	seq := Sweep(1, items, fn)
+	par := Sweep(8, items, fn)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: sequential %q != parallel %q", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapPanicAttribution(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("workers=%d: expected panic", workers)
+				}
+				pe, ok := v.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: panic value %T, want *PanicError", workers, v)
+				}
+				if pe.Cell != 7 {
+					t.Errorf("workers=%d: attributed to cell %d, want 7", workers, pe.Cell)
+				}
+				if !strings.Contains(pe.Error(), "boom") {
+					t.Errorf("workers=%d: error %q should mention the panic value", workers, pe.Error())
+				}
+			}()
+			Map(workers, 16, func(i int) {
+				if i == 7 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestMapPanicStopsNewCells(t *testing.T) {
+	var started atomic.Int32
+	func() {
+		defer func() { recover() }()
+		Map(2, 1000, func(i int) {
+			started.Add(1)
+			if i == 0 {
+				panic("early")
+			}
+			time.Sleep(time.Millisecond)
+		})
+	}()
+	if n := started.Load(); n >= 1000 {
+		t.Errorf("all %d cells ran despite an early panic", n)
+	}
+}
+
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	func() {
+		defer func() {
+			pe := recover().(*PanicError)
+			if !errors.Is(pe, sentinel) {
+				t.Error("wrapped error panic should unwrap")
+			}
+		}()
+		Map(2, 4, func(i int) {
+			if i == 2 {
+				panic(sentinel)
+			}
+		})
+	}()
+}
+
+func TestMapCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := MapCtx(ctx, 2, 10000, func(i int) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10000 {
+		t.Errorf("cancellation did not stop the sweep (%d cells ran)", n)
+	}
+}
+
+func TestMapCtxSequentialCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	err := MapCtx(ctx, 1, 100, func(i int) {
+		ran++
+		if i == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 4 {
+		t.Errorf("ran %d cells, want 4 (cancel checked before each cell)", ran)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) < 1 {
+		t.Error("Workers(0) must be at least 1")
+	}
+	if Workers(-5) < 1 {
+		t.Error("Workers(-5) must be at least 1")
+	}
+	if Workers(3) != 3 {
+		t.Error("positive requests pass through")
+	}
+}

@@ -67,6 +67,7 @@ func (c *codelState) dequeue(now sim.Time, core *fifoCore) (*netem.Packet, int) 
 			for now >= c.dropNext && c.dropping {
 				drops++ // drop p
 				c.count++
+				p.Release()
 				p = core.pop(now)
 				if p == nil {
 					c.dropping = false
@@ -81,6 +82,7 @@ func (c *codelState) dequeue(now sim.Time, core *fifoCore) (*netem.Packet, int) 
 		}
 	} else if okToDrop {
 		drops++ // drop p
+		p.Release()
 		p = core.pop(now)
 		c.dropping = true
 		// If we've been dropping recently, resume at a higher rate.

@@ -115,7 +115,7 @@ func (p *Path) AddRTPFlow(cfg RTPFlowConfig) *RTPFlow {
 		m.DeliveredBytes += float64(pkt.Size)
 	})
 
-	p.S.At(cfg.StartAt, func() {
+	p.S.Schedule(cfg.StartAt, func() {
 		enc.Start()
 		rcv.Start()
 	})
@@ -302,7 +302,7 @@ func (p *Path) AddTCPVideoFlow(cfg TCPFlowConfig) *TCPVideoFlow {
 		m.DeliveredBytes += float64(pkt.Size)
 	})
 
-	p.S.At(cfg.StartAt, enc.Start)
+	p.S.Schedule(cfg.StartAt, enc.Start)
 	return f
 }
 
@@ -349,17 +349,17 @@ func (p *Path) addBulk(startAt, period time.Duration, ownStation bool) *BulkFlow
 		var flip func()
 		flip = func() {
 			on = !on
-			p.S.After(period, flip)
+			p.S.ScheduleAfter(period, flip)
 		}
-		p.S.At(startAt+period, flip)
+		p.S.Schedule(startAt+period, flip)
 	}
 	var feed func()
 	feed = func() {
 		if on && snd.Pending() < 1<<20 {
 			snd.Write(1 << 20)
 		}
-		p.S.After(100*time.Millisecond, feed)
+		p.S.ScheduleAfter(100*time.Millisecond, feed)
 	}
-	p.S.At(startAt, feed)
+	p.S.Schedule(startAt, feed)
 	return &BulkFlow{Flow: flow, Sender: snd}
 }

@@ -131,6 +131,6 @@ func (p *Path) AddQUICVideoFlow(cfg TCPFlowConfig) *QUICVideoFlow {
 		m.DeliveredBytes += float64(pkt.Size)
 	})
 
-	p.S.At(cfg.StartAt, enc.Start)
+	p.S.Schedule(cfg.StartAt, enc.Start)
 	return f
 }

@@ -141,6 +141,9 @@ func NewPath(o Options) *Path {
 		if dst, ok := p.clients[pkt.Flow]; ok {
 			dst.Receive(pkt)
 		}
+		// Endpoints copy what they need out of the packet; delivery is
+		// where a downlink packet's life ends.
+		pkt.Release()
 	})
 	p.Downlink = wireless.NewLink(s, wireless.Config{
 		Channel:     p.Channel,
@@ -154,6 +157,7 @@ func NewPath(o Options) *Path {
 		if dst, ok := p.servers[pkt.Flow.Reverse()]; ok {
 			dst.Receive(pkt)
 		}
+		pkt.Release()
 	})
 	p.wanUp = netem.NewLink(s, 200e6, o.WANRTT/2, serverDemux)
 
@@ -219,6 +223,7 @@ func (p *Path) AddStation(flows ...netem.FlowKey) *wireless.Link {
 		if dst, ok := p.clients[pkt.Flow]; ok {
 			dst.Receive(pkt)
 		}
+		pkt.Release()
 	})
 	p.stationN++
 	link := wireless.NewLink(p.S, wireless.Config{

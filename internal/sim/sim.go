@@ -18,12 +18,19 @@ import (
 type Time = time.Duration
 
 // Timer is a handle for a scheduled event. It can be stopped before firing.
+//
+// Timers handed out by At/After are "retained": the caller holds the handle
+// and may Stop or inspect it at any time, so the simulator never reuses
+// them. Events scheduled through Schedule/ScheduleAfter have no handle and
+// their timers are recycled through a per-simulator free list — the event
+// loop's dominant allocation in long runs.
 type Timer struct {
-	at      Time
-	seq     uint64
-	fn      func()
-	stopped bool
-	index   int // heap index, -1 once popped
+	at       Time
+	seq      uint64
+	fn       func()
+	stopped  bool
+	retained bool
+	index    int // heap index, -1 once popped
 }
 
 // At returns the virtual time this timer is scheduled to fire.
@@ -79,6 +86,13 @@ type Simulator struct {
 	seq     uint64
 	seed    int64
 	stopped bool
+
+	// free recycles handle-less timers popped from the event heap. Only
+	// timers created by Schedule/ScheduleAfter land here: nothing can hold
+	// a reference to them, so reuse is invisible. Retained timers (At/
+	// After) are never recycled — a caller's old handle must never alias a
+	// new event.
+	free []*Timer
 }
 
 // New returns a simulator whose component RNGs derive from seed.
@@ -99,12 +113,8 @@ func (s *Simulator) Pending() int { return len(s.events) }
 // panics: it always indicates a scenario bug, and silently reordering events
 // would destroy determinism.
 func (s *Simulator) At(t Time, fn func()) *Timer {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
-	}
-	s.seq++
-	timer := &Timer{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.events, timer)
+	timer := s.schedule(t, fn)
+	timer.retained = true
 	return timer
 }
 
@@ -116,16 +126,61 @@ func (s *Simulator) After(d time.Duration, fn func()) *Timer {
 	return s.At(s.now+d, fn)
 }
 
+// Schedule is the handle-less twin of At for hot paths: the event cannot be
+// stopped, which lets the simulator recycle its Timer after it fires instead
+// of allocating one per event.
+func (s *Simulator) Schedule(t Time, fn func()) {
+	s.schedule(t, fn)
+}
+
+// ScheduleAfter is the handle-less twin of After.
+func (s *Simulator) ScheduleAfter(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(s.now+d, fn)
+}
+
+func (s *Simulator) schedule(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
+	}
+	s.seq++
+	var timer *Timer
+	if n := len(s.free); n > 0 {
+		timer = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*timer = Timer{at: t, seq: s.seq, fn: fn}
+	} else {
+		timer = &Timer{at: t, seq: s.seq, fn: fn}
+	}
+	heap.Push(&s.events, timer)
+	return timer
+}
+
+// recycle returns a popped, handle-less timer to the free list.
+func (s *Simulator) recycle(t *Timer) {
+	if t.retained {
+		return
+	}
+	t.fn = nil // release the closure now, not at next reuse
+	s.free = append(s.free, t)
+}
+
 // Step fires the next pending event, advancing the clock to it.
 // It reports whether an event fired.
 func (s *Simulator) Step() bool {
 	for len(s.events) > 0 {
 		t := heap.Pop(&s.events).(*Timer)
 		if t.stopped {
+			s.recycle(t) // unreachable today (no handle, no Stop), but safe
 			continue
 		}
 		s.now = t.at
-		t.fn()
+		fn := t.fn
+		s.recycle(t)
+		fn()
 		return true
 	}
 	return false

@@ -201,3 +201,86 @@ func TestPropertyAllEventsFire(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestScheduleFiresLikeAt(t *testing.T) {
+	s := New(1)
+	var got []time.Duration
+	s.Schedule(30*time.Millisecond, func() { got = append(got, s.Now()) })
+	s.ScheduleAfter(10*time.Millisecond, func() { got = append(got, s.Now()) })
+	s.ScheduleAfter(-time.Second, func() { got = append(got, s.Now()) }) // clamps to now
+	s.Run()
+	want := []time.Duration{0, 10 * time.Millisecond, 30 * time.Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScheduleTiesInterleaveWithAt(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(time.Second, func() { order = append(order, 0) })
+	s.Schedule(time.Second, func() { order = append(order, 1) })
+	s.At(time.Second, func() { order = append(order, 2) })
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order %v, want schedule order regardless of API", order)
+		}
+	}
+}
+
+// TestScheduleRecyclesTimers pins the free-list behaviour: a long run of
+// handle-less events reuses one Timer instead of allocating per event.
+func TestScheduleRecyclesTimers(t *testing.T) {
+	s := New(1)
+	var at Time
+	allocs := testing.AllocsPerRun(1000, func() {
+		at += time.Microsecond
+		s.Schedule(at, func() {})
+		s.Step()
+	})
+	if allocs > 0.1 {
+		t.Errorf("Schedule+Step allocates %.2f objects per event, want 0", allocs)
+	}
+}
+
+// TestRetainedTimersAreNotRecycled: a stopped At handle must stay valid (and
+// stopped) even after many Schedule events could have reused its slot.
+func TestRetainedTimersAreNotRecycled(t *testing.T) {
+	s := New(1)
+	fired := false
+	h := s.At(50*time.Millisecond, func() { fired = true })
+	h.Stop()
+	var at Time
+	for i := 0; i < 100; i++ {
+		at += time.Millisecond
+		s.Schedule(at, func() {})
+	}
+	s.Run()
+	if fired {
+		t.Error("stopped retained timer fired")
+	}
+	if !h.Stopped() {
+		t.Error("handle lost its stopped state")
+	}
+	if h.At() != 50*time.Millisecond {
+		t.Errorf("handle At() = %v, corrupted by recycling", h.At())
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	s := New(1)
+	s.Schedule(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	s.Schedule(500*time.Millisecond, func() {})
+}

@@ -175,14 +175,16 @@ func (t *Sender) sendData(chunk streamChunk) {
 	t.nextPktNum++
 	t.inflight[dp.PktNum] = dp
 	t.inflightBytes += dp.Len
-	t.out.Receive(&netem.Packet{
+	p := netem.NewPacket()
+	*p = netem.Packet{
 		Flow:    t.flow,
 		Kind:    netem.KindData,
 		Size:    dp.Len + dataOverhead,
 		Seq:     dp.PktNum,
 		SentAt:  now,
 		Payload: dp,
-	})
+	}
+	t.out.Receive(p)
 	t.armPTO()
 }
 
@@ -392,14 +394,16 @@ func (r *Receiver) Receive(p *netem.Packet) {
 		r.OnDeliver(now, after)
 	}
 	// Acknowledge immediately (RTC tuning: no ack delay).
-	r.out.Receive(&netem.Packet{
+	ack := netem.NewPacket()
+	*ack = netem.Packet{
 		Flow:    r.flow,
 		Kind:    netem.KindAck,
 		Size:    ackSize,
 		Seq:     r.largest,
 		SentAt:  now,
 		Payload: ackFrame{Largest: r.largest, Ranges: r.received.descendingRanges(32), LargestAt: r.largestAt},
-	})
+	}
+	r.out.Receive(ack)
 }
 
 // rangeSet tracks a set of [lo, hi) uint64 ranges.

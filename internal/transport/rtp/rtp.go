@@ -133,7 +133,8 @@ func (snd *Sender) SendFrame(f video.Frame) {
 
 // enqueue stamps a fresh TWCC sequence number and queues the packet.
 func (snd *Sender) enqueue(pl *Payload, wireSize int) {
-	p := &netem.Packet{
+	p := netem.NewPacket()
+	*p = netem.Packet{
 		Flow:    snd.flow,
 		Kind:    netem.KindData,
 		Size:    wireSize,
@@ -167,7 +168,7 @@ func (snd *Sender) paceNext() {
 	rate := snd.cc.Rate() * 1.5
 	gap := time.Duration(float64(p.Size*8) / rate * float64(time.Second))
 	snd.pacingAt = at + gap
-	snd.s.At(at, func() {
+	snd.s.Schedule(at, func() {
 		sendAt := snd.s.Now()
 		pl := p.Payload.(*Payload)
 		pl.TWCCSeq = snd.twccSeq
@@ -332,9 +333,9 @@ func (r *Receiver) Start() {
 			r.lastRRAt = now
 			r.sendReceiverReport()
 		}
-		r.s.After(r.interval, tick)
+		r.s.ScheduleAfter(r.interval, tick)
 	}
-	r.s.After(r.interval, tick)
+	r.s.ScheduleAfter(r.interval, tick)
 }
 
 // Stop halts the feedback loop.
@@ -394,13 +395,15 @@ func (r *Receiver) sendFeedback() {
 	r.fbCount++
 	raw := fb.Marshal(nil)
 	r.arrivals = r.arrivals[:0]
-	r.out.Receive(&netem.Packet{
+	p := netem.NewPacket()
+	*p = netem.Packet{
 		Flow:    r.flow,
 		Kind:    netem.KindFeedback,
 		Size:    len(raw) + feedbackOverhead,
 		SentAt:  r.s.Now(),
 		Payload: FeedbackPayload{Raw: raw},
-	})
+	}
+	r.out.Receive(p)
 }
 
 // sendReceiverReport emits a standard RTCP RR once per second; under a
@@ -416,13 +419,15 @@ func (r *Receiver) sendReceiverReport() {
 	}
 	raw := rr.Marshal(nil)
 	r.rrSent++
-	r.out.Receive(&netem.Packet{
+	p := netem.NewPacket()
+	*p = netem.Packet{
 		Flow:    r.flow,
 		Kind:    netem.KindFeedback,
 		Size:    len(raw) + feedbackOverhead,
 		SentAt:  r.s.Now(),
 		Payload: FeedbackPayload{Raw: raw},
-	})
+	}
+	r.out.Receive(p)
 }
 
 // sendNACKs requests retransmission of sequence gaps older than 10ms. A
@@ -459,11 +464,13 @@ func (r *Receiver) sendNACKs() {
 	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
 	nack := &packet.NACK{SenderSSRC: r.ssrc, MediaSSRC: r.ssrc, Lost: lost}
 	raw := nack.Marshal(nil)
-	r.out.Receive(&netem.Packet{
+	p := netem.NewPacket()
+	*p = netem.Packet{
 		Flow:    r.flow,
 		Kind:    netem.KindFeedback,
 		Size:    len(raw) + feedbackOverhead,
 		SentAt:  now,
 		Payload: FeedbackPayload{Raw: raw},
-	})
+	}
+	r.out.Receive(p)
 }

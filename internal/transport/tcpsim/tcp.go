@@ -133,14 +133,16 @@ func (t *Sender) trySend() {
 
 func (t *Sender) sendSegment(seg Segment) {
 	t.insertSegment(seg)
-	t.out.Receive(&netem.Packet{
+	p := netem.NewPacket()
+	*p = netem.Packet{
 		Flow:    t.flow,
 		Kind:    netem.KindData,
 		Size:    seg.Len + dataOverhead,
 		Seq:     seg.Seq,
 		SentAt:  seg.SentAt,
 		Payload: seg,
-	})
+	}
+	t.out.Receive(p)
 	t.armRTO()
 }
 
@@ -346,12 +348,14 @@ func (r *Receiver) Receive(p *netem.Packet) {
 		r.ooo[seg.Seq] = seg
 	}
 	// Acknowledge every arrival (duplicate ACKs signal gaps).
-	r.out.Receive(&netem.Packet{
+	ack := netem.NewPacket()
+	*ack = netem.Packet{
 		Flow:    r.flow,
 		Kind:    netem.KindAck,
 		Size:    ackSize,
 		Seq:     r.rcvNxt,
 		SentAt:  r.s.Now(),
 		Payload: AckInfo{Ack: r.rcvNxt, Echo: seg.SentAt, ABCMark: p.ABCMark},
-	})
+	}
+	r.out.Receive(ack)
 }

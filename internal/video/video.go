@@ -91,9 +91,9 @@ func (e *Encoder) Start() {
 			return
 		}
 		e.emit()
-		e.s.After(interval, tick)
+		e.s.ScheduleAfter(interval, tick)
 	}
-	e.s.After(0, tick)
+	e.s.ScheduleAfter(0, tick)
 }
 
 func (e *Encoder) emit() {

@@ -185,6 +185,8 @@ func (l *Link) Receive(p *netem.Packet) {
 	}
 	if accepted {
 		l.maybeStart()
+	} else {
+		p.Release()
 	}
 }
 
@@ -197,7 +199,7 @@ func (l *Link) maybeStart() {
 		return
 	}
 	l.busy = true
-	l.s.After(l.accessDelay(), l.transmitBurst)
+	l.s.ScheduleAfter(l.accessDelay(), l.transmitBurst)
 }
 
 // accessDelay draws the channel-access wait: base DIFS/backoff, an
@@ -228,8 +230,8 @@ func (l *Link) transmitBurst() {
 	// On a shared channel, wait out another station's transmission and
 	// re-contend with a fresh backoff.
 	if ch := l.cfg.Channel; ch != nil && ch.freeAt > now {
-		l.s.At(ch.freeAt, func() {
-			l.s.After(l.accessDelay(), l.transmitBurst)
+		l.s.Schedule(ch.freeAt, func() {
+			l.s.ScheduleAfter(l.accessDelay(), l.transmitBurst)
 		})
 		return
 	}
@@ -265,14 +267,14 @@ func (l *Link) transmitBurst() {
 	}
 	deliverAt := now + airtime + l.cfg.PropDelay
 	dst := l.dst
-	l.s.At(deliverAt, func() {
+	l.s.Schedule(deliverAt, func() {
 		for _, p := range burst {
 			l.delivered++
 			l.deliveredBits += float64(p.Size * 8)
 			dst.Receive(p)
 		}
 	})
-	l.s.At(now+airtime, func() {
+	l.s.Schedule(now+airtime, func() {
 		l.busy = false
 		l.maybeStart()
 	})
