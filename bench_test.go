@@ -22,6 +22,7 @@ import (
 	"github.com/zhuge-project/zhuge/internal/core"
 	"github.com/zhuge-project/zhuge/internal/experiments"
 	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/packet"
 	"github.com/zhuge-project/zhuge/internal/parallel"
 	"github.com/zhuge-project/zhuge/internal/queue"
@@ -340,6 +341,61 @@ func BenchmarkSelectiveEstimation(b *testing.B) {
 				ft.Predict(now, flow)
 			}
 		})
+	}
+}
+
+// BenchmarkObsDatapath is the observability layer's overhead contract: the
+// same end-to-end Zhuge RTP run with observability disabled (the production
+// fast path — every instrument is a nil pointer and every hot-path guard is
+// one nil check) and fully enabled (tracer + registry + prediction-error
+// accounting). The disabled variant must stay within noise of the seed
+// datapath; BENCH_obs.json records the measured pair.
+func BenchmarkObsDatapath(b *testing.B) {
+	run := func(b *testing.B, mk func() *obs.Obs) {
+		b.ReportAllocs()
+		dur := 2 * time.Second
+		for i := 0; i < b.N; i++ {
+			tr := trace.Constant("obs-bench", 20e6, dur)
+			p := scenario.NewPath(scenario.Options{
+				Seed: 1, Trace: tr, Solution: scenario.SolutionZhuge, Obs: mk(),
+			})
+			f := p.AddRTPFlow(scenario.RTPFlowConfig{})
+			p.Run(dur)
+			if f.Metrics.DeliveredBytes <= 0 {
+				b.Fatal("flow delivered nothing")
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		run(b, func() *obs.Obs { return nil })
+	})
+	b.Run("enabled", func(b *testing.B) {
+		run(b, func() *obs.Obs {
+			return obs.New(obs.Options{Trace: true, Metrics: true, PredErr: true})
+		})
+	})
+}
+
+// BenchmarkObsDisabledInstruments isolates the per-call cost of nil
+// instruments — the exact operations the datapath executes per packet when
+// observability is off. Must report 0 B/op (also pinned as a test by
+// TestObsDisabledZeroAlloc).
+func BenchmarkObsDisabledInstruments(b *testing.B) {
+	var (
+		c  *obs.Counter
+		g  *obs.Gauge
+		h  *obs.Hist
+		tr *obs.Tracer
+		pe *obs.PredErr
+	)
+	flow := netem.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 9, Proto: 17}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(1)
+		h.Observe(time.Millisecond)
+		tr.Record(obs.Event{At: sim.Time(i), Type: obs.EvEnqueue, Flow: flow})
+		pe.Observe(flow, time.Millisecond, time.Millisecond)
 	}
 }
 

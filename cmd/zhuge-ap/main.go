@@ -16,6 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -35,8 +37,16 @@ func main() {
 		zhuge     = flag.Bool("zhuge", false, "enable the Fortune Teller + Feedback Updater")
 		queueKB   = flag.Int("queue", 256, "downlink queue limit in KiB")
 		statsEvy  = flag.Duration("stats", 5*time.Second, "stats print interval")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "zhuge-ap: pprof:", err)
+			}
+		}()
+	}
 	if *client == "" || *server == "" {
 		fmt.Fprintln(os.Stderr, "zhuge-ap: -client and -server are required")
 		os.Exit(2)

@@ -18,12 +18,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/experiments"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/parallel"
 )
 
@@ -36,8 +39,20 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		format  = flag.String("format", "table", "output format: table|csv")
 		outDir  = flag.String("o", "", "write each table to <dir>/<id>.<ext> instead of stdout")
+
+		metricsOut = flag.String("metrics", "", "write per-cell metrics/prediction-error snapshots (JSON) to this file")
+		traceDir   = flag.String("trace", "", "write per-cell Chrome packet traces into this directory (use with small -scale)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "zhuge-bench: pprof:", err)
+			}
+		}()
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
@@ -51,9 +66,13 @@ func main() {
 	}
 
 	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: *workers}
+	if *metricsOut != "" || *traceDir != "" {
+		cfg.Obs = obs.NewSweep(*traceDir)
+	}
 
 	if *exp == "all" {
 		runAll(cfg, *format, *outDir)
+		writeSweep(cfg.Obs, *metricsOut)
 		return
 	}
 	e := experiments.ByID(*exp)
@@ -68,6 +87,28 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	writeSweep(cfg.Obs, *metricsOut)
+}
+
+// writeSweep exports the per-cell observability snapshots collected during
+// the run. Per-cell Chrome traces (when -trace is set) were already written
+// as each cell finished; this adds the -metrics JSON index over all cells.
+func writeSweep(s *obs.Sweep, metricsOut string) {
+	if s == nil || metricsOut == "" {
+		return
+	}
+	f, err := os.Create(metricsOut)
+	if err == nil {
+		err = s.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zhuge-bench: metrics:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("per-cell metrics written to %s\n", metricsOut)
 }
 
 // runAll executes every experiment, fanning them across the worker pool on

@@ -6,20 +6,26 @@
 //	zhuge-sim -trace w1 -proto rtp -solution zhuge -dur 2m
 //	zhuge-sim -trace drop10 -proto tcp -cca copa -solution none
 //	zhuge-sim -trace w2 -proto rtp -solution none -qdisc codel -interferers 20
+//	zhuge-sim -trace w1 -solution zhuge -dur 10s -trace-out run.trace.json -metrics run.metrics.json
 //
 // Trace names: w1 w2 c1 c2 c3 ethernet abc, dropK (e.g. drop10 = 30 Mbps
 // dropping K-fold mid-run), a CSV file path, or constN (N Mbps constant).
+// (-trace names the bandwidth trace; -trace-out writes the packet-lifecycle
+// trace — open the .json form in chrome://tracing or Perfetto.)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/scenario"
 	"github.com/zhuge-project/zhuge/internal/trace"
 )
@@ -35,8 +41,19 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		interferers = flag.Int("interferers", 0, "contending stations on the channel")
 		bulk        = flag.Int("bulk", 0, "competing CUBIC bulk flows")
+		traceOut    = flag.String("trace-out", "", "write a packet-lifecycle trace to this file (.jsonl = JSONL, else Chrome trace_event for Perfetto)")
+		metricsOut  = flag.String("metrics", "", "write a metrics + prediction-error JSON report to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "zhuge-sim: pprof:", err)
+			}
+		}()
+	}
 
 	tr, err := resolveTrace(*traceName, *dur, *seed)
 	if err != nil {
@@ -48,12 +65,19 @@ func main() {
 		"fastack": scenario.SolutionFastAck, "abc": scenario.SolutionABC,
 	}[*solution]
 
+	o := obs.New(obs.Options{
+		Trace:   *traceOut != "",
+		Metrics: *metricsOut != "",
+		PredErr: *metricsOut != "",
+	})
 	p := scenario.NewPath(scenario.Options{
 		Seed: *seed, Trace: tr, Solution: sol, Qdisc: *qdisc, Interferers: *interferers,
+		Obs: o,
 	})
 	for i := 0; i < *bulk; i++ {
 		p.AddBulkFlow(0, 0)
 	}
+	defer writeObs(o, *traceOut, *metricsOut)
 
 	fmt.Printf("trace=%s proto=%s solution=%s qdisc=%s dur=%v seed=%d\n\n",
 		tr.Name, *proto, *solution, *qdisc, *dur, *seed)
@@ -101,6 +125,40 @@ func main() {
 		f.Decoder.Decoded, f.Decoder.Skipped, f.Sender.Retransmits())
 	fmt.Printf("final rate: %.2f Mbps\n", f.Sender.Controller().Rate()/1e6)
 	fmt.Printf("goodput: %.2f Mbps\n", f.Metrics.DeliveredBytes*8/dur.Seconds()/1e6)
+}
+
+// writeObs flushes the observability outputs after the run: the packet
+// trace (when -trace-out is set), the metrics/prediction-error report (when
+// -metrics is set), and — whenever predictions were joined against actual
+// latencies — the per-flow error table on stdout.
+func writeObs(o *obs.Obs, traceOut, metricsOut string) {
+	if o == nil {
+		return
+	}
+	if rows := o.Errs().Rows(); len(rows) > 0 {
+		fmt.Printf("\nprediction error (predicted vs actual AP->client latency):\n%s", o.Errs().Table())
+	}
+	if traceOut != "" {
+		if err := o.Trace().WriteTraceFile(traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "zhuge-sim: trace-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\npacket trace written to %s\n", traceOut)
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err == nil {
+			err = o.WriteMetricsJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zhuge-sim: metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics report written to %s\n", metricsOut)
+	}
 }
 
 func resolveTrace(name string, dur time.Duration, seed int64) (*trace.Trace, error) {

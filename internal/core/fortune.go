@@ -8,10 +8,13 @@
 package core
 
 import (
+	"encoding/json"
+	"fmt"
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/metrics"
 	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/queue"
 	"github.com/zhuge-project/zhuge/internal/sim"
 )
@@ -27,6 +30,22 @@ type Prediction struct {
 	QShort time.Duration // cur(qFrontWaitTime)
 	Tx     time.Duration // avg(dequeueIntvl)
 	Total  time.Duration
+}
+
+// String renders the prediction's decomposition for logs and traces.
+func (p Prediction) String() string {
+	return fmt.Sprintf("qLong=%v qShort=%v tx=%v total=%v", p.QLong, p.QShort, p.Tx, p.Total)
+}
+
+// MarshalJSON exports the prediction with explicit nanosecond fields, the
+// stable shape the observability exports and external tooling consume.
+func (p Prediction) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		QLong  int64 `json:"q_long_ns"`
+		QShort int64 `json:"q_short_ns"`
+		Tx     int64 `json:"tx_ns"`
+		Total  int64 `json:"total_ns"`
+	}{int64(p.QLong), int64(p.QShort), int64(p.Tx), int64(p.Total)})
 }
 
 // Stable returns the prediction with qShort discounted by one average
@@ -105,8 +124,14 @@ type FortuneTeller struct {
 	// selective-estimation cache, per flow
 	cache map[netem.FlowKey]cachedPrediction
 
-	predictions int
-	cacheHits   int
+	predictions *obs.Counter
+	cacheHits   *obs.Counter
+	tr          *obs.Tracer
+
+	// onEnqueue receives every enqueue observation the Fortune Teller sees
+	// as the AP's wireless.Observer — the single arrival-side entry point
+	// the AP hooks its in-band fortune recording into.
+	onEnqueue func(now sim.Time, p *netem.Packet, accepted bool)
 }
 
 type cachedPrediction struct {
@@ -124,6 +149,8 @@ func NewFortuneTeller(q queue.Qdisc, cfg FortuneTellerConfig) *FortuneTeller {
 		txBytes:      metrics.NewSlidingSum(cfg.Window),
 		deqIntervals: metrics.NewSlidingSum(cfg.Window),
 		maxBurst:     metrics.NewWindowedMax(cfg.Window),
+		predictions:  &obs.Counter{},
+		cacheHits:    &obs.Counter{},
 	}
 	if cfg.SampleEvery > 0 {
 		ft.cache = make(map[netem.FlowKey]cachedPrediction)
@@ -131,9 +158,35 @@ func NewFortuneTeller(q queue.Qdisc, cfg FortuneTellerConfig) *FortuneTeller {
 	return ft
 }
 
-// OnEnqueue implements wireless.Observer. Arrival-side statistics need no
-// state here: predictions are pulled by the AP before it enqueues.
-func (f *FortuneTeller) OnEnqueue(now sim.Time, p *netem.Packet, accepted bool) {}
+// SetObs attaches the observability layer: the prediction counters move
+// into the registry and Predict emits trace events. Call before traffic
+// starts — registry counters restart from zero.
+func (f *FortuneTeller) SetObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	f.tr = o.Trace()
+	if o.Reg != nil {
+		f.predictions = o.Reg.Counter("ft.predictions")
+		f.cacheHits = o.Reg.Counter("ft.cache_hits")
+	}
+}
+
+// SetEnqueueHook registers the function that receives every enqueue
+// observation. The AP routes its in-band fortune recording through here so
+// arrival-side observation has exactly one entry point.
+func (f *FortuneTeller) SetEnqueueHook(hook func(now sim.Time, p *netem.Packet, accepted bool)) {
+	f.onEnqueue = hook
+}
+
+// OnEnqueue implements wireless.Observer. The Fortune Teller itself needs
+// no arrival-side state (predictions are pulled by the AP before it
+// enqueues); the event is forwarded to the registered hook.
+func (f *FortuneTeller) OnEnqueue(now sim.Time, p *netem.Packet, accepted bool) {
+	if f.onEnqueue != nil {
+		f.onEnqueue(now, p, accepted)
+	}
+}
 
 // OnDequeue implements wireless.Observer: every packet pulled by the
 // wireless driver updates the rate, interval and burst estimators.
@@ -159,19 +212,20 @@ func (f *FortuneTeller) OnDequeue(now sim.Time, p *netem.Packet) {
 	f.lastDeqAt = now
 }
 
-// Predictions returns the number of predictions made.
-func (f *FortuneTeller) Predictions() int { return f.predictions }
+// Predictions returns the number of predictions computed.
+func (f *FortuneTeller) Predictions() int { return int(f.predictions.Value()) }
 
 // CacheHits returns how many predictions were served from the selective-
 // estimation cache.
-func (f *FortuneTeller) CacheHits() int { return f.cacheHits }
+func (f *FortuneTeller) CacheHits() int { return int(f.cacheHits.Value()) }
 
 // Predict tells the fortune of a packet of flow `flow` arriving now, before
 // it is enqueued: the queue state it observes is everything ahead of it.
 func (f *FortuneTeller) Predict(now sim.Time, flow netem.FlowKey) Prediction {
 	if f.cache != nil {
 		if c, ok := f.cache[flow]; ok && now-c.at < f.cfg.SampleEvery {
-			f.cacheHits++
+			f.cacheHits.Inc()
+			f.tracePredict(now, flow, c.pred)
 			return c.pred
 		}
 	}
@@ -179,11 +233,18 @@ func (f *FortuneTeller) Predict(now sim.Time, flow netem.FlowKey) Prediction {
 	if f.cache != nil {
 		f.cache[flow] = cachedPrediction{at: now, pred: pred}
 	}
+	f.tracePredict(now, flow, pred)
 	return pred
 }
 
+func (f *FortuneTeller) tracePredict(now sim.Time, flow netem.FlowKey, pred Prediction) {
+	if f.tr != nil {
+		f.tr.Record(obs.Event{At: now, Type: obs.EvPredict, Flow: flow, A: int64(pred.Total)})
+	}
+}
+
 func (f *FortuneTeller) predict(now sim.Time, flow netem.FlowKey) Prediction {
-	f.predictions++
+	f.predictions.Inc()
 	var pred Prediction
 
 	// qLong = cur(qSize)/avg(txRate), with qSize discounted by the

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/packet"
 	"github.com/zhuge-project/zhuge/internal/sim"
 )
@@ -50,6 +51,10 @@ type InbandUpdater struct {
 
 	constructed int
 	dropped     int
+
+	tr           *obs.Tracer
+	cConstructed *obs.Counter
+	cDropped     *obs.Counter
 }
 
 type ibFlow struct {
@@ -71,6 +76,18 @@ func NewInbandUpdater(s *sim.Simulator, uplink netem.Receiver, interval time.Dur
 		s: s, uplink: uplink, interval: interval,
 		flows: make(map[netem.FlowKey]*ibFlow),
 	}
+}
+
+// SetObs attaches the observability layer: constructed feedback packets and
+// absorbed client TWCC packets are counted, and each constructed feedback
+// emits a trace event.
+func (u *InbandUpdater) SetObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	u.tr = o.Trace()
+	u.cConstructed = o.Counter("ib.constructed")
+	u.cDropped = o.Counter("ib.dropped_client_twcc")
 }
 
 // Constructed returns the number of feedback packets built by the AP.
@@ -128,11 +145,13 @@ func (u *InbandUpdater) flush(f *ibFlow) {
 	if len(f.records) == 0 {
 		return
 	}
+	nRecords := len(f.records)
 	fb := packet.BuildTWCC(f.ssrc, f.ssrc, f.fbCount, f.records)
 	f.fbCount++
 	f.records = f.records[:0]
 	raw := fb.Marshal(nil)
 	u.constructed++
+	u.cConstructed.Inc()
 	fbp := netem.NewPacket()
 	*fbp = netem.Packet{
 		Flow:    f.downlink.Reverse(),
@@ -140,6 +159,9 @@ func (u *InbandUpdater) flush(f *ibFlow) {
 		Size:    len(raw) + feedbackOverhead,
 		SentAt:  u.s.Now(),
 		Payload: APFeedback{Raw: raw},
+	}
+	if u.tr != nil {
+		u.tr.Record(obs.Event{At: u.s.Now(), Type: obs.EvFeedback, Flow: f.downlink, Size: fbp.Size, A: int64(nRecords)})
 	}
 	u.uplink.Receive(fbp)
 }
@@ -152,6 +174,7 @@ func (u *InbandUpdater) OnFeedbackPacket(now sim.Time, p *netem.Packet) {
 		if pt, fmtField, _, err := packet.RTCPKind(carrier.RawRTCP()); err == nil &&
 			pt == packet.RTCPTypeRTPFB && fmtField == packet.RTPFBTWCC {
 			u.dropped++
+			u.cDropped.Inc()
 			p.Release()
 			return
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/sim"
 )
 
@@ -37,6 +38,10 @@ type OOBUpdater struct {
 	opts   OOBOptions
 
 	flows map[netem.FlowKey]*oobFlow // keyed by downlink (data) flow
+
+	tr     *obs.Tracer
+	cAcks  *obs.Counter
+	hDelay *obs.Hist
 }
 
 type oobFlow struct {
@@ -77,6 +82,18 @@ const maxAckBacklog = 150 * time.Millisecond
 // SetOptions switches the updater to an ablation variant. Call before
 // traffic starts.
 func (u *OOBUpdater) SetOptions(opts OOBOptions) { u.opts = opts }
+
+// SetObs attaches the observability layer: each delayed ACK is counted,
+// its extra delay recorded in the "oob.ack_delay" histogram, and an
+// ack-delay trace event emitted.
+func (u *OOBUpdater) SetObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	u.tr = o.Trace()
+	u.cAcks = o.Counter("oob.acks")
+	u.hDelay = o.Hist("oob.ack_delay")
+}
 
 // NewOOBUpdater builds an out-of-band updater forwarding ACKs into uplink.
 func NewOOBUpdater(s *sim.Simulator, uplink netem.Receiver, rng *rand.Rand, window time.Duration) *OOBUpdater {
@@ -193,6 +210,13 @@ func (u *OOBUpdater) OnAckPacket(now sim.Time, downlink netem.FlowKey, p *netem.
 	f.lastSentTime = now + actualDelay
 	f.delayedAcks++
 	f.totalDelay += actualDelay
+	if u.cAcks != nil {
+		u.cAcks.Inc()
+		u.hDelay.Observe(actualDelay)
+	}
+	if u.tr != nil {
+		u.tr.Record(obs.Event{At: now, Type: obs.EvAckDelay, Flow: downlink, Seq: p.Seq, Size: p.Size, A: int64(actualDelay)})
+	}
 	// Always go through the scheduler, even for zero delay: a previous
 	// ACK may have a send event pending at this exact instant, and event
 	// insertion order is what keeps the two in sequence.

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/sim"
 	"github.com/zhuge-project/zhuge/internal/wireless"
 )
@@ -18,6 +19,18 @@ const (
 	// ModeInBand rewrites TWCC feedback payloads (RTP/RTCP).
 	ModeInBand
 )
+
+// String names the mode as it appears in metrics and prediction-error
+// reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeOutOfBand:
+		return "oob"
+	case ModeInBand:
+		return "inband"
+	}
+	return "unknown"
+}
 
 // AP is a Zhuge-enabled access point datapath: downlink data packets pass
 // the Fortune Teller on their way into the wireless queue; uplink feedback
@@ -36,6 +49,9 @@ type AP struct {
 	rtc map[netem.FlowKey]Mode // downlink data flow -> mode
 
 	uplinkOut netem.Receiver
+
+	o  *obs.Obs
+	tr *obs.Tracer
 }
 
 // NewAP builds a Zhuge AP around an existing wireless downlink. uplinkOut
@@ -53,26 +69,41 @@ func NewAP(s *sim.Simulator, wl *wireless.Link, uplinkOut netem.Receiver, rng *r
 		rtc:       make(map[netem.FlowKey]Mode),
 		uplinkOut: uplinkOut,
 	}
-	// The AP itself observes enqueue outcomes: in-band fortunes are only
-	// recorded for packets the queue accepted — a packet dropped at the
-	// AP must show up as lost in the constructed feedback, not as
-	// received with a predicted arrival.
-	wl.AddObserver(apObserver{ap})
+	// The AP observes enqueue outcomes through the Fortune Teller's hook
+	// (the datapath's single arrival-side observation point): in-band
+	// fortunes are only recorded for packets the queue accepted — a packet
+	// dropped at the AP must show up as lost in the constructed feedback,
+	// not as received with a predicted arrival.
+	ft.SetEnqueueHook(ap.onEnqueue)
 	return ap
 }
 
-type apObserver struct{ ap *AP }
-
-func (o apObserver) OnEnqueue(now sim.Time, p *netem.Packet, accepted bool) {
+func (ap *AP) onEnqueue(now sim.Time, p *netem.Packet, accepted bool) {
 	if !accepted || p.Kind != netem.KindData {
 		return
 	}
-	if mode, ok := o.ap.rtc[p.Flow]; ok && mode == ModeInBand && p.APArrival == now {
-		o.ap.ib.OnDataPacket(now, p.Flow, p, Prediction{Total: p.Predicted})
+	if mode, ok := ap.rtc[p.Flow]; ok && mode == ModeInBand && p.APArrival == now {
+		ap.ib.OnDataPacket(now, p.Flow, p, Prediction{Total: p.Predicted})
 	}
 }
 
-func (o apObserver) OnDequeue(sim.Time, *netem.Packet) {}
+// SetObs attaches the observability layer to the AP and every component
+// under it (Fortune Teller and both Feedback Updaters). Call before traffic
+// starts; a nil argument is a no-op.
+func (ap *AP) SetObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	ap.o = o
+	ap.tr = o.Trace()
+	ap.ft.SetObs(o)
+	ap.oob.SetObs(o)
+	ap.ib.SetObs(o)
+	// Flows already optimized get their mode label retroactively.
+	for flow, mode := range ap.rtc {
+		o.Errs().SetMode(flow, mode.String())
+	}
+}
 
 // FortuneTeller exposes the AP's estimator (experiments, Figure 19).
 func (ap *AP) FortuneTeller() *FortuneTeller { return ap.ft }
@@ -86,6 +117,9 @@ func (ap *AP) Inband() *InbandUpdater { return ap.ib }
 // Optimize registers a downlink data flow for Zhuge treatment.
 func (ap *AP) Optimize(downlink netem.FlowKey, mode Mode) {
 	ap.rtc[downlink] = mode
+	if ap.o != nil {
+		ap.o.Errs().SetMode(downlink, mode.String())
+	}
 }
 
 // DownlinkIn returns the receiver for packets arriving from the WAN on
@@ -100,6 +134,9 @@ func (ap *AP) receiveDownlink(p *netem.Packet) {
 	mode, optimized := ap.rtc[p.Flow]
 	if optimized && p.Kind == netem.KindData {
 		now := ap.s.Now()
+		if ap.tr != nil {
+			ap.tr.Record(obs.Event{At: now, Type: obs.EvArrive, Flow: p.Flow, Seq: p.Seq, Size: p.Size})
+		}
 		pred := ap.ft.Predict(now, p.Flow)
 		p.APArrival = now
 		p.Predicted = pred.Total

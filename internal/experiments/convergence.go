@@ -7,6 +7,7 @@ import (
 	"github.com/zhuge-project/zhuge/internal/core"
 	"github.com/zhuge-project/zhuge/internal/metrics"
 	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/queue"
 	"github.com/zhuge-project/zhuge/internal/scenario"
 	"github.com/zhuge-project/zhuge/internal/sim"
@@ -75,9 +76,9 @@ func Fig4(cfg Config) *Table {
 			}
 		}
 	}
-	runCells(cfg, t, len(cells), func(i int) [][]string {
+	runCells(cfg, t, len(cells), func(i int, o *obs.Obs) [][]string {
 		c := cells[i]
-		res := runDrop(cfg, c.cca, c.qdisc, scenario.SolutionNone, c.k)
+		res := runDrop(cfg, o, c.cca, c.qdisc, scenario.SolutionNone, c.k)
 		return [][]string{{
 			c.cca, c.qdisc, fmt.Sprintf("%.0fx", c.k),
 			secs(degradationAfter(res.rttSeries, 200, dropWarmup)),
@@ -89,10 +90,10 @@ func Fig4(cfg Config) *Table {
 
 // runDrop runs one bandwidth-drop microbenchmark: warm up at 30 Mbps, drop
 // to 30/k at dropWarmup, observe for dropTail.
-func runDrop(cfg Config, ccaName, qdisc string, sol scenario.Solution, k float64) rtcResult {
+func runDrop(cfg Config, o *obs.Obs, ccaName, qdisc string, sol scenario.Solution, k float64) rtcResult {
 	total := dropWarmup + cfg.dur(dropTail, 10*time.Second)
 	tr := trace.Step(fmt.Sprintf("drop%.0f", k), dropBase, dropBase/k, dropWarmup, total)
-	opts := scenario.Options{Seed: cfg.Seed, Trace: tr, Qdisc: qdisc, Solution: sol, WANRTT: 50 * time.Millisecond}
+	opts := scenario.Options{Obs: o, Seed: cfg.Seed, Trace: tr, Qdisc: qdisc, Solution: sol, WANRTT: 50 * time.Millisecond}
 	if ccaName == "gcc" {
 		return runRTP(opts, total)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/zhuge-project/zhuge/internal/core"
 	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/parallel"
 	"github.com/zhuge-project/zhuge/internal/scenario"
 	"github.com/zhuge-project/zhuge/internal/trace"
@@ -160,11 +161,11 @@ func Fig20(cfg Config) *Table {
 			cells = append(cells, cell{proto, b})
 		}
 	}
-	runCells(cfg, t, len(cells), func(i int) [][]string {
+	runCells(cfg, t, len(cells), func(i int, o *obs.Obs) [][]string {
 		c := cells[i]
 		b := c.b
 		tr := trace.Constant("fair", capacity, dur)
-		p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: b.sol, WANRTT: 40 * time.Millisecond})
+		p := scenario.NewPath(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: tr, Solution: b.sol, WANRTT: 40 * time.Millisecond})
 		var g1, g2 float64
 		if c.proto == "rtp" {
 			f1 := p.AddRTPFlow(scenario.RTPFlowConfig{Unoptimized: b.f1Un})
@@ -219,11 +220,11 @@ func AblationEstimators(cfg Config) *Table {
 		Title:  "Fortune Teller estimator ablation on W1",
 		Header: []string{"variant", "err.p50", "err.p90", "P(rtt>200ms)"},
 	}
-	runCells(cfg, t, len(variants), func(i int) [][]string {
+	runCells(cfg, t, len(variants), func(i int, o *obs.Obs) [][]string {
 		v := variants[i]
 		samples := collectPredictions(cfg, tr, dur, v.ft)
 		p50, p90, _ := absErrQuantiles(samples)
-		res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: scenario.SolutionZhuge, FTConfig: v.ft}, dur)
+		res := runRTP(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: tr, Solution: scenario.SolutionZhuge, FTConfig: v.ft}, dur)
 		return [][]string{{
 			v.name,
 			p50.Round(10 * time.Microsecond).String(),
@@ -253,11 +254,11 @@ func AblationFeedback(cfg Config) *Table {
 		{"accumulate-deltas", core.OOBOptions{AccumulateDeltas: true}},
 		{"no-tokens", core.OOBOptions{DisableTokens: true}},
 	}
-	runCells(cfg, t, len(variants), func(i int) [][]string {
+	runCells(cfg, t, len(variants), func(i int, o *obs.Obs) [][]string {
 		v := variants[i]
 		total := dropWarmup + cfg.dur(dropTail, 10*time.Second)
 		tr := trace.Step("drop10", dropBase, dropBase/10, dropWarmup, total)
-		p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr,
+		p := scenario.NewPath(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: tr,
 			Solution: scenario.SolutionZhuge, OOB: v.oob, WANRTT: 50 * time.Millisecond})
 		f := p.AddTCPVideoFlow(scenario.TCPFlowConfig{CCA: "copa"})
 		p.Run(total)

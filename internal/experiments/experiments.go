@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/metrics"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/parallel"
 	"github.com/zhuge-project/zhuge/internal/scenario"
 	"github.com/zhuge-project/zhuge/internal/trace"
@@ -30,6 +31,13 @@ type Config struct {
 	// an independent simulator run whose randomness derives from (Seed,
 	// label), so the rendered tables are byte-identical at any setting.
 	Workers int
+
+	// Obs optionally collects per-cell observability (metrics registry,
+	// prediction-error accounting, and — when its TraceDir is set — packet
+	// traces). Each cell gets its own Obs bundle, so the determinism
+	// guarantee holds at any worker count. Nil keeps every simulator on
+	// its zero-overhead path.
+	Obs *obs.Sweep
 }
 
 func (c Config) withDefaults() Config {
@@ -224,14 +232,28 @@ func countCell() { cellsRun.Add(1) }
 // parallel runner and appends each cell's rows to t in cell order. Cells
 // must not touch shared mutable state; everything they read (traces, specs)
 // is immutable and everything they write goes into the returned rows.
-func runCells(cfg Config, t *Table, n int, cell func(i int) [][]string) {
+//
+// Each cell receives its own observability bundle (nil unless cfg.Obs is
+// set); cells that build a scenario pass it through scenario.Options.Obs.
+// Finished bundles are recorded on cfg.Obs keyed by (table ID, cell index),
+// so per-cell attribution survives any worker count.
+func runCells(cfg Config, t *Table, n int, cell func(i int, o *obs.Obs) [][]string) {
 	out := make([][][]string, n)
-	parallel.Map(cfg.Workers, n, func(i int) {
-		out[i] = cell(i)
+	bundles := make([]*obs.Obs, n)
+	for i := range bundles {
+		bundles[i] = cfg.Obs.NewCell()
+	}
+	elapsed := parallel.MapTimed(cfg.Workers, n, func(i int) {
+		out[i] = cell(i, bundles[i])
 		countCell()
 	})
 	for _, rows := range out {
 		t.Rows = append(t.Rows, rows...)
+	}
+	for i := range bundles {
+		if err := cfg.Obs.Record(t.ID, i, bundles[i], elapsed[i]); err != nil {
+			fmt.Printf("warning: obs record %s cell %d: %v\n", t.ID, i, err)
+		}
 	}
 }
 

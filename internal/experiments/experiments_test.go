@@ -197,7 +197,6 @@ func TestFig20Shape(t *testing.T) {
 	}
 }
 
-
 func TestWriteCSV(t *testing.T) {
 	tab := &Table{
 		ID:     "x",

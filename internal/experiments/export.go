@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/metrics"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/scenario"
 )
 
@@ -68,9 +69,9 @@ func Fig13CCDF(cfg Config) *Table {
 		return rows
 	}
 	cells := rtpTraceCells(picks)
-	runCells(cfg, t, len(cells), func(i int) [][]string {
+	runCells(cfg, t, len(cells), func(i int, o *obs.Obs) [][]string {
 		c := cells[i]
-		res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc}, dur)
+		res := runRTP(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: c.tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc}, dur)
 		rows := curve(c.tr.Name, c.sol.name, "rtt", res.rtt)
 		return append(rows, curve(c.tr.Name, c.sol.name, "frameDelay", res.frameDelay)...)
 	})

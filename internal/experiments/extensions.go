@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/core"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/scenario"
 	"github.com/zhuge-project/zhuge/internal/trace"
 )
@@ -37,9 +38,9 @@ func ExtQUIC(cfg Config) *Table {
 			}
 		}
 	}
-	runCells(cfg, t, len(cells), func(i int) [][]string {
+	runCells(cfg, t, len(cells), func(i int, o *obs.Obs) [][]string {
 		c := cells[i]
-		p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.sol})
+		p := scenario.NewPath(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: c.tr, Solution: c.sol})
 		f := p.AddQUICVideoFlow(scenario.TCPFlowConfig{CCA: c.cca})
 		p.Run(dur)
 		return [][]string{{
@@ -74,9 +75,9 @@ func ExtNADA(cfg Config) *Table {
 			cells = append(cells, cell{tr, sol})
 		}
 	}
-	runCells(cfg, t, len(cells), func(i int) [][]string {
+	runCells(cfg, t, len(cells), func(i int, o *obs.Obs) [][]string {
 		c := cells[i]
-		p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.sol})
+		p := scenario.NewPath(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: c.tr, Solution: c.sol})
 		f := p.AddRTPFlow(scenario.RTPFlowConfig{CCA: "nada"})
 		p.Run(dur)
 		return [][]string{{
@@ -102,9 +103,9 @@ func ExtSelectiveEstimation(cfg Config) *Table {
 		Header: []string{"sampleEvery", "P(rtt>200ms)", "P(fdelay>400ms)", "cacheHitRate"},
 	}
 	intervals := []time.Duration{0, 2 * time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond}
-	runCells(cfg, t, len(intervals), func(i int) [][]string {
+	runCells(cfg, t, len(intervals), func(i int, o *obs.Obs) [][]string {
 		every := intervals[i]
-		p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr,
+		p := scenario.NewPath(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: tr,
 			Solution: scenario.SolutionZhuge,
 			FTConfig: coreFTWithSampling(every)})
 		f := p.AddRTPFlow(scenario.RTPFlowConfig{})

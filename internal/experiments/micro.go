@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/scenario"
 	"github.com/zhuge-project/zhuge/internal/trace"
 )
@@ -28,11 +29,11 @@ func Fig14(cfg Config) *Table {
 			cells = append(cells, cell{sol, k})
 		}
 	}
-	runCells(cfg, t, len(cells), func(i int) [][]string {
+	runCells(cfg, t, len(cells), func(i int, o *obs.Obs) [][]string {
 		c := cells[i]
 		total := dropWarmup + cfg.dur(dropTail, 10*time.Second)
 		tr := trace.Step(fmt.Sprintf("drop%.0f", c.k), dropBase, dropBase/c.k, dropWarmup, total)
-		res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc, WANRTT: 50 * time.Millisecond}, total)
+		res := runRTP(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc, WANRTT: 50 * time.Millisecond}, total)
 		return [][]string{{
 			c.sol.name, fmt.Sprintf("%.0fx", c.k),
 			secs(degradationAfter(res.rttSeries, 200, dropWarmup)),
@@ -61,11 +62,11 @@ func Fig15(cfg Config) *Table {
 			cells = append(cells, cell{sol, k})
 		}
 	}
-	runCells(cfg, t, len(cells), func(i int) [][]string {
+	runCells(cfg, t, len(cells), func(i int, o *obs.Obs) [][]string {
 		c := cells[i]
 		total := dropWarmup + cfg.dur(dropTail, 10*time.Second)
 		tr := trace.Step(fmt.Sprintf("drop%.0f", c.k), dropBase, dropBase/c.k, dropWarmup, total)
-		res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: c.sol.sol, WANRTT: 50 * time.Millisecond}, c.sol.cca, total)
+		res := runTCP(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: tr, Solution: c.sol.sol, WANRTT: 50 * time.Millisecond}, c.sol.cca, total)
 		return [][]string{{
 			c.sol.name, fmt.Sprintf("%.0fx", c.k),
 			secs(degradationAfter(res.rttSeries, 200, dropWarmup)),
@@ -97,11 +98,11 @@ func Fig16(cfg Config) *Table {
 			cells = append(cells, cell{sol, n})
 		}
 	}
-	runCells(cfg, t, len(cells), func(ci int) [][]string {
+	runCells(cfg, t, len(cells), func(ci int, o *obs.Obs) [][]string {
 		c := cells[ci]
 		total := event + cfg.dur(30*time.Second, 10*time.Second)
 		tr := trace.Constant("comp", 30e6, total)
-		p := scenario.NewPath(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc, WANRTT: 50 * time.Millisecond})
+		p := scenario.NewPath(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc, WANRTT: 50 * time.Millisecond})
 		f := p.AddRTPFlow(scenario.RTPFlowConfig{})
 		for i := 0; i < c.n; i++ {
 			// Each competitor is its own station: competition costs
@@ -151,10 +152,10 @@ func Fig17(cfg Config) *Table {
 			cells = append(cells, cell{sol, n})
 		}
 	}
-	runCells(cfg, t, len(cells), func(i int) [][]string {
+	runCells(cfg, t, len(cells), func(i int, o *obs.Obs) [][]string {
 		c := cells[i]
 		tr := trace.Constant("intf", 30e6, dur)
-		res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc,
+		res := runRTP(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc,
 			Interferers: c.n, WANRTT: 50 * time.Millisecond}, dur)
 		return [][]string{{
 			c.sol.name, fmt.Sprintf("%d", c.n),

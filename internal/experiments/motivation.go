@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/scenario"
 	"github.com/zhuge-project/zhuge/internal/trace"
 )
@@ -31,10 +32,10 @@ func Fig2(cfg Config) *Table {
 		Header: []string{"access", "rtt.p50", "rtt.p99", "P(rtt>200ms)",
 			"fdelay.p50", "fdelay.p99", "P(fdelay>400ms)", "P(fps<10)"},
 	}
-	runCells(cfg, t, len(accesses), func(i int) [][]string {
+	runCells(cfg, t, len(accesses), func(i int, o *obs.Obs) [][]string {
 		a := accesses[i]
 		tr := trace.Generate(a.gen, dur, newRNG(cfg, "fig2-"+a.name))
-		res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: tr}, dur)
+		res := runRTP(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: tr}, dur)
 		return [][]string{{
 			a.name,
 			res.rtt.Quantile(0.5).Round(time.Millisecond).String(),
@@ -90,7 +91,7 @@ func Fig3b(cfg Config) *Table {
 		trace.RestaurantWiFi(), trace.OfficeWiFi(), trace.IndoorMixed45G(),
 		trace.City4G(), trace.City5G(), trace.Ethernet(),
 	}
-	runCells(cfg, t, len(gens), func(i int) [][]string {
+	runCells(cfg, t, len(gens), func(i int, o *obs.Obs) [][]string {
 		g := gens[i]
 		tr := trace.Generate(g, dur, newRNG(cfg, "fig3b-"+g.Name))
 		ratios := trace.ReductionRatios(tr, 200*time.Millisecond)

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/scenario"
 	"github.com/zhuge-project/zhuge/internal/trace"
 )
@@ -22,9 +23,9 @@ func Fig11(cfg Config) *Table {
 		Header: []string{"trace", "solution", "P(rtt>200ms)", "P(fdelay>400ms)"},
 	}
 	cells := rtpTraceCells(standardTraces(cfg, dur))
-	runCells(cfg, t, len(cells), func(i int) [][]string {
+	runCells(cfg, t, len(cells), func(i int, o *obs.Obs) [][]string {
 		c := cells[i]
-		res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc}, dur)
+		res := runRTP(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: c.tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc}, dur)
 		return [][]string{{c.tr.Name, c.sol.name, pct(res.rttTail), pct(res.frameTail)}}
 	})
 	return t
@@ -73,9 +74,9 @@ func Fig12(cfg Config) *Table {
 		Header: []string{"trace", "solution", "P(rtt>200ms)", "P(fdelay>400ms)"},
 	}
 	cells := tcpTraceCells(standardTraces(cfg, dur), tcpSolutions)
-	runCells(cfg, t, len(cells), func(i int) [][]string {
+	runCells(cfg, t, len(cells), func(i int, o *obs.Obs) [][]string {
 		c := cells[i]
-		res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.sol.sol}, c.sol.cca, dur)
+		res := runTCP(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: c.tr, Solution: c.sol.sol}, c.sol.cca, dur)
 		return [][]string{{c.tr.Name, c.sol.name, pct(res.rttTail), pct(res.frameTail)}}
 	})
 	return t
@@ -98,9 +99,9 @@ func Fig13(cfg Config) *Table {
 			"fdelay.p90", "fdelay.p99", "P(fps<10)"},
 	}
 	cells := rtpTraceCells(picks)
-	runCells(cfg, t, len(cells), func(i int) [][]string {
+	runCells(cfg, t, len(cells), func(i int, o *obs.Obs) [][]string {
 		c := cells[i]
-		res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc}, dur)
+		res := runRTP(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: c.tr, Solution: c.sol.sol, Qdisc: c.sol.qdisc}, dur)
 		return [][]string{{
 			c.tr.Name, c.sol.name,
 			res.rtt.Quantile(0.90).Round(time.Millisecond).String(),
@@ -138,13 +139,13 @@ func Fig22(cfg Config) *Table {
 			cells = append(cells, cell{tr: tr, tcpSol: &tcpSolutions[i]})
 		}
 	}
-	runCells(cfg, t, len(cells), func(i int) [][]string {
+	runCells(cfg, t, len(cells), func(i int, o *obs.Obs) [][]string {
 		c := cells[i]
 		if c.rtpSol != nil {
-			res := runRTP(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.rtpSol.sol, Qdisc: c.rtpSol.qdisc}, dur)
+			res := runRTP(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: c.tr, Solution: c.rtpSol.sol, Qdisc: c.rtpSol.qdisc}, dur)
 			return [][]string{{c.tr.Name, c.rtpSol.name, pct(res.lowFPS)}}
 		}
-		res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: c.tr, Solution: c.tcpSol.sol}, c.tcpSol.cca, dur)
+		res := runTCP(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: c.tr, Solution: c.tcpSol.sol}, c.tcpSol.cca, dur)
 		return [][]string{{c.tr.Name, c.tcpSol.name, pct(res.lowFPS)}}
 	})
 	return t
@@ -167,11 +168,10 @@ func Table3(cfg Config) *Table {
 		{"ABC", scenario.SolutionABC, "abc"},
 		{"Copa+Zhuge", scenario.SolutionZhuge, "copa"},
 	}
-	runCells(cfg, t, len(specs), func(i int) [][]string {
+	runCells(cfg, t, len(specs), func(i int, o *obs.Obs) [][]string {
 		sol := specs[i]
-		res := runTCP(scenario.Options{Seed: cfg.Seed, Trace: tr, Solution: sol.sol}, sol.cca, dur)
+		res := runTCP(scenario.Options{Obs: o, Seed: cfg.Seed, Trace: tr, Solution: sol.sol}, sol.cca, dur)
 		return [][]string{{sol.name, pct(res.rttTail), pct(res.frameTail), pct(res.lowFPS)}}
 	})
 	return t
 }
-

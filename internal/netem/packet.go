@@ -49,6 +49,12 @@ func (k FlowKey) String() string {
 		k.DstIP>>16, k.DstIP&0xffff, k.DstPort, k.Proto)
 }
 
+// MarshalText lets FlowKey serve as a JSON map key (encoding/json renders
+// text-marshaling keys sorted), so per-flow maps export deterministically.
+func (k FlowKey) MarshalText() ([]byte, error) {
+	return []byte(k.String()), nil
+}
+
 // Hash is a cheap mixing hash for flow classification (FQ-CoDel buckets).
 func (k FlowKey) Hash() uint32 {
 	h := uint32(2166136261)

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+)
+
+// WriteJSONL writes every event as one JSON object per line with a fixed
+// field order, so identical event streams serialise byte-identically — the
+// property the -j determinism golden test pins.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range t.Events() {
+		_, err := fmt.Fprintf(bw,
+			`{"t":%d,"type":%q,"flow":%q,"seq":%d,"size":%d,"dur":%d,"a":%d}`+"\n",
+			int64(ev.At), ev.Type.String(), ev.Flow.String(), ev.Seq, ev.Size, int64(ev.Dur), ev.A)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace writes the events in Chrome trace_event JSON object
+// format, loadable directly in chrome://tracing and Perfetto. The datapath
+// is one process; each flow becomes a named thread track. EvAirtime spans
+// render as complete ("X") events, everything else as thread-scoped
+// instants. Timestamps are microseconds of virtual time, emitted in record
+// order, hence monotonic.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+
+	// Stable flow -> tid mapping in first-appearance order, announced with
+	// thread_name metadata so Perfetto labels each track with the 5-tuple.
+	tids := make(map[netem.FlowKey]int)
+	var order []netem.FlowKey
+	for _, ev := range t.Events() {
+		if _, ok := tids[ev.Flow]; !ok {
+			tids[ev.Flow] = len(order) + 1
+			order = append(order, ev.Flow)
+		}
+	}
+	first := true
+	emit := func(format string, args ...any) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := fmt.Fprintf(bw, format, args...)
+		return err
+	}
+	if err := emit(`{"ph":"M","pid":1,"name":"process_name","args":{"name":"zhuge datapath"}}`); err != nil {
+		return err
+	}
+	for _, flow := range order {
+		if err := emit(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%q}}`,
+			tids[flow], flow.String()); err != nil {
+			return err
+		}
+	}
+	for _, ev := range t.Events() {
+		ts := float64(ev.At) / 1e3 // ns -> µs
+		tid := tids[ev.Flow]
+		var err error
+		if ev.Type == EvAirtime {
+			err = emit(`{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"size":%d,"seq":%d,"a":%d}}`,
+				ev.Type.String(), ev.Type.component(), ts, float64(ev.Dur)/1e3, tid, ev.Size, ev.Seq, ev.A)
+		} else {
+			err = emit(`{"name":%q,"cat":%q,"ph":"i","s":"t","ts":%.3f,"pid":1,"tid":%d,"args":{"size":%d,"seq":%d,"a":%d}}`,
+				ev.Type.String(), ev.Type.component(), ts, tid, ev.Size, ev.Seq, ev.A)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteTraceFile writes the trace to path, choosing the format by
+// extension: ".jsonl" emits JSON lines, anything else the Chrome
+// trace_event format.
+func (t *Tracer) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		err = t.WriteJSONL(f)
+	} else {
+		err = t.WriteChromeTrace(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

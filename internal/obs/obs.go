@@ -1,0 +1,89 @@
+// Package obs is the observability layer of the Zhuge datapath: a
+// packet-lifecycle tracer, a named-instrument metrics registry and a
+// prediction-error accounter, bundled per simulation so that concurrently
+// running experiment cells never share mutable state.
+//
+// The layer is designed to cost a nil check and nothing else when disabled:
+// every component holds (possibly nil) pointers to its instruments, every
+// instrument method is a no-op on a nil receiver, and call sites that would
+// otherwise evaluate expensive arguments guard with an explicit nil test.
+// The contract is pinned by TestObsDisabledZeroAlloc and the
+// BenchmarkObsDatapath before/after pair.
+package obs
+
+// Obs bundles the three observability components for one simulation. Any
+// field may be nil; a nil *Obs disables everything. One Obs must not be
+// shared between concurrently running simulations — the experiment harness
+// creates one per cell (see Sweep).
+type Obs struct {
+	Tracer  *Tracer
+	Reg     *Registry
+	PredErr *PredErr
+}
+
+// Options selects which components New enables.
+type Options struct {
+	Trace   bool // record packet-lifecycle events
+	Metrics bool // counters, gauges, histograms
+	PredErr bool // prediction-vs-actual accounting
+}
+
+// New returns an Obs with the selected components enabled, or nil when none
+// are.
+func New(o Options) *Obs {
+	if !o.Trace && !o.Metrics && !o.PredErr {
+		return nil
+	}
+	b := &Obs{}
+	if o.Trace {
+		b.Tracer = NewTracer()
+	}
+	if o.Metrics {
+		b.Reg = NewRegistry()
+	}
+	if o.PredErr {
+		b.PredErr = NewPredErr()
+	}
+	return b
+}
+
+// Trace returns the bundle's tracer, nil-safely.
+func (o *Obs) Trace() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// Counter resolves a named counter, nil-safely: with no registry the
+// returned counter is nil and its methods are no-ops.
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil || o.Reg == nil {
+		return nil
+	}
+	return o.Reg.Counter(name)
+}
+
+// Gauge resolves a named gauge, nil-safely.
+func (o *Obs) Gauge(name string) *Gauge {
+	if o == nil || o.Reg == nil {
+		return nil
+	}
+	return o.Reg.Gauge(name)
+}
+
+// Hist resolves a named duration histogram, nil-safely.
+func (o *Obs) Hist(name string) *Hist {
+	if o == nil || o.Reg == nil {
+		return nil
+	}
+	return o.Reg.Hist(name)
+}
+
+// Errs returns the bundle's prediction-error accounter, nil-safely.
+func (o *Obs) Errs() *PredErr {
+	if o == nil {
+		return nil
+	}
+	return o.PredErr
+}

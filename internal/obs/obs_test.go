@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+func testFlow(port uint16) netem.FlowKey {
+	return netem.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: port, DstPort: port, Proto: 17}
+}
+
+func sampleTracer() *Tracer {
+	tr := NewTracer()
+	f1, f2 := testFlow(5001), testFlow(5002)
+	tr.Record(Event{At: 1 * sim.Time(time.Millisecond), Type: EvArrive, Flow: f1, Seq: 1, Size: 1200})
+	tr.Record(Event{At: 1 * sim.Time(time.Millisecond), Type: EvPredict, Flow: f1, A: int64(4 * time.Millisecond)})
+	tr.Record(Event{At: 1 * sim.Time(time.Millisecond), Type: EvEnqueue, Flow: f1, Seq: 1, Size: 1200})
+	tr.Record(Event{At: 2 * sim.Time(time.Millisecond), Type: EvEnqueue, Flow: f2, Seq: 9, Size: 300})
+	tr.Record(Event{At: 3 * sim.Time(time.Millisecond), Type: EvDequeue, Flow: f1, Seq: 1, Size: 1200, A: int64(2 * time.Millisecond)})
+	tr.Record(Event{At: 3 * sim.Time(time.Millisecond), Type: EvAggregate, Flow: f1, Size: 1500, A: 2})
+	tr.Record(Event{At: 3 * sim.Time(time.Millisecond), Type: EvAirtime, Flow: f1, Dur: 600 * time.Microsecond, Size: 1500})
+	tr.Record(Event{At: 4 * sim.Time(time.Millisecond), Type: EvDeliver, Flow: f1, Seq: 1, Size: 1200, A: int64(3 * time.Millisecond)})
+	tr.Record(Event{At: 5 * sim.Time(time.Millisecond), Type: EvAckDelay, Flow: f1, Seq: 2, A: int64(time.Millisecond)})
+	tr.Record(Event{At: 6 * sim.Time(time.Millisecond), Type: EvFeedback, Flow: f2, Size: 80, A: 12})
+	tr.Record(Event{At: 7 * sim.Time(time.Millisecond), Type: EvDrop, Flow: f2, Seq: 10, Size: 300, A: 1})
+	return tr
+}
+
+func TestEventTypeNames(t *testing.T) {
+	for ty := EventType(0); ty < numEventTypes; ty++ {
+		if ty.String() == "unknown" || ty.String() == "" {
+			t.Errorf("event type %d has no name", ty)
+		}
+		if ty.component() == "unknown" {
+			t.Errorf("event type %s has no component", ty)
+		}
+	}
+	if EventType(200).String() != "unknown" {
+		t.Error("out-of-range type should be unknown")
+	}
+}
+
+// TestJSONLRoundTrip pins that every JSONL line is a standalone JSON object
+// carrying the event's fields.
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := sampleTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != tr.Len() {
+		t.Fatalf("got %d lines, want %d", len(lines), tr.Len())
+	}
+	for i, line := range lines {
+		var ev struct {
+			T    int64  `json:"t"`
+			Type string `json:"type"`
+			Flow string `json:"flow"`
+			Seq  uint64 `json:"seq"`
+			Size int    `json:"size"`
+			Dur  int64  `json:"dur"`
+			A    int64  `json:"a"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, line)
+		}
+		want := tr.Events()[i]
+		if ev.T != int64(want.At) || ev.Type != want.Type.String() || ev.A != want.A {
+			t.Errorf("line %d mismatch: got %+v want %+v", i, ev, want)
+		}
+	}
+}
+
+// TestChromeTraceRoundTrip pins that the Chrome export is valid JSON in the
+// trace_event object format with monotonically non-decreasing timestamps —
+// the properties chrome://tracing and Perfetto need to load it.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := sampleTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string  `json:"ph"`
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	meta, spans, instants := 0, 0, 0
+	last := -1.0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			continue
+		case "X":
+			spans++
+		case "i":
+			instants++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+		if ev.TS < last {
+			t.Errorf("timestamps not monotonic: %f after %f", ev.TS, last)
+		}
+		last = ev.TS
+		if ev.PID != 1 || ev.TID < 1 {
+			t.Errorf("event %q missing pid/tid: %+v", ev.Name, ev)
+		}
+	}
+	// process_name + one thread_name per flow (two flows in the sample).
+	if meta != 3 {
+		t.Errorf("metadata events = %d, want 3", meta)
+	}
+	if spans != 1 {
+		t.Errorf("airtime spans = %d, want 1", spans)
+	}
+	if instants != tr.Len()-1 {
+		t.Errorf("instants = %d, want %d", instants, tr.Len()-1)
+	}
+}
+
+func TestWriteTraceFileFormats(t *testing.T) {
+	tr := sampleTracer()
+	dir := t.TempDir()
+
+	jl := filepath.Join(dir, "t.jsonl")
+	if err := tr.WriteTraceFile(jl); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(jl)
+	if !bytes.HasPrefix(b, []byte(`{"t":`)) {
+		t.Errorf(".jsonl file is not JSONL: %.40s", b)
+	}
+
+	cj := filepath.Join(dir, "t.trace.json")
+	if err := tr.WriteTraceFile(cj); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = os.ReadFile(cj)
+	if !json.Valid(b) {
+		t.Error(".trace.json file is not valid JSON")
+	}
+}
+
+// TestJSONLDeterministic pins byte-identical serialisation of identical
+// event streams — the foundation of the -j golden test in experiments.
+func TestJSONLDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sampleTracer().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleTracer().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical event streams serialised differently")
+	}
+}
+
+func TestRegistryAndSnapshot(t *testing.T) {
+	o := New(Options{Metrics: true, PredErr: true})
+	o.Counter("a.count").Add(3)
+	o.Counter("a.count").Inc()
+	o.Gauge("a.gauge").Set(2.5)
+	for i := 1; i <= 100; i++ {
+		o.Hist("a.lat").Observe(time.Duration(i) * time.Millisecond)
+	}
+	f := testFlow(5001)
+	o.Errs().SetMode(f, "oob")
+	for i := 0; i < 10; i++ {
+		o.Errs().Observe(f, 5*time.Millisecond, 4*time.Millisecond)
+	}
+
+	snap := o.Reg.Snapshot()
+	if snap.Counters["a.count"] != 4 {
+		t.Errorf("counter = %d, want 4", snap.Counters["a.count"])
+	}
+	if snap.Gauges["a.gauge"] != 2.5 {
+		t.Errorf("gauge = %v", snap.Gauges["a.gauge"])
+	}
+	h := snap.Histograms["a.lat"]
+	if h.Count != 100 || h.Max != int64(100*time.Millisecond) {
+		t.Errorf("hist stat = %+v", h)
+	}
+
+	rows := o.Errs().Rows()
+	if len(rows) != 2 { // per-flow + per-mode aggregate
+		t.Fatalf("prederr rows = %d, want 2", len(rows))
+	}
+	if rows[0].Mode != "oob" || rows[0].N != 10 {
+		t.Errorf("row = %+v", rows[0])
+	}
+	if rows[0].Bias != int64(time.Millisecond) {
+		t.Errorf("bias = %d, want %d (predictions 1ms over)", rows[0].Bias, time.Millisecond)
+	}
+
+	var buf bytes.Buffer
+	if err := o.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("metrics report is not valid JSON")
+	}
+}
+
+// TestObsDisabledZeroAlloc is the disabled-path contract: with no Obs
+// attached, every instrument call is a nil-check no-op that allocates
+// nothing.
+func TestObsDisabledZeroAlloc(t *testing.T) {
+	var (
+		o  *Obs
+		c  *Counter
+		g  *Gauge
+		h  *Hist
+		tr *Tracer
+		pe *PredErr
+	)
+	f := testFlow(5001)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		_ = c.Value()
+		g.Set(1)
+		h.Observe(time.Millisecond)
+		tr.Record(Event{At: 1, Type: EvEnqueue, Flow: f})
+		_ = tr.Len()
+		pe.Observe(f, time.Millisecond, time.Millisecond)
+		pe.SetMode(f, "oob")
+		_ = o.Trace()
+		_ = o.Counter("x")
+		_ = o.Gauge("x")
+		_ = o.Hist("x")
+		_ = o.Errs()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-path allocations = %v, want 0", allocs)
+	}
+}
+
+// TestSweepCellIsolation pins that each cell gets an independent bundle and
+// Record attributes snapshots under (experiment, cell).
+func TestSweepCellIsolation(t *testing.T) {
+	s := NewSweep("")
+	a, b := s.NewCell(), s.NewCell()
+	if a == nil || b == nil || a == b {
+		t.Fatal("cells not independent")
+	}
+	a.Counter("x").Inc()
+	if b.Reg.Snapshot().Counters["x"] != 0 {
+		t.Error("cell state leaked")
+	}
+	if err := s.Record("exp", 1, b, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record("exp", 0, a, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var cells []SweepCell
+	if err := json.Unmarshal(buf.Bytes(), &cells); err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 || cells[0].Cell != 0 || cells[1].Cell != 1 {
+		t.Errorf("cells not sorted by (experiment, cell): %+v", cells)
+	}
+	if cells[0].Metrics.Counters["x"] != 1 {
+		t.Errorf("cell 0 snapshot = %+v", cells[0].Metrics)
+	}
+
+	var nilSweep *Sweep
+	if nilSweep.NewCell() != nil {
+		t.Error("nil sweep must hand out nil bundles")
+	}
+	if err := nilSweep.Record("exp", 0, nil, 0); err != nil {
+		t.Error(err)
+	}
+}

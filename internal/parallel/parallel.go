@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // PanicError carries a panic out of a worker with the index of the cell that
@@ -148,6 +149,21 @@ func runCell(i int, fn func(int)) (pe *PanicError) {
 	}()
 	fn(i)
 	return nil
+}
+
+// MapTimed is Map, additionally returning each cell's wall-clock duration
+// (slot i holds cell i's elapsed time). The timings are measurement, not
+// output: they vary run to run and between worker counts, so callers must
+// keep them out of anything covered by the byte-identical determinism
+// guarantee.
+func MapTimed(workers, n int, fn func(i int)) []time.Duration {
+	elapsed := make([]time.Duration, n)
+	Map(workers, n, func(i int) {
+		start := time.Now()
+		fn(i)
+		elapsed[i] = time.Since(start)
+	})
+	return elapsed
 }
 
 // Sweep runs fn over every item across at most workers goroutines and

@@ -51,7 +51,8 @@ func (c *codelState) aboveTarget(now sim.Time, sojourn time.Duration, backlogByt
 
 // dequeue pulls from core, applying CoDel drop-from-front. Returns the
 // packet to transmit (nil if the queue drained) and the number of drops.
-func (c *codelState) dequeue(now sim.Time, core *fifoCore) (*netem.Packet, int) {
+// onDrop, when non-nil, sees every dropped packet before it is released.
+func (c *codelState) dequeue(now sim.Time, core *fifoCore, onDrop DropFunc) (*netem.Packet, int) {
 	drops := 0
 	p := core.pop(now)
 	if p == nil {
@@ -67,6 +68,9 @@ func (c *codelState) dequeue(now sim.Time, core *fifoCore) (*netem.Packet, int) 
 			for now >= c.dropNext && c.dropping {
 				drops++ // drop p
 				c.count++
+				if onDrop != nil {
+					onDrop(now, p)
+				}
 				p.Release()
 				p = core.pop(now)
 				if p == nil {
@@ -82,6 +86,9 @@ func (c *codelState) dequeue(now sim.Time, core *fifoCore) (*netem.Packet, int) 
 		}
 	} else if okToDrop {
 		drops++ // drop p
+		if onDrop != nil {
+			onDrop(now, p)
+		}
 		p.Release()
 		p = core.pop(now)
 		c.dropping = true
@@ -111,11 +118,16 @@ func (c *codelState) dequeue(now sim.Time, core *fifoCore) (*netem.Packet, int) 
 // overflow protection. It drops from the front of the queue, which the
 // paper notes delivers the congestion signal faster than tail drop (§7.2).
 type CoDel struct {
-	core  fifoCore
-	state codelState
-	limit int
-	drops int
+	core   fifoCore
+	state  codelState
+	limit  int
+	drops  int
+	onDrop DropFunc
 }
+
+// SetDropHook implements DropObservable: h sees each control-law
+// (dequeue-time) drop before the packet is released.
+func (q *CoDel) SetDropHook(h DropFunc) { q.onDrop = h }
 
 // NewCoDel returns a CoDel qdisc bounded at limitBytes (DefaultFIFOLimit
 // when limitBytes <= 0).
@@ -139,7 +151,7 @@ func (q *CoDel) Enqueue(now sim.Time, p *netem.Packet) bool {
 
 // Dequeue implements Qdisc, applying the CoDel control law.
 func (q *CoDel) Dequeue(now sim.Time) *netem.Packet {
-	p, drops := q.state.dequeue(now, &q.core)
+	p, drops := q.state.dequeue(now, &q.core, q.onDrop)
 	q.drops += drops
 	return p
 }

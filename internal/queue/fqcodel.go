@@ -10,15 +10,19 @@ import (
 // CoDel control law. New flows get one quantum of priority, matching the
 // Linux implementation's new/old flow lists.
 type FQCoDel struct {
-	buckets   []fqBucket
-	newFlows  []int // bucket indices
-	oldFlows  []int
-	quantum   int
-	limit     int // total byte limit
-	bytes     int
-	pkts      int
-	drops     int
+	buckets  []fqBucket
+	newFlows []int // bucket indices
+	oldFlows []int
+	quantum  int
+	limit    int // total byte limit
+	bytes    int
+	pkts     int
+	drops    int
+	onDrop   DropFunc
 }
+
+// SetDropHook implements DropObservable for every bucket's control law.
+func (q *FQCoDel) SetDropHook(h DropFunc) { q.onDrop = h }
 
 type fqBucket struct {
 	core    fifoCore
@@ -95,7 +99,7 @@ func (q *FQCoDel) Dequeue(now sim.Time) *netem.Packet {
 			continue
 		}
 		before := b.core.len()
-		p, drops := b.codel.dequeue(now, &b.core)
+		p, drops := b.codel.dequeue(now, &b.core, q.onDrop)
 		q.drops += drops
 		q.pkts -= before - b.core.len()
 		if p != nil {

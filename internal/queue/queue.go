@@ -37,6 +37,18 @@ type Qdisc interface {
 	Drops() int
 }
 
+// DropFunc observes a packet the instant a qdisc discards it, before the
+// packet is released. Enqueue-time rejections are visible to
+// wireless.Observer already (accepted == false); this hook exists for the
+// drops only the qdisc sees — CoDel's drop-from-front inside Dequeue.
+type DropFunc func(now sim.Time, p *netem.Packet)
+
+// DropObservable is implemented by disciplines that can report their
+// internal (dequeue-time) drops to the observability layer.
+type DropObservable interface {
+	SetDropHook(h DropFunc)
+}
+
 // fifoCore is the packet buffer shared by all disciplines: a slice-backed
 // FIFO with byte accounting and front-since tracking.
 type fifoCore struct {

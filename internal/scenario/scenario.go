@@ -13,6 +13,7 @@ import (
 	"github.com/zhuge-project/zhuge/internal/baseline"
 	"github.com/zhuge-project/zhuge/internal/core"
 	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/queue"
 	"github.com/zhuge-project/zhuge/internal/sim"
 	"github.com/zhuge-project/zhuge/internal/trace"
@@ -66,6 +67,11 @@ type Options struct {
 	// MCSScale optionally scales the downlink PHY rate over time (the
 	// "mcs" testbed scenario of Figure 18).
 	MCSScale func(at sim.Time) float64
+
+	// Obs optionally attaches the observability layer (tracer, metrics
+	// registry, prediction-error accounter) to every component of the
+	// path. Nil keeps the datapath on its zero-overhead fast path.
+	Obs *obs.Obs
 }
 
 // Path is an assembled topology ready for flows.
@@ -150,6 +156,8 @@ func NewPath(o Options) *Path {
 		Rate:        func(at sim.Time) float64 { return o.Trace.RateAt(at) },
 		MCSScale:    o.MCSScale,
 		Interferers: o.Interferers,
+		Obs:         o.Obs,
+		ObsLabel:    "downlink",
 	}, q, clientDemux, s.NewRand("downlink"))
 
 	// Server demux sits behind the AP's Ethernet uplink.
@@ -168,6 +176,8 @@ func NewPath(o Options) *Path {
 	p.Uplink = wireless.NewLink(s, wireless.Config{
 		Rate:        func(at sim.Time) float64 { return o.Trace.RateAt(at) },
 		Interferers: o.Interferers,
+		Obs:         o.Obs,
+		ObsLabel:    "uplink",
 	}, uplinkQ, nil, s.NewRand("uplink"))
 
 	// AP uplink-side processing depends on the solution.
@@ -175,6 +185,7 @@ func NewPath(o Options) *Path {
 	case SolutionZhuge:
 		ap := core.NewAP(s, p.Downlink, p.wanUp, s.NewRand("zhuge"), o.FTConfig)
 		ap.OOB().SetOptions(o.OOB)
+		ap.SetObs(o.Obs)
 		p.AP = ap
 		p.downIn = ap.DownlinkIn()
 		p.Uplink.SetDst(ap.UplinkIn())
@@ -230,6 +241,8 @@ func (p *Path) AddStation(flows ...netem.FlowKey) *wireless.Link {
 		Channel:     p.Channel,
 		Rate:        func(at sim.Time) float64 { return p.Opts.Trace.RateAt(at) },
 		Interferers: p.Opts.Interferers,
+		Obs:         p.Opts.Obs,
+		ObsLabel:    fmt.Sprintf("station%d", p.stationN),
 	}, queue.NewFIFO(p.Opts.QueueCap), clientDemux, p.S.NewRand(fmt.Sprintf("station%d", p.stationN)))
 	for _, f := range flows {
 		p.stations[f] = link

@@ -84,6 +84,7 @@ type Simulator struct {
 	now     Time
 	events  eventHeap
 	seq     uint64
+	fired   uint64
 	seed    int64
 	stopped bool
 
@@ -108,6 +109,10 @@ func (s *Simulator) Seed() int64 { return s.seed }
 
 // Pending returns the number of events waiting to fire.
 func (s *Simulator) Pending() int { return len(s.events) }
+
+// Fired returns the cumulative count of events executed — the event-loop
+// throughput figure the observability layer exports per run.
+func (s *Simulator) Fired() uint64 { return s.fired }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a scenario bug, and silently reordering events
@@ -180,6 +185,7 @@ func (s *Simulator) Step() bool {
 		s.now = t.at
 		fn := t.fn
 		s.recycle(t)
+		s.fired++
 		fn()
 		return true
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/queue"
 	"github.com/zhuge-project/zhuge/internal/sim"
 )
@@ -92,6 +93,16 @@ type Config struct {
 	StormMax time.Duration
 	// PropDelay is the over-the-air propagation delay. Default 0.
 	PropDelay time.Duration
+
+	// Obs optionally attaches the observability layer: packet-lifecycle
+	// trace events, per-link instruments and the prediction-error join at
+	// delivery. Nil disables everything at the cost of one nil check per
+	// datapath step.
+	Obs *obs.Obs
+	// ObsLabel prefixes this link's instrument names so multi-link
+	// topologies (downlink, uplink, stations) stay distinguishable.
+	// Default "wl".
+	ObsLabel string
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +149,18 @@ type Link struct {
 	// stats
 	delivered     int
 	deliveredBits float64
+
+	// observability (all nil when cfg.Obs is nil; hot paths guard on o)
+	o              *obs.Obs
+	tr             *obs.Tracer
+	cEnq, cDrop    *obs.Counter
+	cAQMDrop       *obs.Counter
+	cDeq, cDeliv   *obs.Counter
+	cAgg           *obs.Counter
+	gQBytes, gQLen *obs.Gauge
+	hSojourn       *obs.Hist
+	hAMPDU         *obs.Hist // packets per aggregate (".n": raw counts)
+	hAirtime       *obs.Hist
 }
 
 // NewLink builds a wireless link draining q into dst. The RNG drives
@@ -146,7 +169,99 @@ func NewLink(s *sim.Simulator, cfg Config, q queue.Qdisc, dst netem.Receiver, rn
 	if cfg.Rate == nil {
 		panic("wireless: Config.Rate is required")
 	}
-	return &Link{s: s, q: q, dst: dst, cfg: cfg.withDefaults(), rng: rng}
+	l := &Link{s: s, q: q, dst: dst, cfg: cfg.withDefaults(), rng: rng}
+	if o := cfg.Obs; o != nil {
+		label := cfg.ObsLabel
+		if label == "" {
+			label = "wl"
+		}
+		l.o = o
+		l.tr = o.Trace()
+		l.cEnq = o.Counter(label + ".enqueued")
+		l.cDrop = o.Counter(label + ".dropped")
+		l.cAQMDrop = o.Counter(label + ".aqm_front_drops")
+		l.cDeq = o.Counter(label + ".dequeued")
+		l.cDeliv = o.Counter(label + ".delivered")
+		l.cAgg = o.Counter(label + ".aggregates")
+		l.gQBytes = o.Gauge(label + ".queue_bytes")
+		l.gQLen = o.Gauge(label + ".queue_pkts")
+		l.hSojourn = o.Hist(label + ".sojourn")
+		l.hAMPDU = o.Hist(label + ".ampdu_pkts.n")
+		l.hAirtime = o.Hist(label + ".airtime")
+		// CoDel-family disciplines drop from the front inside Dequeue,
+		// invisible to enqueue observers; surface those too.
+		if dq, ok := q.(queue.DropObservable); ok {
+			dq.SetDropHook(l.obsAQMDrop)
+		}
+	}
+	return l
+}
+
+// obsEnqueue records the enqueue outcome; called only when l.o != nil.
+func (l *Link) obsEnqueue(now sim.Time, p *netem.Packet, accepted bool) {
+	if accepted {
+		l.cEnq.Inc()
+		if l.tr != nil {
+			l.tr.Record(obs.Event{At: now, Type: obs.EvEnqueue, Flow: p.Flow, Seq: p.Seq, Size: p.Size})
+		}
+	} else {
+		l.cDrop.Inc()
+		if l.tr != nil {
+			l.tr.Record(obs.Event{At: now, Type: obs.EvDrop, Flow: p.Flow, Seq: p.Seq, Size: p.Size})
+		}
+	}
+	l.gQBytes.Set(float64(l.q.Bytes()))
+	l.gQLen.Set(float64(l.q.Len()))
+}
+
+// obsAQMDrop is the qdisc's dequeue-time drop hook (CoDel drop-from-front).
+func (l *Link) obsAQMDrop(now sim.Time, p *netem.Packet) {
+	l.cAQMDrop.Inc()
+	if l.tr != nil {
+		l.tr.Record(obs.Event{At: now, Type: obs.EvDrop, Flow: p.Flow, Seq: p.Seq, Size: p.Size, A: 1})
+	}
+}
+
+// obsDequeue records one pull into an aggregate; called only when l.o != nil.
+func (l *Link) obsDequeue(now sim.Time, p *netem.Packet) {
+	l.cDeq.Inc()
+	sojourn := now - p.EnqueuedAt
+	l.hSojourn.Observe(sojourn)
+	if l.tr != nil {
+		l.tr.Record(obs.Event{At: now, Type: obs.EvDequeue, Flow: p.Flow, Seq: p.Seq, Size: p.Size, A: int64(sojourn)})
+	}
+}
+
+// obsBurst records a sealed aggregate and its airtime span; called only
+// when l.o != nil. The aggregate is attributed to its first packet's flow.
+func (l *Link) obsBurst(now sim.Time, burst []*netem.Packet, bits float64, airtime time.Duration) {
+	l.cAgg.Inc()
+	l.hAMPDU.Observe(time.Duration(len(burst)))
+	l.hAirtime.Observe(airtime)
+	l.gQBytes.Set(float64(l.q.Bytes()))
+	l.gQLen.Set(float64(l.q.Len()))
+	if l.tr != nil {
+		flow := burst[0].Flow
+		l.tr.Record(obs.Event{At: now, Type: obs.EvAggregate, Flow: flow, Size: int(bits / 8), A: int64(len(burst))})
+		l.tr.Record(obs.Event{At: now, Dur: airtime, Type: obs.EvAirtime, Flow: flow, Size: int(bits / 8), A: int64(len(burst))})
+	}
+}
+
+// obsDeliver records the 802.11 delivery instant and joins the Fortune
+// Teller's prediction against the measured AP latency; called only when
+// l.o != nil.
+func (l *Link) obsDeliver(now sim.Time, p *netem.Packet) {
+	l.cDeliv.Inc()
+	var lat time.Duration
+	if p.APArrival > 0 {
+		lat = now - p.APArrival
+		if pe := l.o.Errs(); pe != nil && p.Kind == netem.KindData {
+			pe.Observe(p.Flow, p.Predicted, lat)
+		}
+	}
+	if l.tr != nil {
+		l.tr.Record(obs.Event{At: now, Type: obs.EvDeliver, Flow: p.Flow, Seq: p.Seq, Size: p.Size, A: int64(lat)})
+	}
 }
 
 // AddObserver registers an AP-datapath observer (e.g. the Fortune Teller).
@@ -182,6 +297,9 @@ func (l *Link) Receive(p *netem.Packet) {
 	accepted := l.q.Enqueue(now, p)
 	for _, o := range l.observers {
 		o.OnEnqueue(now, p, accepted)
+	}
+	if l.o != nil {
+		l.obsEnqueue(now, p, accepted)
 	}
 	if accepted {
 		l.maybeStart()
@@ -253,6 +371,9 @@ func (l *Link) transmitBurst() {
 		for _, o := range l.observers {
 			o.OnDequeue(now, p)
 		}
+		if l.o != nil {
+			l.obsDequeue(now, p)
+		}
 	}
 	if len(burst) == 0 {
 		// CoDel may have dropped everything.
@@ -265,12 +386,19 @@ func (l *Link) transmitBurst() {
 	if ch := l.cfg.Channel; ch != nil {
 		ch.reserve(now, airtime)
 	}
+	if l.o != nil {
+		l.obsBurst(now, burst, bits, airtime)
+	}
 	deliverAt := now + airtime + l.cfg.PropDelay
 	dst := l.dst
 	l.s.Schedule(deliverAt, func() {
+		at := l.s.Now()
 		for _, p := range burst {
 			l.delivered++
 			l.deliveredBits += float64(p.Size * 8)
+			if l.o != nil {
+				l.obsDeliver(at, p)
+			}
 			dst.Receive(p)
 		}
 	})
