@@ -1,0 +1,90 @@
+// Command zhuge-lint runs the project's custom static analyzers — the
+// compile-time enforcement of the simulator's determinism, pool-safety and
+// zero-alloc invariants. See internal/analysis and LINTING.md.
+//
+// Usage:
+//
+//	go run ./cmd/zhuge-lint [-c analyzer[,analyzer]] [packages]
+//
+// With no packages it lints ./... . Exit status: 0 clean, 1 findings,
+// 2 usage or load error. Suppress individual findings with
+// //lint:ignore <analyzer> <reason> on or above the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/zhuge-project/zhuge/internal/analysis"
+)
+
+func main() {
+	var (
+		checks = flag.String("c", "", "comma-separated analyzer subset to run (default: all)")
+		list   = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: zhuge-lint [-c analyzer[,analyzer]] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite := analysis.Analyzers
+	if *checks != "" {
+		suite = nil
+		for _, name := range strings.Split(*checks, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "zhuge-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zhuge-lint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zhuge-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			diags, err := analysis.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "zhuge-lint: %v\n", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				fmt.Println(d.String())
+				found++
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "zhuge-lint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

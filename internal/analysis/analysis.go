@@ -1,0 +1,301 @@
+// Package analysis is zhuge-lint: a suite of static analyzers that enforce
+// the simulator's determinism, pool-safety and zero-alloc invariants at
+// compile time instead of discovering violations at runtime through golden
+// tests.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis API
+// (Analyzer, Pass, Diagnostic) so the analyzers could be ported to the real
+// multichecker unchanged, but it is built purely on the standard library:
+// packages are parsed with go/parser and type-checked with go/types, and
+// dependency type information is imported from the build cache's export
+// data (see load.go). That keeps the linter runnable in hermetic
+// environments with nothing but the Go toolchain.
+//
+// The five analyzers and the invariants they protect:
+//
+//   - detclock: no wall-clock (time.Now/Since/Sleep/...) in deterministic
+//     packages — the simulator's virtual clock is the only time source.
+//   - detrand: no global math/rand state and no raw rand.NewSource in
+//     deterministic packages — RNG streams must derive from the labeled
+//     seed helpers (sim.LabeledRand / sim.Simulator.NewRand /
+//     experiments.newRNG) so every stream is a pure function of
+//     (root seed, component label).
+//   - maporder: no map-iteration order leaking into exports — ranging over
+//     a map while printing, writing to an io.Writer, or accumulating an
+//     unsorted slice is exactly the bug class the j=1-vs-j=8 golden tests
+//     exist to catch.
+//   - poolsafe: no reads of a *netem.Packet after Release() and no double
+//     Release — pooled packets are recycled and a stale reference aliases
+//     a future packet.
+//   - obsguard: expensive observability hooks (Tracer.Record and friends)
+//     on struct fields must be dominated by a nil check on that field,
+//     preserving the pinned 0-alloc disabled path.
+//
+// Diagnostics can be suppressed with staticcheck-style comments:
+//
+//	//lint:ignore detclock <reason>         (this or the next line)
+//	//lint:file-ignore detclock <reason>    (whole file)
+//
+// Run it with: go run ./cmd/zhuge-lint ./...
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore comments. It must be a valid identifier.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer checks and
+	// which invariant it protects.
+	Doc string
+
+	// Run applies the analyzer to a single type-checked package, reporting
+	// findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with the parsed, type-checked view of one
+// package plus a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers is the full zhuge-lint suite in the order cmd/zhuge-lint runs
+// it.
+var Analyzers = []*Analyzer{
+	DetClock,
+	DetRand,
+	MapOrder,
+	PoolSafe,
+	ObsGuard,
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies one analyzer to one loaded package and returns its findings
+// with //lint:ignore suppressions already applied, sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		diags:     &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	diags = suppress(diags, pkg)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// RunAll applies the whole suite to one package.
+func RunAll(pkg *Package) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, a := range Analyzers {
+		d, err := Run(a, pkg)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, d...)
+	}
+	return all, nil
+}
+
+// ---- package classification ----------------------------------------------
+//
+// The analyzers scope themselves by import path. Deterministic packages are
+// the simulator datapath: everything that runs under the virtual clock and
+// must be byte-identical across runs and across -j worker counts. The
+// allowlist covers the components that legitimately touch the wall clock or
+// process-global state: liveap (a real UDP relay), parallel (measures real
+// elapsed time per cell), obs (export timing metadata), and the cmd/ and
+// examples/ binaries. Classification looks at path *segments*, so the
+// analysistest fixtures under testdata/src/<analyzer>/<pkg> land in the
+// same buckets as the real packages they mimic.
+
+var deterministicSegments = map[string]bool{
+	"sim":         true,
+	"wireless":    true,
+	"core":        true,
+	"queue":       true,
+	"netem":       true,
+	"cca":         true,
+	"transport":   true,
+	"tcpsim":      true,
+	"quicsim":     true,
+	"rtp":         true,
+	"video":       true,
+	"trace":       true,
+	"experiments": true,
+	"scenario":    true,
+	"baseline":    true,
+	"packet":      true,
+	"metrics":     true,
+}
+
+var allowlistedSegments = map[string]bool{
+	"liveap":   true, // real-time UDP relay: wall clock is its job
+	"parallel": true, // reports real elapsed time per cell
+	"obs":      true, // export timing metadata is wall-clock by design
+	"analysis": true, // this linter itself (shells out, walks the FS)
+}
+
+// DeterministicPkg reports whether the package at path is part of the
+// deterministic simulator datapath, where detclock and detrand apply.
+// cmd/ and examples/ binaries are always exempt, as is anything on the
+// allowlist; otherwise the final path segment decides.
+func DeterministicPkg(path string) bool {
+	segs := strings.Split(path, "/")
+	for _, s := range segs {
+		if s == "cmd" || s == "examples" {
+			return false
+		}
+	}
+	last := segs[len(segs)-1]
+	if allowlistedSegments[last] {
+		return false
+	}
+	return deterministicSegments[last]
+}
+
+// MapOrderPkg reports whether maporder applies: the deterministic packages
+// plus obs, whose JSONL/Chrome-trace/metrics exports are exactly where map
+// order would leak into golden files.
+func MapOrderPkg(path string) bool {
+	if DeterministicPkg(path) {
+		return true
+	}
+	segs := strings.Split(path, "/")
+	return segs[len(segs)-1] == "obs"
+}
+
+// ---- suppression ----------------------------------------------------------
+
+var (
+	ignoreRe     = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+\S`)
+	fileIgnoreRe = regexp.MustCompile(`^//\s*lint:file-ignore\s+(\S+)\s+\S`)
+)
+
+// suppress drops diagnostics covered by //lint:ignore (same or next line)
+// or //lint:file-ignore comments. Both forms require a non-empty reason and
+// take a comma-separated analyzer list, e.g.:
+//
+//	//lint:ignore detclock,detrand test fixture exercising both
+func suppress(diags []Diagnostic, pkg *Package) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	type lineKey struct {
+		file string
+		line int
+	}
+	ignored := map[lineKey]map[string]bool{}   // line -> analyzer set
+	fileIgnored := map[string]map[string]bool{} // file -> analyzer set
+	addNames := func(set map[string]bool, names string) {
+		for _, n := range strings.Split(names, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				set[n] = true
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if m := fileIgnoreRe.FindStringSubmatch(c.Text); m != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					set := fileIgnored[pos.Filename]
+					if set == nil {
+						set = map[string]bool{}
+						fileIgnored[pos.Filename] = set
+					}
+					addNames(set, m[1])
+				} else if m := ignoreRe.FindStringSubmatch(c.Text); m != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					set := ignored[lineKey{pos.Filename, pos.Line}]
+					if set == nil {
+						set = map[string]bool{}
+						ignored[lineKey{pos.Filename, pos.Line}] = set
+					}
+					addNames(set, m[1])
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 && len(fileIgnored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if set := fileIgnored[d.Pos.Filename]; set != nil && set[d.Analyzer] {
+			continue
+		}
+		// An ignore comment covers the line it sits on and the line
+		// below it (the staticcheck convention: the comment precedes
+		// the flagged statement).
+		if set := ignored[lineKey{d.Pos.Filename, d.Pos.Line}]; set != nil && set[d.Analyzer] {
+			continue
+		}
+		if set := ignored[lineKey{d.Pos.Filename, d.Pos.Line - 1}]; set != nil && set[d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetClock forbids wall-clock access in the deterministic simulator
+// datapath. Every result the evaluation produces — Fortune Teller
+// prediction error, TWCC feedback timing, golden traces — is trustworthy
+// only because the virtual clock makes runs byte-identical at any worker
+// count; a single time.Now() in the datapath silently couples simulation
+// output to host scheduling.
+//
+// Scope: packages classified by DeterministicPkg (sim, wireless, core,
+// queue, netem, cca, transport, video, trace, experiments, ...). The
+// liveap relay, the parallel runner's elapsed-time accounting, obs export
+// timing, cmd/ and examples/ binaries, and _test.go files are exempt.
+var DetClock = &Analyzer{
+	Name: "detclock",
+	Doc: "forbid time.Now/Since/Sleep and runtime timers in deterministic packages; " +
+		"the simulator's virtual clock (sim.Time) is the only admissible time source",
+	Run: runDetClock,
+}
+
+// wallClockFuncs are the package time functions that read the host clock or
+// arm runtime timers. Pure conversions and constants (time.Duration,
+// time.Millisecond, time.Unix construction from explicit integers) are
+// fine: they carry no ambient state.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runDetClock(pass *Pass) error {
+	if !DeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if wallClockFuncs[fn.Name()] {
+				pass.Reportf(id.Pos(),
+					"time.%s is wall-clock and breaks simulation determinism in package %s; use the simulator's virtual clock (sim.Simulator.Now / Schedule)",
+					fn.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

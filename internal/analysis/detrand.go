@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetRand forbids nondeterministic randomness in the simulator datapath:
+// the top-level math/rand convenience functions (they share one process
+// global source, so concurrent cells at -j > 1 interleave draws
+// nondeterministically) and raw rand.NewSource / rand.NewPCG construction
+// (an ad-hoc seed is invisible to the label-hash seeding scheme, so adding
+// a component would perturb every other component's stream).
+//
+// RNGs must instead flow from the blessed labeled-seed helpers —
+// sim.LabeledRand / sim.Simulator.NewRand, or experiments.newRNG — whose
+// streams are pure functions of (root seed, component label). Those two
+// helpers are the only functions allowed to touch rand.NewSource.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid global math/rand functions and raw rand.NewSource in deterministic packages; " +
+		"derive RNGs from sim.LabeledRand / sim.Simulator.NewRand / experiments.newRNG",
+	Run: runDetRand,
+}
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions backed by the shared global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32N": true, "Uint64N": true,
+}
+
+// sourceConstructors build a rand source from a raw integer seed.
+var sourceConstructors = map[string]bool{
+	"NewSource": true,
+	"NewPCG":    true, // math/rand/v2
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// blessedRandFunc reports whether the named function in the given package
+// is one of the labeled-seed helpers allowed to construct raw sources.
+func blessedRandFunc(pkgPath, funcName string) bool {
+	segs := strings.Split(pkgPath, "/")
+	switch segs[len(segs)-1] {
+	case "sim":
+		// sim.LabeledRand is the root derivation (fnv64a over
+		// "seed/label"); Simulator.NewRand delegates to it.
+		return funcName == "LabeledRand" || funcName == "NewRand"
+	case "experiments":
+		// experiments.newRNG hashes the experiment label into cfg.Seed.
+		return funcName == "newRNG"
+	}
+	return false
+}
+
+func runDetRand(pass *Pass) error {
+	if !DeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	check := func(n ast.Node, enclosing string) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+			return true
+		}
+		// Methods on *rand.Rand (rng.Intn, rng.Float64, ...) are the
+		// blessed way to draw; only package-level functions share the
+		// process-global source.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true
+		}
+		switch {
+		case globalRandFuncs[fn.Name()]:
+			pass.Reportf(id.Pos(),
+				"rand.%s draws from the process-global source and is nondeterministic under -j; use a *rand.Rand from sim.LabeledRand / sim.Simulator.NewRand / experiments.newRNG",
+				fn.Name())
+		case sourceConstructors[fn.Name()] && !blessedRandFunc(pass.Pkg.Path(), enclosing):
+			pass.Reportf(id.Pos(),
+				"raw rand.%s seeds bypass the labeled-seed scheme; derive the RNG from sim.LabeledRand / sim.Simulator.NewRand / experiments.newRNG so the stream is a pure function of (seed, label)",
+				fn.Name())
+		}
+		return true
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				name := d.Name.Name
+				ast.Inspect(d, func(n ast.Node) bool { return check(n, name) })
+			default:
+				// Package-level var initializers and the like: never a
+				// blessed context.
+				ast.Inspect(decl, func(n ast.Node) bool { return check(n, "") })
+			}
+		}
+	}
+	return nil
+}

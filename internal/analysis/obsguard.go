@@ -1,0 +1,341 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsGuard enforces the observability layer's zero-cost-when-disabled
+// contract at the call sites the contract depends on. The obs instruments
+// are nil-safe no-ops, but nil safety alone is not enough: an unguarded
+//
+//	l.tr.Record(obs.Event{At: now, Flow: p.Flow, ...})
+//
+// still *constructs the Event* (and evaluates every argument) before the
+// nil receiver bails out, putting allocations back on the disabled path.
+// The CI job "Observability disabled-path is allocation-free"
+// (.github/workflows/ci.yml) pins that path to 0 allocs/op via
+// TestObsDisabledZeroAlloc and BenchmarkObsDisabledInstruments; this
+// analyzer is the static half of the same invariant — each enforces what
+// the other assumes, so a refactor cannot silently satisfy one while
+// breaking the other. Keep the two in sync (see also
+// internal/obs/obs_test.go).
+//
+// Checked methods — the hooks whose arguments are expensive to build:
+//
+//	(*obs.Tracer).Record
+//	(*obs.PredErr).Observe, (*obs.PredErr).SetMode
+//	(*obs.Registry).Counter, Gauge, Hist, Snapshot
+//
+// A call on a struct field (x.f.Record(...)) must be dominated by a nil
+// check of that exact field: either an enclosing `if x.f != nil { ... }`
+// or an early return (`if x.f == nil { return }`). Calls on local
+// variables are exempt — the established idiom hoists the field into a
+// checked local (`if pe := l.o.Errs(); pe != nil && ... { pe.Observe(...) }`).
+// The cheap nil-safe instruments (Counter.Inc, Gauge.Set, Hist.Observe)
+// are deliberately not checked: their arguments cost nothing to evaluate.
+//
+// Scope: every package except obs itself (the implementation).
+var ObsGuard = &Analyzer{
+	Name: "obsguard",
+	Doc: "require a dominating nil check on struct fields before expensive obs hook calls " +
+		"(Tracer.Record and friends), preserving the 0-alloc disabled path",
+	Run: runObsGuard,
+}
+
+// guardedMethods maps obs type name -> methods requiring a guard.
+var guardedMethods = map[string]map[string]bool{
+	"Tracer":   {"Record": true},
+	"PredErr":  {"Observe": true, "SetMode": true},
+	"Registry": {"Counter": true, "Gauge": true, "Hist": true, "Snapshot": true},
+}
+
+func runObsGuard(pass *Pass) error {
+	segs := strings.Split(pass.Pkg.Path(), "/")
+	if segs[len(segs)-1] == "obs" {
+		return nil
+	}
+	g := &guardState{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					g.walkStmts(fn.Body.List, map[string]bool{})
+				}
+				return false
+			case *ast.FuncLit:
+				g.walkStmts(fn.Body.List, map[string]bool{})
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type guardState struct {
+	pass *Pass
+}
+
+// obsHookReceiver returns the rendered receiver path and method name if
+// call is one of the guarded obs hook methods invoked on a struct field;
+// otherwise "".
+func (g *guardState) obsHookReceiver(call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	selinfo, ok := g.pass.TypesInfo.Selections[sel]
+	if !ok || selinfo.Kind() != types.MethodVal {
+		return "", ""
+	}
+	recvType := selinfo.Recv()
+	ptr, ok := recvType.(*types.Pointer)
+	if !ok {
+		return "", ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "obs" {
+		return "", ""
+	}
+	methods, ok := guardedMethods[obj.Name()]
+	if !ok || !methods[sel.Sel.Name] {
+		return "", ""
+	}
+	// The receiver must itself be a field selector (x.f); calls on plain
+	// locals follow the hoist-into-checked-local idiom and are exempt.
+	recvSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	if fs, ok := g.pass.TypesInfo.Selections[recvSel]; !ok || fs.Kind() != types.FieldVal {
+		// Package-qualified identifiers (pkg.Var) have no Selection;
+		// treat package-level obs instruments as fields too — they are
+		// shared state that must be guarded the same way.
+		if _, isPkg := g.pass.TypesInfo.Uses[recvSel.Sel]; !isPkg {
+			return "", ""
+		}
+	}
+	r := render(sel.X)
+	if r == "" {
+		return "", ""
+	}
+	return r, sel.Sel.Name
+}
+
+// nilCheckTargets splits a condition into &&-conjuncts and returns the
+// rendered expressions compared against nil with the given operator
+// ("!=" or "==").
+func nilCheckTargets(cond ast.Expr, op string) []string {
+	var out []string
+	var visit func(e ast.Expr)
+	visit = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			visit(x.X)
+		case *ast.BinaryExpr:
+			switch x.Op.String() {
+			case "&&":
+				visit(x.X)
+				visit(x.Y)
+			case op:
+				if isNilIdent(x.Y) {
+					if r := render(x.X); r != "" {
+						out = append(out, r)
+					}
+				} else if isNilIdent(x.X) {
+					if r := render(x.Y); r != "" {
+						out = append(out, r)
+					}
+				}
+			}
+		}
+	}
+	visit(cond)
+	return out
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block always leaves the enclosing statement
+// list (return, panic, continue, break, goto as its final statement).
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// invalidate drops guard entries whose rendered path starts with any of
+// the assigned expressions (assigning l.tr, or l itself, voids "l.tr").
+func invalidate(guarded map[string]bool, lhs []ast.Expr) {
+	for _, l := range lhs {
+		r := render(l)
+		if r == "" {
+			continue
+		}
+		for k := range guarded {
+			if k == r || strings.HasPrefix(k, r+".") {
+				delete(guarded, k)
+			}
+		}
+	}
+}
+
+func copyGuards(g map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(g))
+	for k, v := range g {
+		c[k] = v
+	}
+	return c
+}
+
+// checkExpr reports unguarded obs hook calls in an expression tree and
+// analyzes nested function literals with a fresh (empty) guard set — a
+// closure may run long after the guard was evaluated.
+func (g *guardState) checkExpr(n ast.Node, guarded map[string]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if fl, ok := m.(*ast.FuncLit); ok {
+			g.walkStmts(fl.Body.List, map[string]bool{})
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method := g.obsHookReceiver(call)
+		if recv == "" || guarded[recv] {
+			return true
+		}
+		g.pass.Reportf(call.Pos(),
+			"obs hook %s.%s is not dominated by a nil check on %s; its arguments are evaluated even when observability is disabled, breaking the pinned 0-alloc path (TestObsDisabledZeroAlloc, CI \"Observability disabled-path is allocation-free\")",
+			recv, method, recv)
+		return true
+	})
+}
+
+// walkStmts processes statements in order, threading the guarded set along
+// the straight-line path and forking it at branches.
+func (g *guardState) walkStmts(stmts []ast.Stmt, guarded map[string]bool) {
+	for _, s := range stmts {
+		g.walkStmt(s, guarded)
+	}
+}
+
+func (g *guardState) walkStmt(s ast.Stmt, guarded map[string]bool) {
+	switch st := s.(type) {
+	case *ast.IfStmt:
+		if st.Init != nil {
+			g.walkStmt(st.Init, guarded)
+		}
+		g.checkExpr(st.Cond, guarded)
+		then := copyGuards(guarded)
+		for _, t := range nilCheckTargets(st.Cond, "!=") {
+			then[t] = true
+		}
+		g.walkStmts(st.Body.List, then)
+		if st.Else != nil {
+			els := copyGuards(guarded)
+			for _, t := range nilCheckTargets(st.Cond, "==") {
+				els[t] = true
+			}
+			g.walkStmt(st.Else, els)
+		}
+		// `if x.f == nil { return }` guards everything after the if.
+		if terminates(st.Body) {
+			for _, t := range nilCheckTargets(st.Cond, "==") {
+				guarded[t] = true
+			}
+		}
+
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			g.checkExpr(r, guarded)
+		}
+		invalidate(guarded, st.Lhs)
+
+	case *ast.BlockStmt:
+		g.walkStmts(st.List, copyGuards(guarded))
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			g.walkStmt(st.Init, guarded)
+		}
+		g.checkExpr(st.Cond, guarded)
+		g.walkStmts(st.Body.List, copyGuards(guarded))
+		if st.Post != nil {
+			g.walkStmt(st.Post, copyGuards(guarded))
+		}
+
+	case *ast.RangeStmt:
+		g.checkExpr(st.X, guarded)
+		g.walkStmts(st.Body.List, copyGuards(guarded))
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			g.walkStmt(st.Init, guarded)
+		}
+		g.checkExpr(st.Tag, guarded)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := copyGuards(guarded)
+				for _, e := range cc.List {
+					g.checkExpr(e, inner)
+				}
+				g.walkStmts(cc.Body, inner)
+			}
+		}
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			g.walkStmt(st.Init, guarded)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				g.walkStmts(cc.Body, copyGuards(guarded))
+			}
+		}
+
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := copyGuards(guarded)
+				if cc.Comm != nil {
+					g.walkStmt(cc.Comm, inner)
+				}
+				g.walkStmts(cc.Body, inner)
+			}
+		}
+
+	case *ast.LabeledStmt:
+		g.walkStmt(st.Stmt, guarded)
+
+	case nil:
+		// nothing
+
+	default:
+		g.checkExpr(st, guarded)
+	}
+}

@@ -1,0 +1,12 @@
+// Package liveap is a detclock fixture for the allowlist boundary: its
+// import path ends in /liveap, the real-time relay package, where wall
+// clock access is the whole point. Nothing here may be flagged.
+package liveap
+
+import "time"
+
+func wallClockAllowed() time.Duration {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(t0)
+}

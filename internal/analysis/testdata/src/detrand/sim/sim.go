@@ -1,0 +1,24 @@
+// Package sim is a detrand fixture for the blessed-helper boundary: inside
+// a package whose import path ends in /sim, the functions LabeledRand and
+// NewRand are the sanctioned rand.NewSource sites; any other function in
+// the same package is still flagged.
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// LabeledRand mirrors the real sim.LabeledRand and must not be flagged.
+func LabeledRand(seed int64, label string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", seed, label)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// rogue constructs a source outside the blessed helpers: flagged even in
+// the sim package.
+func rogue(seed int64) rand.Source {
+	return rand.NewSource(seed) // want `raw rand\.NewSource seeds bypass the labeled-seed scheme`
+}

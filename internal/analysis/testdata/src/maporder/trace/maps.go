@@ -1,0 +1,104 @@
+// Package trace is a maporder fixture: its import path ends in /trace, a
+// deterministic package, so map iteration feeding output must be flagged
+// while the collect-then-sort idiom and order-independent uses stay legal.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func printsDuringRange(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over map`
+	}
+}
+
+func writesDuringRange(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `b\.WriteString inside range over map`
+	}
+	return b.String()
+}
+
+func unsortedAccumulate(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map`
+	}
+	return keys
+}
+
+func returnedAppend(m map[string]int, dst []string) []string {
+	for k := range m {
+		if k != "" {
+			return append(dst, k) // want `returning append\(\.\.\.\) from inside range over map`
+		}
+	}
+	return dst
+}
+
+// collectThenSort is the canonical safe idiom.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// localSortHelper: a project-local sort wrapper (like obs's sortStrings)
+// counts as sorting.
+func localSortHelper(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(s []string) { sort.Strings(s) }
+
+// copyToMap: map-to-map copies are order-independent.
+func copyToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// aggregate: numeric reduction is order-independent.
+func aggregate(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// loopLocalScratch: appending to a slice that lives and dies inside one
+// iteration cannot leak order.
+func loopLocalScratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+func suppressedAccumulate(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore maporder order is irrelevant here: the keys feed a set
+		keys = append(keys, k)
+	}
+	return keys
+}

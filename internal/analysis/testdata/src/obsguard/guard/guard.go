@@ -1,0 +1,100 @@
+// Package guard is an obsguard fixture: calls to expensive obs hooks
+// (Tracer.Record, PredErr.Observe/SetMode, Registry accessors) on struct
+// fields must be dominated by a nil check on that exact field; checked
+// locals and the cheap nil-safe instruments stay legal.
+package guard
+
+import (
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/obs"
+)
+
+type link struct {
+	tr  *obs.Tracer
+	pe  *obs.PredErr
+	reg *obs.Registry
+}
+
+func (l *link) unguardedRecord(now time.Duration, f netem.FlowKey) {
+	l.tr.Record(obs.Event{At: now, Flow: f}) // want `obs hook l\.tr\.Record is not dominated by a nil check`
+}
+
+func (l *link) unguardedPredErr(f netem.FlowKey) {
+	l.pe.SetMode(f, "oob") // want `obs hook l\.pe\.SetMode is not dominated by a nil check`
+}
+
+func (l *link) unguardedRegistry() {
+	l.reg.Counter("x") // want `obs hook l\.reg\.Counter is not dominated by a nil check`
+}
+
+func (l *link) guarded(now time.Duration, f netem.FlowKey) {
+	if l.tr != nil {
+		l.tr.Record(obs.Event{At: now, Flow: f})
+	}
+}
+
+func (l *link) earlyReturn(now time.Duration, f netem.FlowKey) {
+	if l.tr == nil {
+		return
+	}
+	l.tr.Record(obs.Event{At: now, Flow: f})
+}
+
+func (l *link) conjunction(now time.Duration, f netem.FlowKey, data bool) {
+	if l.pe != nil && data {
+		l.pe.Observe(f, now, now)
+	}
+}
+
+// hoistedLocal is the established idiom: hoist the field into a checked
+// local. Locals are exempt from the field rule.
+func (l *link) hoistedLocal(f netem.FlowKey, now time.Duration, o *obs.Obs) {
+	if pe := o.Errs(); pe != nil {
+		pe.Observe(f, now, now)
+	}
+}
+
+func localReceiverExempt(tr *obs.Tracer, now time.Duration, f netem.FlowKey) {
+	tr.Record(obs.Event{At: now, Flow: f})
+}
+
+// cheapInstruments: Counter.Inc / Gauge.Set / Hist.Observe evaluate no
+// expensive arguments; they are deliberately unchecked.
+type meter struct {
+	c *obs.Counter
+	g *obs.Gauge
+	h *obs.Hist
+}
+
+func (m *meter) cheapInstrumentsOK(now time.Duration) {
+	m.c.Inc()
+	m.g.Set(1)
+	m.h.Observe(now)
+}
+
+// guardThenClosure: a closure may run long after the guard was evaluated,
+// so the guard does not carry into function literals.
+func (l *link) guardThenClosure(now time.Duration, f netem.FlowKey) {
+	if l.tr != nil {
+		run(func() {
+			l.tr.Record(obs.Event{At: now, Flow: f}) // want `obs hook l\.tr\.Record is not dominated by a nil check`
+		})
+	}
+}
+
+func run(f func()) { f() }
+
+// invalidatedGuard: assigning the field voids the dominating check.
+func (l *link) invalidatedGuard(now time.Duration, f netem.FlowKey) {
+	if l.tr != nil {
+		l.tr = nil
+		l.tr.Record(obs.Event{At: now, Flow: f}) // want `obs hook l\.tr\.Record is not dominated by a nil check`
+	}
+}
+
+func (l *link) suppressed(now time.Duration, f netem.FlowKey) {
+	//lint:ignore obsguard fixture exercises the suppression comment
+	l.tr.Record(obs.Event{At: now, Flow: f})
+}

@@ -1,0 +1,75 @@
+// Package pool is a poolsafe fixture exercising use-after-Release and
+// double-Release detection on *netem.Packet, including the idioms that
+// must stay legal: release-then-reassign (the codel drop loop), releases
+// confined to a conditional branch, and deferred releases.
+package pool
+
+import "github.com/zhuge-project/zhuge/internal/netem"
+
+func useAfterRelease() int {
+	p := netem.NewPacket()
+	p.Size = 100
+	p.Release()
+	return p.Size // want `use of p after Release`
+}
+
+func doubleRelease() {
+	p := netem.NewPacket()
+	p.Release()
+	p.Release() // want `double Release of p`
+}
+
+func passAfterRelease(sink func(*netem.Packet)) {
+	p := netem.NewPacket()
+	p.Release()
+	sink(p) // want `use of p after Release`
+}
+
+func fieldWriteAfterRelease() {
+	p := netem.NewPacket()
+	p.Release()
+	p.Seq = 7 // want `use of p after Release`
+}
+
+// releaseThenRepop mirrors codel's drop-from-front loop: reassigning the
+// variable after Release gives the name a fresh packet.
+func releaseThenRepop(pkts []*netem.Packet) {
+	p := netem.NewPacket()
+	p.Release()
+	p = pkts[0]
+	_ = p.Size
+	p.Release()
+}
+
+// branchRelease: a release on one conditional path does not poison the
+// other path or the code after the branch.
+func branchRelease(p *netem.Packet, drop bool) int {
+	if drop {
+		p.Release()
+		return 0
+	}
+	return p.Size
+}
+
+// deferredRelease runs after every use in the function: exempt.
+func deferredRelease(p *netem.Packet) int {
+	defer p.Release()
+	return p.Size
+}
+
+// crossIteration: a release in iteration N reaches the use (and the second
+// release) in iteration N+1.
+func crossIteration(n int) {
+	q := netem.NewPacket()
+	for i := 0; i < n; i++ {
+		_ = q.Size  // want `use of q after Release`
+		q.Release() // want `double Release of q`
+	}
+}
+
+func suppressedUse() int {
+	p := netem.NewPacket()
+	p.Release()
+	//lint:ignore poolsafe fixture exercises the suppression comment
+	return p.Size
+}
