@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"math/rand"
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/obs"
@@ -156,7 +155,7 @@ func Fig22(cfg Config) *Table {
 func Table3(cfg Config) *Table {
 	cfg = cfg.withDefaults()
 	dur := cfg.dur(fullTraceRun, 30*time.Second)
-	tr := trace.Generate(trace.ABCCellular(), dur, rand.New(rand.NewSource(cfg.Seed+99)))
+	tr := trace.Generate(trace.ABCCellular(), dur, newRNG(cfg, "trace/abc-cellular"))
 
 	t := &Table{
 		ID:     "table3",

@@ -218,7 +218,16 @@ func (s *Simulator) Stop() { s.stopped = true }
 // labels give independent streams; the same (seed, label) pair always gives
 // the same stream, so adding a component never perturbs the others.
 func (s *Simulator) NewRand(label string) *rand.Rand {
+	return LabeledRand(s.seed, label)
+}
+
+// LabeledRand is the root of the labeled-seed scheme: it derives a
+// deterministic RNG from (seed, label) for code that needs reproducible
+// randomness before (or without) a Simulator — trace generation, experiment
+// setup. It is one of the two functions allowed to call rand.NewSource;
+// the detrand analyzer (internal/analysis) flags every other call site.
+func LabeledRand(seed int64, label string) *rand.Rand {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d/%s", s.seed, label)
+	fmt.Fprintf(h, "%d/%s", seed, label)
 	return rand.New(rand.NewSource(int64(h.Sum64())))
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"time"
+
+	"github.com/zhuge-project/zhuge/internal/sim"
 )
 
 // GenParams configures the synthetic trace generator. The model is an AR(1)
@@ -175,12 +177,14 @@ func ABCCellular() GenParams {
 }
 
 // StandardSet generates the five evaluation traces of §7.2 with the given
-// duration and a deterministic per-trace RNG derived from seed.
+// duration and a deterministic per-trace RNG derived from seed and the
+// trace name via the labeled-seed scheme, so reordering or extending the
+// set never perturbs an existing trace's stream.
 func StandardSet(dur time.Duration, seed int64) []*Trace {
 	params := []GenParams{RestaurantWiFi(), OfficeWiFi(), IndoorMixed45G(), City4G(), City5G()}
 	traces := make([]*Trace, len(params))
 	for i, p := range params {
-		traces[i] = Generate(p, dur, rand.New(rand.NewSource(seed+int64(i)*7919)))
+		traces[i] = Generate(p, dur, sim.LabeledRand(seed, "trace/"+p.Name))
 	}
 	return traces
 }
