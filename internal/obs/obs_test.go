@@ -228,6 +228,14 @@ func TestRegistryAndSnapshot(t *testing.T) {
 // TestObsDisabledZeroAlloc is the disabled-path contract: with no Obs
 // attached, every instrument call is a nil-check no-op that allocates
 // nothing.
+//
+// This is the runtime half of a two-part invariant. The static half is the
+// obsguard analyzer (internal/analysis/obsguard.go, run as zhuge-lint in
+// the CI lint job): it proves every expensive hook call (Tracer.Record and
+// friends) sits behind a nil check on its field, while this test and the
+// "Observability disabled-path is allocation-free" CI step prove the
+// guarded path really allocates nothing. A refactor must keep BOTH green —
+// satisfying one does not discharge the other.
 func TestObsDisabledZeroAlloc(t *testing.T) {
 	var (
 		o  *Obs

@@ -1,0 +1,12 @@
+// Pins the versions of the lint/scan tools CI installs, so an upstream
+// release can never break the build (staticcheck@latest did exactly that
+// risk). CI greps the versions out of this file — see the lint job in
+// .github/workflows/ci.yml. Bump deliberately, in a reviewed diff.
+module github.com/zhuge-project/zhuge/tools
+
+go 1.22
+
+require (
+	golang.org/x/vuln v1.1.3
+	honnef.co/go/tools v0.4.7
+)

@@ -1,0 +1,11 @@
+//go:build tools
+
+// Package tools records the module's tool dependencies in the standard
+// blank-import pattern, keeping them visible to `go mod tidy` run inside
+// this directory. The build tag means it never compiles into anything.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
