@@ -7,14 +7,15 @@ import (
 )
 
 // PoolSafe is a flow-sensitive, per-function check for misuse of pooled
-// packets: reading a *netem.Packet after Release() and releasing the same
-// packet twice. Release returns the struct to a sync.Pool shared across
-// flows and (at -j > 1) across concurrently running simulations, so a stale
-// reference aliases a future packet — the resulting corruption is
-// nondeterministic and shows up far from the bug.
+// values: reading a pooled object after Release() and releasing the same
+// object twice. The pooled types are listed in pooledTypes — currently
+// *netem.Packet and *packet.FeedbackBuf — all recycled through sync.Pools
+// shared across flows and (at -j > 1) across concurrently running
+// simulations, so a stale reference aliases a future allocation — the
+// resulting corruption is nondeterministic and shows up far from the bug.
 //
 // The analysis walks each function body in statement order, tracking local
-// variables of type *netem.Packet that have been released on the current
+// variables of a pooled pointer type that have been released on the current
 // straight-line path:
 //
 //   - a use (field read, method call, argument, return) after Release on
@@ -36,9 +37,20 @@ import (
 // responsibility (and the runtime golden tests' backstop).
 var PoolSafe = &Analyzer{
 	Name: "poolsafe",
-	Doc: "detect use-after-Release and double-Release of pooled *netem.Packet values " +
-		"within a function; released packets alias future pool allocations",
+	Doc: "detect use-after-Release and double-Release of pooled values " +
+		"(netem.Packet, packet.FeedbackBuf) within a function; released " +
+		"objects alias future pool allocations",
 	Run: runPoolSafe,
+}
+
+// pooledTypes lists the pool-recycled types the analyzer tracks, as
+// (package name, type name) pairs. Matching is by name so the analysistest
+// fixtures, which import the real packages, behave identically. Teach the
+// analyzer any newly pooled type by extending this table (and the fixture
+// in testdata/src/poolsafe).
+var pooledTypes = map[[2]string]bool{
+	{"netem", "Packet"}:       true,
+	{"packet", "FeedbackBuf"}: true,
 }
 
 func runPoolSafe(pass *Pass) error {
@@ -66,10 +78,8 @@ type poolState struct {
 	reported map[token.Pos]bool // dedup across the double loop-body walk
 }
 
-// isPacketPtr reports whether t is *netem.Packet (matched by type and
-// package name so the analysistest fixtures, which import the real netem,
-// behave identically).
-func isPacketPtr(t types.Type) bool {
+// isPooledPtr reports whether t is a pointer to one of the pooledTypes.
+func isPooledPtr(t types.Type) bool {
 	ptr, ok := t.(*types.Pointer)
 	if !ok {
 		return false
@@ -79,7 +89,7 @@ func isPacketPtr(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Packet" && obj.Pkg() != nil && obj.Pkg().Name() == "netem"
+	return obj.Pkg() != nil && pooledTypes[[2]string{obj.Pkg().Name(), obj.Name()}]
 }
 
 // releaseReceiver returns the identifier a `x.Release()` call is invoked
@@ -97,7 +107,7 @@ func (ps *poolState) releaseReceiver(e ast.Expr) *ast.Ident {
 	if !ok {
 		return nil
 	}
-	if t := ps.pass.TypesInfo.TypeOf(sel.X); t == nil || !isPacketPtr(t) {
+	if t := ps.pass.TypesInfo.TypeOf(sel.X); t == nil || !isPooledPtr(t) {
 		return nil
 	}
 	return id

@@ -1,10 +1,14 @@
 // Package pool is a poolsafe fixture exercising use-after-Release and
-// double-Release detection on *netem.Packet, including the idioms that
-// must stay legal: release-then-reassign (the codel drop loop), releases
-// confined to a conditional branch, and deferred releases.
+// double-Release detection on every pooled type (*netem.Packet,
+// *packet.FeedbackBuf), including the idioms that must stay legal:
+// release-then-reassign (the codel drop loop), releases confined to a
+// conditional branch, and deferred releases.
 package pool
 
-import "github.com/zhuge-project/zhuge/internal/netem"
+import (
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/packet"
+)
 
 func useAfterRelease() int {
 	p := netem.NewPacket()
@@ -65,6 +69,30 @@ func crossIteration(n int) {
 		_ = q.Size  // want `use of q after Release`
 		q.Release() // want `double Release of q`
 	}
+}
+
+// bufUseAfterRelease: the pooled-type table covers *packet.FeedbackBuf too.
+func bufUseAfterRelease() []byte {
+	b := packet.NewFeedbackBuf()
+	b.B = append(b.B, 1, 2, 3)
+	b.Release()
+	return b.B // want `use of b after Release`
+}
+
+func bufDoubleRelease() {
+	b := packet.NewFeedbackBuf()
+	b.Release()
+	b.Release() // want `double Release of b`
+}
+
+// bufAsPayload: handing the buffer to a packet then releasing the packet is
+// the normal ownership transfer; the buffer variable itself is not released
+// on this path, so later reads stay legal until its own Release.
+func bufAsPayload(dst netem.Receiver) {
+	b := packet.NewFeedbackBuf()
+	p := netem.NewPacket()
+	p.Payload = b
+	dst.Receive(p)
 }
 
 func suppressedUse() int {

@@ -306,8 +306,13 @@ func (t *trendline) add(arrivalMS, deltaMS float64) {
 	t.x = append(t.x, arrivalMS)
 	t.y = append(t.y, t.smoothed)
 	if len(t.x) > t.window {
-		t.x = t.x[1:]
-		t.y = t.y[1:]
+		// Shift down instead of reslicing off the front: a [1:] reslice
+		// walks the backing array forward and forces a reallocation every
+		// ~window adds, while the copy reuses the same storage forever.
+		copy(t.x, t.x[1:])
+		t.x = t.x[:t.window]
+		copy(t.y, t.y[1:])
+		t.y = t.y[:t.window]
 	}
 }
 

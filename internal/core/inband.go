@@ -64,6 +64,10 @@ type ibFlow struct {
 	fbCount  uint8
 	started  bool
 	stopped  bool
+
+	// fbScratch is reused across flushes so periodic feedback construction
+	// does not allocate in steady state.
+	fbScratch packet.TWCCFeedback
 }
 
 // NewInbandUpdater builds an in-band updater that injects its feedback into
@@ -146,19 +150,20 @@ func (u *InbandUpdater) flush(f *ibFlow) {
 		return
 	}
 	nRecords := len(f.records)
-	fb := packet.BuildTWCC(f.ssrc, f.ssrc, f.fbCount, f.records)
+	packet.BuildTWCCInto(&f.fbScratch, f.ssrc, f.ssrc, f.fbCount, f.records)
 	f.fbCount++
 	f.records = f.records[:0]
-	raw := fb.Marshal(nil)
+	buf := packet.NewFeedbackBuf()
+	buf.B = f.fbScratch.Marshal(buf.B)
 	u.constructed++
 	u.cConstructed.Inc()
 	fbp := netem.NewPacket()
 	*fbp = netem.Packet{
 		Flow:    f.downlink.Reverse(),
 		Kind:    netem.KindFeedback,
-		Size:    len(raw) + feedbackOverhead,
+		Size:    len(buf.B) + feedbackOverhead,
 		SentAt:  u.s.Now(),
-		Payload: APFeedback{Raw: raw},
+		Payload: buf,
 	}
 	if u.tr != nil {
 		u.tr.Record(obs.Event{At: u.s.Now(), Type: obs.EvFeedback, Flow: f.downlink, Size: fbp.Size, A: int64(nRecords)})

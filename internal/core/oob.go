@@ -53,13 +53,45 @@ type oobFlow struct {
 	deltaHistory []timedDelta
 	// tokenHistory: banked negative deltas (Algorithm 1 lines 4-5),
 	// consumed before delaying later ACKs (Algorithm 2 lines 3-10).
+	// tokenHead indexes the oldest live token; popping advances it instead
+	// of reslicing so the backing array's capacity is reused.
 	tokenHistory []time.Duration
+	tokenHead    int
 	tokenTotal   time.Duration
 
 	lastSentTime sim.Time
 	delayedAcks  int
 	totalDelay   time.Duration
 	pendingDelta time.Duration // AccumulateDeltas variant only
+
+	// pending holds ACKs whose delayed send events are outstanding, in
+	// scheduling order. Within a flow, release times are nondecreasing
+	// (lastSentTime only grows) and same-instant events fire in scheduling
+	// order, so one persistent closure popping the ring head replaces a
+	// per-ACK capturing closure.
+	pending     []*netem.Packet
+	pendingHead int
+	sendFn      func()
+}
+
+func (f *oobFlow) tokenLen() int { return len(f.tokenHistory) - f.tokenHead }
+
+func (f *oobFlow) popToken() {
+	f.tokenHead++
+	if f.tokenHead == len(f.tokenHistory) {
+		f.tokenHistory = f.tokenHistory[:0]
+		f.tokenHead = 0
+	} else if f.tokenHead > 64 && f.tokenHead*2 > len(f.tokenHistory) {
+		n := copy(f.tokenHistory, f.tokenHistory[f.tokenHead:])
+		f.tokenHistory = f.tokenHistory[:n]
+		f.tokenHead = 0
+	}
+}
+
+func (f *oobFlow) resetTokens() {
+	f.tokenHistory = f.tokenHistory[:0]
+	f.tokenHead = 0
+	f.tokenTotal = 0
 }
 
 type timedDelta struct {
@@ -110,6 +142,20 @@ func (u *OOBUpdater) flow(key netem.FlowKey) *oobFlow {
 	f := u.flows[key]
 	if f == nil {
 		f = &oobFlow{}
+		f.sendFn = func() {
+			p := f.pending[f.pendingHead]
+			f.pending[f.pendingHead] = nil
+			f.pendingHead++
+			if f.pendingHead == len(f.pending) {
+				f.pending = f.pending[:0]
+				f.pendingHead = 0
+			} else if f.pendingHead > 64 && f.pendingHead*2 > len(f.pending) {
+				n := copy(f.pending, f.pending[f.pendingHead:])
+				f.pending = f.pending[:n]
+				f.pendingHead = 0
+			}
+			u.uplink.Receive(p)
+		}
 		u.flows[key] = f
 	}
 	return f
@@ -136,9 +182,9 @@ func (u *OOBUpdater) OnDataPacket(now sim.Time, downlink netem.FlowKey, pred Pre
 	} else {
 		f.tokenHistory = append(f.tokenHistory, -delta)
 		f.tokenTotal += -delta
-		for f.tokenTotal > maxTokenBank && len(f.tokenHistory) > 0 {
-			f.tokenTotal -= f.tokenHistory[0]
-			f.tokenHistory = f.tokenHistory[1:]
+		for f.tokenTotal > maxTokenBank && f.tokenLen() > 0 {
+			f.tokenTotal -= f.tokenHistory[f.tokenHead]
+			f.popToken()
 		}
 	}
 	f.lastTotalDelay = total
@@ -183,19 +229,18 @@ func (u *OOBUpdater) OnAckPacket(now sim.Time, downlink netem.FlowKey, p *netem.
 	// reading of the pseudocode would) could reorder feedback packets,
 	// exactly what the tokens exist to prevent.
 	if u.opts.DisableTokens {
-		f.tokenHistory = f.tokenHistory[:0]
-		f.tokenTotal = 0
+		f.resetTokens()
 	}
-	for len(f.tokenHistory) > 0 && extra > 0 {
-		if f.tokenHistory[0] > extra {
-			f.tokenHistory[0] -= extra
+	for f.tokenLen() > 0 && extra > 0 {
+		if f.tokenHistory[f.tokenHead] > extra {
+			f.tokenHistory[f.tokenHead] -= extra
 			f.tokenTotal -= extra
 			extra = 0
 			break
 		}
-		extra -= f.tokenHistory[0]
-		f.tokenTotal -= f.tokenHistory[0]
-		f.tokenHistory = f.tokenHistory[1:]
+		extra -= f.tokenHistory[f.tokenHead]
+		f.tokenTotal -= f.tokenHistory[f.tokenHead]
+		f.popToken()
 	}
 	// Saturate: never let the ACK stream fall more than maxAckBacklog
 	// behind real time.
@@ -220,7 +265,8 @@ func (u *OOBUpdater) OnAckPacket(now sim.Time, downlink netem.FlowKey, p *netem.
 	// Always go through the scheduler, even for zero delay: a previous
 	// ACK may have a send event pending at this exact instant, and event
 	// insertion order is what keeps the two in sequence.
-	u.s.ScheduleAfter(actualDelay, func() { u.uplink.Receive(p) })
+	f.pending = append(f.pending, p)
+	u.s.ScheduleAfter(actualDelay, f.sendFn)
 }
 
 // Stats reports, for a downlink flow, how many ACKs were processed and the

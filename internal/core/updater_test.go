@@ -148,7 +148,7 @@ func TestInbandConstructsFeedbackFromPredictions(t *testing.T) {
 	var raws [][]byte
 	sink := netem.ReceiverFunc(func(p *netem.Packet) {
 		out.Receive(p)
-		raws = append(raws, p.Payload.(APFeedback).Raw)
+		raws = append(raws, append([]byte(nil), p.Payload.(RTCPCarrier).RawRTCP()...))
 	})
 	u := NewInbandUpdater(s, sink, 40*time.Millisecond)
 	// Three data packets with rising predictions.

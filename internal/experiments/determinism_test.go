@@ -1,8 +1,14 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/parallel"
+	"github.com/zhuge-project/zhuge/internal/scenario"
+	"github.com/zhuge-project/zhuge/internal/trace"
 )
 
 // TestParallelismIsInvisible is the contract behind the -j flag: every
@@ -23,6 +29,48 @@ func TestParallelismIsInvisible(t *testing.T) {
 				t.Errorf("rendered table differs between -j 1 and -j 8:\n--- j=1 ---\n%s\n--- j=8 ---\n%s", seq, par)
 			}
 		})
+	}
+}
+
+// TestSameTickBatchesAreParallelInvisible is the determinism regression test
+// for the event core's same-instant batch dispatch. Each cell runs three RTP
+// flows with an identical frame cadence starting at the same instant, so
+// encoder ticks, pacer events and burst deliveries from independent
+// components pile onto shared timestamps and the batch path runs constantly.
+// The per-cell fingerprints must be byte-identical sequentially and under 8
+// workers: batching may only reorder work inside the engine, never the
+// (time, seq) dispatch order any component observes.
+func TestSameTickBatchesAreParallelInvisible(t *testing.T) {
+	const cells = 8
+	runCell := func(seed int64) string {
+		dur := 2 * time.Second
+		tr := trace.Constant("same-tick", 30e6, dur)
+		p := scenario.NewPath(scenario.Options{Seed: seed, Trace: tr, Solution: scenario.SolutionZhuge})
+		var flows []*scenario.RTPFlow
+		for i := 0; i < 3; i++ {
+			flows = append(flows, p.AddRTPFlow(scenario.RTPFlowConfig{FPS: 25}))
+		}
+		p.Run(dur)
+		var sb strings.Builder
+		for i, f := range flows {
+			fmt.Fprintf(&sb, "%d:%.0f:%.3f;", i, f.Metrics.DeliveredBytes, f.Metrics.RTT.Quantile(0.99).Seconds())
+		}
+		return sb.String()
+	}
+	run := func(workers int) []string {
+		out := make([]string, cells)
+		parallel.Map(workers, cells, func(i int) { out[i] = runCell(int64(i + 1)) })
+		return out
+	}
+	seq := run(1)
+	par := run(8)
+	for i := range seq {
+		if seq[i] == "" {
+			t.Fatalf("cell %d produced an empty fingerprint", i)
+		}
+		if seq[i] != par[i] {
+			t.Errorf("cell %d differs between -j 1 and -j 8:\nj=1: %s\nj=8: %s", i, seq[i], par[i])
+		}
 	}
 }
 

@@ -144,11 +144,21 @@ func NewPacket() *Packet {
 	return packetPool.Get().(*Packet)
 }
 
+// payloadReleaser is satisfied by pooled payload types (packet.FeedbackBuf);
+// their backing storage returns to its own pool together with the packet
+// that carried it. The interface is structural so netem does not import the
+// payload's package.
+type payloadReleaser interface{ Release() }
+
 // Release returns a packet to the pool. Only the component that consumes a
 // packet terminally — the delivery demux, or a qdisc dropping it — may call
-// Release; after the call every reference to p is invalid. Releasing a
-// packet that was not pool-allocated is harmless (it simply joins the pool).
+// Release; after the call every reference to p is invalid, including its
+// Payload (pooled payloads are recycled with the packet). Releasing a packet
+// that was not pool-allocated is harmless (it simply joins the pool).
 func (p *Packet) Release() {
+	if r, ok := p.Payload.(payloadReleaser); ok {
+		r.Release()
+	}
 	*p = Packet{}
 	packetPool.Put(p)
 }
@@ -178,12 +188,46 @@ type Link struct {
 	delay     time.Duration
 	dst       Receiver
 	busyUntil sim.Time
+
+	// inflight holds packets whose delivery events are pending, in
+	// scheduling order. Delivery times are nondecreasing (busyUntil only
+	// grows) and same-instant events fire in scheduling order, so the
+	// delivery closure can pop the ring head instead of capturing the
+	// packet — one closure per link instead of one per packet. Each entry
+	// keeps the dst in effect at schedule time, matching the old
+	// per-closure capture if SetDst is called mid-flight.
+	inflight  []linkDelivery
+	head      int
+	deliverFn func()
+}
+
+type linkDelivery struct {
+	p   *Packet
+	dst Receiver
 }
 
 // NewLink returns a link serialising at rate bps with the given one-way
 // propagation delay, delivering to dst.
 func NewLink(s *sim.Simulator, rate float64, delay time.Duration, dst Receiver) *Link {
-	return &Link{sim: s, rate: rate, delay: delay, dst: dst}
+	l := &Link{sim: s, rate: rate, delay: delay, dst: dst}
+	l.deliverFn = l.deliverHead
+	return l
+}
+
+// deliverHead fires the oldest pending delivery.
+func (l *Link) deliverHead() {
+	d := l.inflight[l.head]
+	l.inflight[l.head] = linkDelivery{}
+	l.head++
+	if l.head == len(l.inflight) {
+		l.inflight = l.inflight[:0]
+		l.head = 0
+	} else if l.head > 64 && l.head*2 > len(l.inflight) {
+		n := copy(l.inflight, l.inflight[l.head:])
+		l.inflight = l.inflight[:n]
+		l.head = 0
+	}
+	d.dst.Receive(d.p)
 }
 
 // SetDst changes the delivery destination (used while wiring topologies).
@@ -206,6 +250,6 @@ func (l *Link) Receive(p *Packet) {
 	}
 	l.busyUntil = start + tx
 	deliverAt := l.busyUntil + l.delay
-	dst := l.dst
-	l.sim.Schedule(deliverAt, func() { dst.Receive(p) })
+	l.inflight = append(l.inflight, linkDelivery{p: p, dst: l.dst})
+	l.sim.Schedule(deliverAt, l.deliverFn)
 }

@@ -61,16 +61,27 @@ type TWCCArrival struct {
 // This is what both a WebRTC receiver and the Zhuge Feedback Updater run:
 // Zhuge feeds it predicted arrival times instead of measured ones (§5.3).
 func BuildTWCC(senderSSRC, mediaSSRC uint32, fbCount uint8, arrivals []TWCCArrival) *TWCCFeedback {
-	if len(arrivals) == 0 {
-		return &TWCCFeedback{SenderSSRC: senderSSRC, MediaSSRC: mediaSSRC, FBCount: fbCount}
-	}
-	fb := &TWCCFeedback{
+	fb := new(TWCCFeedback)
+	BuildTWCCInto(fb, senderSSRC, mediaSSRC, fbCount, arrivals)
+	return fb
+}
+
+// BuildTWCCInto is BuildTWCC writing into a caller-owned message, reusing
+// fb.Packets' storage. It is the form the per-interval feedback builders
+// (RTP receiver, in-band updater) use so that steady-state feedback
+// construction does not allocate.
+func BuildTWCCInto(fb *TWCCFeedback, senderSSRC, mediaSSRC uint32, fbCount uint8, arrivals []TWCCArrival) {
+	*fb = TWCCFeedback{
 		SenderSSRC: senderSSRC,
 		MediaSSRC:  mediaSSRC,
-		BaseSeq:    arrivals[0].Seq,
-		RefTime:    arrivals[0].At / twccRefUnit * twccRefUnit,
 		FBCount:    fbCount,
+		Packets:    fb.Packets[:0],
 	}
+	if len(arrivals) == 0 {
+		return
+	}
+	fb.BaseSeq = arrivals[0].Seq
+	fb.RefTime = arrivals[0].At / twccRefUnit * twccRefUnit
 	ref := fb.RefTime
 	seq := arrivals[0].Seq
 	for _, a := range arrivals {
@@ -83,7 +94,7 @@ func BuildTWCC(senderSSRC, mediaSSRC uint32, fbCount uint8, arrivals []TWCCArriv
 			fb.Packets = append(fb.Packets, TWCCStatus{Received: false})
 			seq++
 			if len(fb.Packets) >= maxTWCCStatuses {
-				return fb
+				return
 			}
 		}
 		// Quantise the delta to 250µs, carrying the running reference so
@@ -94,23 +105,28 @@ func BuildTWCC(senderSSRC, mediaSSRC uint32, fbCount uint8, arrivals []TWCCArriv
 		ref += delta
 		seq++
 	}
-	return fb
 }
 
 // Arrivals reconstructs receive times from the feedback: the inverse of
 // BuildTWCC, as run by the sender's congestion controller.
 func (fb *TWCCFeedback) Arrivals() []TWCCArrival {
-	var out []TWCCArrival
+	return fb.AppendArrivals(nil)
+}
+
+// AppendArrivals appends the reconstructed receive times to dst and returns
+// the extended slice, letting steady-state consumers reuse one scratch
+// slice across feedback messages.
+func (fb *TWCCFeedback) AppendArrivals(dst []TWCCArrival) []TWCCArrival {
 	ref := fb.RefTime
 	seq := fb.BaseSeq
 	for _, p := range fb.Packets {
 		if p.Received {
 			ref += p.Delta
-			out = append(out, TWCCArrival{Seq: seq, At: ref})
+			dst = append(dst, TWCCArrival{Seq: seq, At: ref})
 		}
 		seq++
 	}
-	return out
+	return dst
 }
 
 // twcc status symbols
@@ -120,60 +136,63 @@ const (
 	symLargeDelta  = 2
 )
 
-func (fb *TWCCFeedback) symbols() []byte {
-	syms := make([]byte, len(fb.Packets))
-	for i, p := range fb.Packets {
-		switch {
-		case !p.Received:
-			syms[i] = symNotReceived
-		case p.Delta >= 0 && p.Delta/twccDeltaUnit <= 0xff:
-			syms[i] = symSmallDelta
-		default:
-			syms[i] = symLargeDelta
-		}
+// statusSymbol classifies one status for the wire: not-received,
+// single-byte delta or two-byte delta.
+func statusSymbol(p TWCCStatus) byte {
+	switch {
+	case !p.Received:
+		return symNotReceived
+	case p.Delta >= 0 && p.Delta/twccDeltaUnit <= 0xff:
+		return symSmallDelta
+	default:
+		return symLargeDelta
 	}
-	return syms
 }
 
-// Marshal appends the RTCP wire form of the feedback to b.
+// Marshal appends the RTCP wire form of the feedback to b. It writes
+// straight into b — no scratch buffers — so marshaling into a reused buffer
+// is allocation-free; the length field is patched once the body size is
+// known.
 func (fb *TWCCFeedback) Marshal(b []byte) []byte {
-	body := make([]byte, 0, 16+len(fb.Packets)*3)
-	body = binary.BigEndian.AppendUint32(body, fb.SenderSSRC)
-	body = binary.BigEndian.AppendUint32(body, fb.MediaSSRC)
-	body = binary.BigEndian.AppendUint16(body, fb.BaseSeq)
-	body = binary.BigEndian.AppendUint16(body, uint16(len(fb.Packets)))
+	start := len(b)
+	// RTCP header: V=2, FMT=15, PT=205, length patched below.
+	b = append(b, 2<<6|RTPFBTWCC, RTCPTypeRTPFB, 0, 0)
+	b = binary.BigEndian.AppendUint32(b, fb.SenderSSRC)
+	b = binary.BigEndian.AppendUint32(b, fb.MediaSSRC)
+	b = binary.BigEndian.AppendUint16(b, fb.BaseSeq)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(fb.Packets)))
 	ref24 := uint32(fb.RefTime/twccRefUnit) & 0xffffff
-	body = append(body, byte(ref24>>16), byte(ref24>>8), byte(ref24))
-	body = append(body, fb.FBCount)
+	b = append(b, byte(ref24>>16), byte(ref24>>8), byte(ref24))
+	b = append(b, fb.FBCount)
 
 	// Packet status chunks: run-length for runs >= 7, otherwise 2-bit
 	// status vector chunks of 7 symbols.
-	syms := fb.symbols()
-	for i := 0; i < len(syms); {
+	for i := 0; i < len(fb.Packets); {
+		sym := statusSymbol(fb.Packets[i])
 		run := 1
-		for i+run < len(syms) && syms[i+run] == syms[i] && run < 8191 {
+		for i+run < len(fb.Packets) && statusSymbol(fb.Packets[i+run]) == sym && run < 8191 {
 			run++
 		}
 		if run >= 7 {
-			chunk := uint16(syms[i])<<13 | uint16(run)
-			body = binary.BigEndian.AppendUint16(body, chunk)
+			chunk := uint16(sym)<<13 | uint16(run)
+			b = binary.BigEndian.AppendUint16(b, chunk)
 			i += run
 			continue
 		}
 		chunk := uint16(1)<<15 | uint16(1)<<14 // vector, 2-bit symbols
 		n := 0
-		for ; n < 7 && i+n < len(syms); n++ {
-			chunk |= uint16(syms[i+n]) << (12 - 2*n)
+		for ; n < 7 && i+n < len(fb.Packets); n++ {
+			chunk |= uint16(statusSymbol(fb.Packets[i+n])) << (12 - 2*n)
 		}
-		body = binary.BigEndian.AppendUint16(body, chunk)
+		b = binary.BigEndian.AppendUint16(b, chunk)
 		i += n
 	}
 
 	// Receive deltas.
-	for i, p := range fb.Packets {
-		switch syms[i] {
+	for _, p := range fb.Packets {
+		switch statusSymbol(p) {
 		case symSmallDelta:
-			body = append(body, byte(p.Delta/twccDeltaUnit))
+			b = append(b, byte(p.Delta/twccDeltaUnit))
 		case symLargeDelta:
 			units := int64(p.Delta / twccDeltaUnit)
 			if units > 32767 {
@@ -182,95 +201,107 @@ func (fb *TWCCFeedback) Marshal(b []byte) []byte {
 			if units < -32768 {
 				units = -32768
 			}
-			body = binary.BigEndian.AppendUint16(body, uint16(int16(units)))
+			b = binary.BigEndian.AppendUint16(b, uint16(int16(units)))
 		}
 	}
 
-	// Pad body to a 32-bit boundary.
-	for len(body)%4 != 0 {
-		body = append(body, 0)
+	// Pad to a 32-bit boundary, then patch the length (32-bit words - 1).
+	for (len(b)-start)%4 != 0 {
+		b = append(b, 0)
 	}
-	// RTCP header: V=2, FMT=15, PT=205, length in 32-bit words - 1.
-	b = append(b, 2<<6|RTPFBTWCC, RTCPTypeRTPFB)
-	b = binary.BigEndian.AppendUint16(b, uint16(len(body)/4))
-	return append(b, body...)
+	binary.BigEndian.PutUint16(b[start+2:], uint16((len(b)-start)/4-1))
+	return b
 }
 
 // UnmarshalTWCC parses a TWCC feedback message from a full RTCP packet.
 func UnmarshalTWCC(b []byte) (*TWCCFeedback, error) {
+	fb := new(TWCCFeedback)
+	if err := DecodeTWCC(fb, b); err != nil {
+		return nil, err
+	}
+	return fb, nil
+}
+
+// DecodeTWCC is UnmarshalTWCC into a caller-owned message, reusing
+// fb.Packets' storage; on error fb is left in an unspecified state. It
+// parses without scratch buffers: the chunk pass stores each 2-bit status
+// symbol in the entry's Delta field, and the delta pass rewrites every
+// entry with its decoded value.
+func DecodeTWCC(fb *TWCCFeedback, b []byte) error {
 	if len(b) < 4 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if b[0]>>6 != 2 {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
 	if b[0]&0x1f != RTPFBTWCC || b[1] != RTCPTypeRTPFB {
-		return nil, fmt.Errorf("packet: not a TWCC feedback (fmt=%d pt=%d)", b[0]&0x1f, b[1])
+		return fmt.Errorf("packet: not a TWCC feedback (fmt=%d pt=%d)", b[0]&0x1f, b[1])
 	}
 	length := (int(binary.BigEndian.Uint16(b[2:])) + 1) * 4
 	if len(b) < length || length < 20 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	body := b[4:length]
-	fb := &TWCCFeedback{
+	*fb = TWCCFeedback{
 		SenderSSRC: binary.BigEndian.Uint32(body[0:]),
 		MediaSSRC:  binary.BigEndian.Uint32(body[4:]),
 		BaseSeq:    binary.BigEndian.Uint16(body[8:]),
+		Packets:    fb.Packets[:0],
 	}
 	statusCount := int(binary.BigEndian.Uint16(body[10:]))
 	ref24 := uint32(body[12])<<16 | uint32(body[13])<<8 | uint32(body[14])
 	fb.RefTime = time.Duration(ref24) * twccRefUnit
 	fb.FBCount = body[15]
 
-	// Parse chunks until statusCount symbols are collected.
-	syms := make([]byte, 0, statusCount)
+	// Parse chunks until statusCount symbols are collected, parking each
+	// symbol in its entry's Delta field for the delta pass below.
 	off := 16
-	for len(syms) < statusCount {
+	for len(fb.Packets) < statusCount {
 		if off+2 > len(body) {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		chunk := binary.BigEndian.Uint16(body[off:])
 		off += 2
 		if chunk>>15 == 0 { // run length
 			sym := byte(chunk >> 13 & 0x3)
 			run := int(chunk & 0x1fff)
-			for i := 0; i < run && len(syms) < statusCount; i++ {
-				syms = append(syms, sym)
+			for i := 0; i < run && len(fb.Packets) < statusCount; i++ {
+				fb.Packets = append(fb.Packets, TWCCStatus{Delta: time.Duration(sym)})
 			}
 		} else if chunk>>14&1 == 0 { // 1-bit vector, 14 symbols
-			for i := 0; i < 14 && len(syms) < statusCount; i++ {
-				syms = append(syms, byte(chunk>>(13-i)&1))
+			for i := 0; i < 14 && len(fb.Packets) < statusCount; i++ {
+				fb.Packets = append(fb.Packets, TWCCStatus{Delta: time.Duration(chunk >> (13 - i) & 1)})
 			}
 		} else { // 2-bit vector, 7 symbols
-			for i := 0; i < 7 && len(syms) < statusCount; i++ {
-				syms = append(syms, byte(chunk>>(12-2*i)&0x3))
+			for i := 0; i < 7 && len(fb.Packets) < statusCount; i++ {
+				fb.Packets = append(fb.Packets, TWCCStatus{Delta: time.Duration(chunk >> (12 - 2*i) & 0x3)})
 			}
 		}
 	}
 
-	// Parse deltas.
-	fb.Packets = make([]TWCCStatus, statusCount)
-	for i, sym := range syms {
-		switch sym {
+	// Parse deltas, overwriting the parked symbols.
+	for i := range fb.Packets {
+		switch byte(fb.Packets[i].Delta) {
 		case symNotReceived:
+			fb.Packets[i] = TWCCStatus{}
 		case symSmallDelta:
 			if off+1 > len(body) {
-				return nil, ErrTruncated
+				return ErrTruncated
 			}
 			fb.Packets[i] = TWCCStatus{Received: true, Delta: time.Duration(body[off]) * twccDeltaUnit}
 			off++
 		case symLargeDelta:
 			if off+2 > len(body) {
-				return nil, ErrTruncated
+				return ErrTruncated
 			}
 			units := int16(binary.BigEndian.Uint16(body[off:]))
 			fb.Packets[i] = TWCCStatus{Received: true, Delta: time.Duration(units) * twccDeltaUnit}
 			off += 2
 		default:
-			return nil, fmt.Errorf("packet: reserved TWCC status symbol")
+			return fmt.Errorf("packet: reserved TWCC status symbol")
 		}
 	}
-	return fb, nil
+	return nil
 }
 
 // NACK is a generic negative acknowledgement (RFC 4585): each lost sequence

@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -20,17 +19,20 @@ type Time = time.Duration
 // Timer is a handle for a scheduled event. It can be stopped before firing.
 //
 // Timers handed out by At/After are "retained": the caller holds the handle
-// and may Stop or inspect it at any time, so the simulator never reuses
-// them. Events scheduled through Schedule/ScheduleAfter have no handle and
-// their timers are recycled through a per-simulator free list — the event
-// loop's dominant allocation in long runs.
+// and may Stop or inspect it at any time — even long after the event fired —
+// so the simulator must never reuse them. Recycling a retained timer would
+// let a caller's stale handle alias a future, unrelated event: Stop would
+// cancel someone else's timer and At/Stopped would report its state. That
+// aliasing is why every At/After call costs exactly one allocation (the
+// handle itself) while the handle-less Schedule/ScheduleAfter path recycles
+// timers through a per-simulator free list and runs allocation-free.
 type Timer struct {
 	at       Time
 	seq      uint64
 	fn       func()
 	stopped  bool
 	retained bool
-	index    int // heap index, -1 once popped
+	fired    bool // popped for dispatch (set before fn runs)
 }
 
 // At returns the virtual time this timer is scheduled to fire.
@@ -39,7 +41,7 @@ func (t *Timer) At() Time { return t.at }
 // Stop cancels the timer. Stopping an already-fired timer is a no-op.
 // It reports whether the call prevented the timer from firing.
 func (t *Timer) Stop() bool {
-	if t.stopped || t.index == -1 {
+	if t.stopped || t.fired {
 		return false
 	}
 	t.stopped = true
@@ -49,50 +51,149 @@ func (t *Timer) Stop() bool {
 // Stopped reports whether Stop was called before the timer fired.
 func (t *Timer) Stopped() bool { return t.stopped }
 
-type eventHeap []*Timer
+// eventKey is the heap-ordering key, kept in a flat array separate from the
+// timers so sift comparisons touch only densely packed 16-byte keys instead
+// of chasing *Timer pointers. Ordering is strictly (at, seq): seq is unique
+// per simulator, so no two keys compare equal and ties between
+// same-timestamp events always resolve to scheduling order.
+type eventKey struct {
+	at  Time
+	seq uint64
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (k eventKey) less(o eventKey) bool {
+	return k.at < o.at || (k.at == o.at && k.seq < o.seq)
+}
+
+// eventQueue is a flat 4-ary min-heap over (key, timer) pairs stored in two
+// parallel slices: key[i] orders the heap, tm[i] is the timer it belongs to.
+// Compared with container/heap over []*Timer this removes the any-boxing of
+// Push/Pop, the Less/Swap interface dispatch per comparison, and the pointer
+// chase per comparison; the 4-ary layout halves the tree depth and keeps all
+// four children of a node inside one cache line of keys.
+//
+// Children of node i are arity*i+1 ... arity*i+arity; parent is
+// (i-1)/arity. Invariant: key[parent] < key[child] for every edge (strict,
+// because seq is unique).
+type eventQueue struct {
+	key []eventKey
+	tm  []*Timer
+}
+
+const arity = 4
+
+func (q *eventQueue) len() int { return len(q.key) }
+
+// minTime returns the timestamp of the earliest pending event. It must not
+// be called on an empty queue.
+func (q *eventQueue) minTime() Time { return q.key[0].at }
+
+func (q *eventQueue) push(t *Timer) {
+	i := len(q.key)
+	q.key = append(q.key, eventKey{at: t.at, seq: t.seq})
+	q.tm = append(q.tm, t)
+	q.siftUp(i)
+}
+
+// siftUp moves the element at i toward the root until its parent is
+// smaller, shifting ancestors down into the hole instead of swapping.
+func (q *eventQueue) siftUp(i int) {
+	k, t := q.key[i], q.tm[i]
+	for i > 0 {
+		p := (i - 1) / arity
+		if !k.less(q.key[p]) {
+			break
+		}
+		q.key[i], q.tm[i] = q.key[p], q.tm[p]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	q.key[i], q.tm[i] = k, t
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
+
+// pop removes and returns the minimum-(at, seq) timer.
+func (q *eventQueue) pop() *Timer {
+	t := q.tm[0]
+	n := len(q.key) - 1
+	k, last := q.key[n], q.tm[n]
+	q.tm[n] = nil
+	q.key = q.key[:n]
+	q.tm = q.tm[:n]
+	if n > 0 {
+		q.key[0], q.tm[0] = k, last
+		q.siftDown()
+	}
 	return t
+}
+
+// siftDown restores the heap from the root after a pop, walking the hole
+// down through the smallest child at each level. The slice headers and the
+// current minimum-child key live in locals so the inner loop compares
+// registers instead of reloading through the struct pointer.
+func (q *eventQueue) siftDown() {
+	key, tm := q.key, q.tm
+	n := len(key)
+	i := 0
+	k, t := key[0], tm[0]
+	// Sink the hole to a leaf along the minimum-child path without
+	// comparing k at each level (bottom-up heapsort variant): k came from
+	// the last position, so it almost always belongs near a leaf, and the
+	// per-level k comparison would nearly never exit early.
+	for {
+		c := arity*i + 1
+		if c >= n {
+			break
+		}
+		end := c + arity
+		if end > n {
+			end = n
+		}
+		m, km := c, key[c]
+		for j := c + 1; j < end; j++ {
+			if kj := key[j]; kj.less(km) {
+				m, km = j, kj
+			}
+		}
+		key[i], tm[i] = km, tm[m]
+		i = m
+	}
+	// Bubble k back up from the leaf hole (usually zero or one step).
+	for i > 0 {
+		p := (i - 1) / arity
+		if !k.less(key[p]) {
+			break
+		}
+		key[i], tm[i] = key[p], tm[p]
+		i = p
+	}
+	key[i], tm[i] = k, t
 }
 
 // Simulator owns the virtual clock and the pending event set.
 // It is not safe for concurrent use; scenarios are single-goroutine.
 type Simulator struct {
 	now     Time
-	events  eventHeap
+	events  eventQueue
 	seq     uint64
 	fired   uint64
 	seed    int64
 	stopped bool
 
+	// batch holds a same-timestamp run of timers popped from the heap in
+	// one pass (batch dispatch): when the popped minimum shares its
+	// timestamp with the new heap top — an AMPDU delivery fan-out, a tick
+	// aligning many components — the whole run is drained at once and then
+	// dispatched from this buffer in seq order without going back to the
+	// heap between events. batchNext indexes the next undispatched entry;
+	// entries at and beyond it are still pending (they count in Pending,
+	// can still be Stopped, and survive a Stop of the simulator).
+	batch     []*Timer
+	batchNext int
+
 	// free recycles handle-less timers popped from the event heap. Only
 	// timers created by Schedule/ScheduleAfter land here: nothing can hold
 	// a reference to them, so reuse is invisible. Retained timers (At/
 	// After) are never recycled — a caller's old handle must never alias a
-	// new event.
+	// new event (see the Timer doc comment).
 	free []*Timer
 }
 
@@ -108,7 +209,7 @@ func (s *Simulator) Now() Time { return s.now }
 func (s *Simulator) Seed() int64 { return s.seed }
 
 // Pending returns the number of events waiting to fire.
-func (s *Simulator) Pending() int { return len(s.events) }
+func (s *Simulator) Pending() int { return s.events.len() + len(s.batch) - s.batchNext }
 
 // Fired returns the cumulative count of events executed — the event-loop
 // throughput figure the observability layer exports per run.
@@ -160,7 +261,7 @@ func (s *Simulator) schedule(t Time, fn func()) *Timer {
 	} else {
 		timer = &Timer{at: t, seq: s.seq, fn: fn}
 	}
-	heap.Push(&s.events, timer)
+	s.events.push(timer)
 	return timer
 }
 
@@ -173,23 +274,69 @@ func (s *Simulator) recycle(t *Timer) {
 	s.free = append(s.free, t)
 }
 
+// next removes and returns the next timer in (at, seq) order, or nil when
+// no events are pending. It serves the current same-timestamp batch first;
+// when the batch is empty it pops the heap, and if the popped minimum's
+// timestamp still tops the heap it drains the entire same-instant run into
+// the batch in one pass (heap pops yield the run already in seq order, so
+// no re-sorting is needed). Events a batched timer schedules at the same
+// instant carry higher seqs and correctly fire after the batch drains.
+func (s *Simulator) next() *Timer {
+	if s.batchNext < len(s.batch) {
+		t := s.batch[s.batchNext]
+		s.batch[s.batchNext] = nil
+		s.batchNext++
+		return t
+	}
+	if s.events.len() == 0 {
+		return nil
+	}
+	t := s.events.pop()
+	if s.events.len() > 0 && s.events.minTime() == t.at {
+		s.batch = s.batch[:0]
+		s.batchNext = 0
+		for s.events.len() > 0 && s.events.minTime() == t.at {
+			s.batch = append(s.batch, s.events.pop())
+		}
+	}
+	return t
+}
+
+// peekTime returns the timestamp of the next pending event.
+func (s *Simulator) peekTime() (Time, bool) {
+	if s.batchNext < len(s.batch) {
+		return s.batch[s.batchNext].at, true
+	}
+	if s.events.len() > 0 {
+		return s.events.minTime(), true
+	}
+	return 0, false
+}
+
 // Step fires the next pending event, advancing the clock to it.
 // It reports whether an event fired.
 func (s *Simulator) Step() bool {
-	for len(s.events) > 0 {
-		t := heap.Pop(&s.events).(*Timer)
+	for {
+		t := s.next()
+		if t == nil {
+			return false
+		}
+		// Stopped timers are skipped at dispatch time, not pop time: a
+		// same-instant event dispatched just before this one may have
+		// stopped it while it sat in the batch.
 		if t.stopped {
-			s.recycle(t) // unreachable today (no handle, no Stop), but safe
+			t.fired = true
+			s.recycle(t)
 			continue
 		}
 		s.now = t.at
+		t.fired = true
 		fn := t.fn
 		s.recycle(t)
 		s.fired++
 		fn()
 		return true
 	}
-	return false
 }
 
 // Run fires events until none remain or Stop is called.
@@ -203,7 +350,11 @@ func (s *Simulator) Run() {
 // end. Events scheduled after end stay pending.
 func (s *Simulator) RunUntil(end Time) {
 	s.stopped = false
-	for !s.stopped && len(s.events) > 0 && s.events[0].at <= end {
+	for !s.stopped {
+		at, ok := s.peekTime()
+		if !ok || at > end {
+			break
+		}
 		s.Step()
 	}
 	if s.now < end {

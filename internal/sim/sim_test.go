@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -283,4 +284,187 @@ func TestScheduleInPastPanics(t *testing.T) {
 		}
 	}()
 	s.Schedule(500*time.Millisecond, func() {})
+}
+
+// TestStopWhileBatched pins the dispatch-time stop check: with several
+// events queued at one instant, an earlier event in the batch stopping a
+// later one must prevent it from firing, even though batch dispatch popped
+// both from the heap before either ran.
+func TestStopWhileBatched(t *testing.T) {
+	s := New(1)
+	var order []int
+	var victim *Timer
+	s.At(time.Second, func() {
+		order = append(order, 0)
+		if !victim.Stop() {
+			t.Error("stopping a batched, not-yet-dispatched timer should succeed")
+		}
+	})
+	s.At(time.Second, func() { order = append(order, 1) })
+	victim = s.At(time.Second, func() { order = append(order, 2) })
+	s.At(time.Second, func() { order = append(order, 3) })
+	s.Run()
+	want := []int{0, 1, 3}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d after Run, want 0", s.Pending())
+	}
+}
+
+// TestStopAfterFire: a fired timer's handle stays inert — Stop reports
+// false, and rescheduling the same callback through a fresh timer is
+// unaffected by the old handle.
+func TestStopAfterFire(t *testing.T) {
+	s := New(1)
+	fired := 0
+	h := s.After(time.Millisecond, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+	if h.Stop() {
+		t.Error("Stop after fire should report false")
+	}
+	h2 := s.After(time.Millisecond, func() { fired++ })
+	if h2 == h {
+		t.Fatal("retained timer was recycled into a new handle")
+	}
+	s.Run()
+	if fired != 2 {
+		t.Errorf("fired %d times after reschedule, want 2", fired)
+	}
+	if h.Stop() {
+		t.Error("old handle must stay inert after an unrelated reschedule")
+	}
+}
+
+// TestStopSimulatorMidBatch: stopping the simulator from inside a
+// same-instant batch leaves the rest of the batch pending (visible via
+// Pending) and firable by a later Run.
+func TestStopSimulatorMidBatch(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 6; i++ {
+		i := i
+		s.At(time.Second, func() {
+			order = append(order, i)
+			if i == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if len(order) != 3 {
+		t.Fatalf("fired %v before Stop, want first 3", order)
+	}
+	if got := s.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d after mid-batch Stop, want 3", got)
+	}
+	s.Run()
+	if len(order) != 6 {
+		t.Fatalf("fired %v after resume, want all 6", order)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v, want ascending schedule order", order)
+		}
+	}
+}
+
+// TestPropertyHeapMatchesReferenceModel drives the event queue with random
+// schedule/cancel interleavings and checks the firing sequence against a
+// reference model: a sorted-by-(time, seq) slice of the surviving events.
+func TestPropertyHeapMatchesReferenceModel(t *testing.T) {
+	rng := LabeledRand(42, "heap-property")
+	for trial := 0; trial < 200; trial++ {
+		s := New(1)
+		type ref struct {
+			at   Time
+			id   int
+			tm   *Timer
+			dead bool
+		}
+		var model []*ref
+		var fires []int
+		n := 1 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			switch {
+			case len(model) > 0 && rng.Intn(4) == 0:
+				// Cancel a random live event.
+				r := model[rng.Intn(len(model))]
+				if !r.dead {
+					r.dead = true
+					r.tm.Stop()
+				}
+			default:
+				// Coarse times force plenty of ties.
+				at := Time(rng.Intn(8)) * time.Millisecond
+				id := i
+				r := &ref{at: at, id: id}
+				r.tm = s.At(at, func() { fires = append(fires, id) })
+				model = append(model, r)
+			}
+		}
+		// Reference order: stable sort by time (insertion order breaks
+		// ties, matching the (at, seq) contract).
+		var want []int
+		sort.SliceStable(model, func(i, j int) bool { return model[i].at < model[j].at })
+		for _, r := range model {
+			if !r.dead {
+				want = append(want, r.id)
+			}
+		}
+		s.Run()
+		if len(fires) != len(want) {
+			t.Fatalf("trial %d: fired %v, want %v", trial, fires, want)
+		}
+		for i := range want {
+			if fires[i] != want[i] {
+				t.Fatalf("trial %d: fired %v, want %v", trial, fires, want)
+			}
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("trial %d: %d events left pending", trial, s.Pending())
+		}
+	}
+}
+
+// TestSameTickMultiComponentOrder models several components scheduling into
+// one instant — the batch-dispatch fast path — and checks the global firing
+// order is exactly global scheduling order, with mid-batch schedules at the
+// same instant firing after the whole pre-existing batch.
+func TestSameTickMultiComponentOrder(t *testing.T) {
+	s := New(1)
+	const tick = 10 * time.Millisecond
+	var order []string
+	emit := func(tag string) func() {
+		return func() { order = append(order, tag) }
+	}
+	// Three "components" interleave schedules into the same tick through
+	// different APIs; a fourth adds same-instant work from inside the batch.
+	s.Schedule(tick, emit("a0"))
+	s.At(tick, emit("b0"))
+	s.Schedule(tick, func() {
+		order = append(order, "c0")
+		s.Schedule(tick, emit("c1")) // same instant, scheduled mid-batch
+	})
+	s.After(tick, emit("a1"))
+	s.ScheduleAfter(tick, emit("b1"))
+	s.Run()
+	want := []string{"a0", "b0", "c0", "a1", "b1", "c1"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
 }

@@ -68,10 +68,18 @@ type Sender struct {
 	// sent records per-TWCC-seq send metadata for feedback matching.
 	sent [1 << 16]sentRecord
 
-	// pacer queue
-	queue     []*netem.Packet
-	pacing    bool
-	pacingAt  sim.Time
+	// pacer queue (slice-backed FIFO; head indexes the next packet out)
+	queue    []*netem.Packet
+	head     int
+	pacing   bool
+	pacingAt sim.Time
+	sendFn   func() // persistent pacer event: send head, schedule next
+
+	// feedback-parsing scratch, reused across TWCC messages so the
+	// steady-state feedback path does not allocate.
+	fbScratch       packet.TWCCFeedback
+	arrivalsScratch []packet.TWCCArrival
+	samplesScratch  []cca.FeedbackSample
 
 	// retransmission store: recent packets by RTP seq.
 	store [1 << 16]*Payload
@@ -95,7 +103,9 @@ type sentRecord struct {
 // NewSender builds an RTP sender for flow with rate controller cc, writing
 // packets into out.
 func NewSender(s *sim.Simulator, flow netem.FlowKey, ssrc uint32, cc cca.Rate, out netem.Receiver) *Sender {
-	return &Sender{s: s, out: out, flow: flow, cc: cc, ssrc: ssrc}
+	snd := &Sender{s: s, out: out, flow: flow, cc: cc, ssrc: ssrc}
+	snd.sendFn = snd.sendHead
+	return snd
 }
 
 // Controller returns the sender's rate controller.
@@ -153,8 +163,14 @@ func (snd *Sender) pace() {
 	snd.paceNext()
 }
 
+// paceNext books the send event for the queue head. The head is peeked, not
+// popped: the persistent sendFn pops it at fire time, so no closure needs to
+// capture the packet. Only the head can fire next — SendFrame appends at the
+// tail — so the peeked and popped packets are always the same.
 func (snd *Sender) paceNext() {
-	if len(snd.queue) == 0 {
+	if snd.head == len(snd.queue) {
+		snd.queue = snd.queue[:0]
+		snd.head = 0
 		snd.pacing = false
 		return
 	}
@@ -163,23 +179,29 @@ func (snd *Sender) paceNext() {
 	if at < now {
 		at = now
 	}
-	p := snd.queue[0]
-	snd.queue = snd.queue[1:]
+	p := snd.queue[snd.head]
 	rate := snd.cc.Rate() * 1.5
 	gap := time.Duration(float64(p.Size*8) / rate * float64(time.Second))
 	snd.pacingAt = at + gap
-	snd.s.Schedule(at, func() {
-		sendAt := snd.s.Now()
-		pl := p.Payload.(*Payload)
-		pl.TWCCSeq = snd.twccSeq
-		snd.sent[pl.TWCCSeq] = sentRecord{at: sendAt, size: p.Size, valid: true}
-		snd.twccSeq++
-		p.SentAt = sendAt
-		p.Seq = uint64(pl.TWCCSeq)
-		snd.sentPackets++
-		snd.out.Receive(p)
-		snd.paceNext()
-	})
+	snd.s.Schedule(at, snd.sendFn)
+}
+
+// sendHead fires one paced send: pop the queue head, stamp its TWCC
+// sequence number at the actual send instant, and book the next send.
+func (snd *Sender) sendHead() {
+	p := snd.queue[snd.head]
+	snd.queue[snd.head] = nil
+	snd.head++
+	sendAt := snd.s.Now()
+	pl := p.Payload.(*Payload)
+	pl.TWCCSeq = snd.twccSeq
+	snd.sent[pl.TWCCSeq] = sentRecord{at: sendAt, size: p.Size, valid: true}
+	snd.twccSeq++
+	p.SentAt = sendAt
+	p.Seq = uint64(pl.TWCCSeq)
+	snd.sentPackets++
+	snd.out.Receive(p)
+	snd.paceNext()
 }
 
 // Receive implements netem.Receiver: RTCP feedback from the network. Any
@@ -203,14 +225,15 @@ func (snd *Sender) Receive(p *netem.Packet) {
 }
 
 func (snd *Sender) onTWCC(raw []byte) {
-	fb, err := packet.UnmarshalTWCC(raw)
-	if err != nil {
+	fb := &snd.fbScratch
+	if err := packet.DecodeTWCC(fb, raw); err != nil {
 		return
 	}
 	now := snd.s.Now()
-	var samples []cca.FeedbackSample
+	samples := snd.samplesScratch[:0]
 	seq := fb.BaseSeq
-	arrivals := fb.Arrivals()
+	arrivals := fb.AppendArrivals(snd.arrivalsScratch[:0])
+	snd.arrivalsScratch = arrivals[:0]
 	ai := 0
 	for range fb.Packets {
 		rec := snd.sent[seq]
@@ -228,6 +251,7 @@ func (snd *Sender) onTWCC(raw []byte) {
 		}
 		seq++
 	}
+	snd.samplesScratch = samples[:0]
 	if len(samples) > 0 {
 		snd.cc.OnFeedback(now, samples)
 		if snd.Encoder != nil {
@@ -273,11 +297,17 @@ type Receiver struct {
 	fbCount  uint8
 	interval time.Duration
 
+	// fbScratch and lostScratch are reused across feedback rounds so the
+	// periodic TWCC/NACK construction does not allocate in steady state.
+	fbScratch   packet.TWCCFeedback
+	lostScratch []uint16
+
 	highest     uint16
 	haveHighest bool
-	missing     map[uint16]*missState // rtp seq -> loss-tracking state
+	missing     map[uint16]missState // rtp seq -> loss-tracking state
 
 	frames  map[uint64]*frameState
+	fsFree  []*frameState // recycled reassembly states (with their got maps)
 	decoder *video.Decoder
 
 	// DisableTWCC mutes locally generated TWCC feedback (Zhuge in-band
@@ -314,7 +344,7 @@ func NewReceiver(s *sim.Simulator, fbFlow netem.FlowKey, ssrc uint32, decoder *v
 	return &Receiver{
 		s: s, out: out, flow: fbFlow, ssrc: ssrc,
 		interval: 40 * time.Millisecond, // once per frame at 25 fps (§7.1)
-		missing:  make(map[uint16]*missState),
+		missing:  make(map[uint16]missState),
 		frames:   make(map[uint64]*frameState),
 		decoder:  decoder,
 	}
@@ -359,7 +389,7 @@ func (r *Receiver) Receive(p *netem.Packet) {
 		diff := int16(pl.RTPSeq - r.highest)
 		if diff > 0 {
 			for s := r.highest + 1; s != pl.RTPSeq; s++ {
-				r.missing[s] = &missState{since: now}
+				r.missing[s] = missState{since: now}
 			}
 			r.highest = pl.RTPSeq
 		}
@@ -369,12 +399,10 @@ func (r *Receiver) Receive(p *netem.Packet) {
 	// Frame reassembly.
 	fs := r.frames[pl.FrameID]
 	if fs == nil {
-		fs = &frameState{
-			frame:   video.Frame{ID: pl.FrameID, Key: pl.Key, CapturedAt: pl.Captured},
-			got:     make(map[int]bool),
-			total:   pl.FrameTot,
-			firstAt: now,
-		}
+		fs = r.getFrameState()
+		fs.frame = video.Frame{ID: pl.FrameID, Key: pl.Key, CapturedAt: pl.Captured}
+		fs.total = pl.FrameTot
+		fs.firstAt = now
 		r.frames[pl.FrameID] = fs
 	}
 	fs.got[pl.FrameIdx] = true
@@ -382,7 +410,27 @@ func (r *Receiver) Receive(p *netem.Packet) {
 		fs.complete = true
 		r.decoder.OnFrameComplete(now, fs.frame)
 		delete(r.frames, pl.FrameID)
+		r.putFrameState(fs)
 	}
+}
+
+// getFrameState returns a zeroed reassembly state, reusing a recycled one
+// (and its got map) when available.
+func (r *Receiver) getFrameState() *frameState {
+	if n := len(r.fsFree); n > 0 {
+		fs := r.fsFree[n-1]
+		r.fsFree = r.fsFree[:n-1]
+		return fs
+	}
+	return &frameState{got: make(map[int]bool)}
+}
+
+// putFrameState recycles a reassembly state after the frame completed or was
+// abandoned. The caller must already have removed it from r.frames.
+func (r *Receiver) putFrameState(fs *frameState) {
+	clear(fs.got)
+	*fs = frameState{got: fs.got}
+	r.fsFree = append(r.fsFree, fs)
 }
 
 // sendFeedback flushes accumulated arrivals as one TWCC feedback packet.
@@ -391,17 +439,18 @@ func (r *Receiver) sendFeedback() {
 		r.arrivals = r.arrivals[:0]
 		return
 	}
-	fb := packet.BuildTWCC(r.ssrc, r.ssrc, r.fbCount, r.arrivals)
+	packet.BuildTWCCInto(&r.fbScratch, r.ssrc, r.ssrc, r.fbCount, r.arrivals)
 	r.fbCount++
-	raw := fb.Marshal(nil)
+	buf := packet.NewFeedbackBuf()
+	buf.B = r.fbScratch.Marshal(buf.B)
 	r.arrivals = r.arrivals[:0]
 	p := netem.NewPacket()
 	*p = netem.Packet{
 		Flow:    r.flow,
 		Kind:    netem.KindFeedback,
-		Size:    len(raw) + feedbackOverhead,
+		Size:    len(buf.B) + feedbackOverhead,
 		SentAt:  r.s.Now(),
-		Payload: FeedbackPayload{Raw: raw},
+		Payload: buf,
 	}
 	r.out.Receive(p)
 }
@@ -417,15 +466,16 @@ func (r *Receiver) sendReceiverReport() {
 			HighestSeq: uint32(r.highest),
 		}},
 	}
-	raw := rr.Marshal(nil)
+	buf := packet.NewFeedbackBuf()
+	buf.B = rr.Marshal(buf.B)
 	r.rrSent++
 	p := netem.NewPacket()
 	*p = netem.Packet{
 		Flow:    r.flow,
 		Kind:    netem.KindFeedback,
-		Size:    len(raw) + feedbackOverhead,
+		Size:    len(buf.B) + feedbackOverhead,
 		SentAt:  r.s.Now(),
-		Payload: FeedbackPayload{Raw: raw},
+		Payload: buf,
 	}
 	r.out.Receive(p)
 }
@@ -435,7 +485,7 @@ func (r *Receiver) sendReceiverReport() {
 // retransmission needs at least one RTT to arrive), and abandoned after 2s.
 func (r *Receiver) sendNACKs() {
 	now := r.s.Now()
-	var lost []uint16
+	lost := r.lostScratch[:0]
 	for seq, st := range r.missing {
 		if now-st.since > 2*time.Second {
 			delete(r.missing, seq)
@@ -449,28 +499,32 @@ func (r *Receiver) sendNACKs() {
 		}
 		st.requested = true
 		st.lastNACK = now
+		r.missing[seq] = st
 		lost = append(lost, seq)
 	}
 	// Abandon reassembly state for frames that can no longer be saved.
 	for id, fs := range r.frames {
 		if now-fs.firstAt > 4*time.Second {
 			delete(r.frames, id)
+			r.putFrameState(fs)
 		}
 	}
+	r.lostScratch = lost[:0]
 	if len(lost) == 0 {
 		return
 	}
 	// Map iteration order is random; sort to keep runs reproducible.
 	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
-	nack := &packet.NACK{SenderSSRC: r.ssrc, MediaSSRC: r.ssrc, Lost: lost}
-	raw := nack.Marshal(nil)
+	nack := packet.NACK{SenderSSRC: r.ssrc, MediaSSRC: r.ssrc, Lost: lost}
+	buf := packet.NewFeedbackBuf()
+	buf.B = nack.Marshal(buf.B)
 	p := netem.NewPacket()
 	*p = netem.Packet{
 		Flow:    r.flow,
 		Kind:    netem.KindFeedback,
-		Size:    len(raw) + feedbackOverhead,
+		Size:    len(buf.B) + feedbackOverhead,
 		SentAt:  now,
-		Payload: FeedbackPayload{Raw: raw},
+		Payload: buf,
 	}
 	r.out.Receive(p)
 }

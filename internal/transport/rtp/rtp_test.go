@@ -149,8 +149,8 @@ func TestDisableTWCCSuppressesFeedback(t *testing.T) {
 	// Intercept the reverse path.
 	orig := sess.rcv.out
 	sess.rcv.out = netem.ReceiverFunc(func(p *netem.Packet) {
-		if fp, ok := p.Payload.(FeedbackPayload); ok {
-			if pt, f, _, err := packet.RTCPKind(fp.Raw); err == nil && pt == packet.RTCPTypeRTPFB && f == packet.RTPFBTWCC {
+		if fp, ok := p.Payload.(interface{ RawRTCP() []byte }); ok {
+			if pt, f, _, err := packet.RTCPKind(fp.RawRTCP()); err == nil && pt == packet.RTCPTypeRTPFB && f == packet.RTPFBTWCC {
 				fbSeen++
 			}
 		}
@@ -189,10 +189,10 @@ func TestReceiverSendsReceiverReports(t *testing.T) {
 	rrSeen := 0
 	orig := sess.rcv.out
 	sess.rcv.out = netem.ReceiverFunc(func(p *netem.Packet) {
-		if fp, ok := p.Payload.(FeedbackPayload); ok {
-			if pt, _, _, err := packet.RTCPKind(fp.Raw); err == nil && pt == packet.RTCPTypeReceiverReport {
+		if fp, ok := p.Payload.(interface{ RawRTCP() []byte }); ok {
+			if pt, _, _, err := packet.RTCPKind(fp.RawRTCP()); err == nil && pt == packet.RTCPTypeReceiverReport {
 				rrSeen++
-				if _, err := packet.UnmarshalReceiverReport(fp.Raw); err != nil {
+				if _, err := packet.UnmarshalReceiverReport(fp.RawRTCP()); err != nil {
 					t.Errorf("bad RR on the wire: %v", err)
 				}
 			}

@@ -146,6 +146,24 @@ type Link struct {
 	observers []Observer
 	busy      bool
 
+	// Persistent event closures, allocated once in NewLink: the transmit
+	// loop schedules these instead of fresh closures, keeping the per-burst
+	// datapath allocation-free.
+	txFn        func() // transmitBurst
+	endTxFn     func() // aggregate left the air: clear busy, re-arm
+	recontendFn func() // channel freed by another station: draw a backoff
+	deliverFn   func() // deliver the oldest in-flight aggregate
+
+	// pending holds in-flight aggregates in delivery order. Aggregates are
+	// serialised by busy, so delivery times are nondecreasing and the
+	// single deliverFn can pop the head instead of capturing the burst.
+	// Each entry pins the dst in effect when the aggregate was sealed.
+	pending     []pendingBurst
+	pendingHead int
+	// burstFree recycles burst buffers (pre-sized to MaxAggPackets) once
+	// their aggregate has been delivered.
+	burstFree [][]*netem.Packet
+
 	// stats
 	delivered     int
 	deliveredBits float64
@@ -170,6 +188,15 @@ func NewLink(s *sim.Simulator, cfg Config, q queue.Qdisc, dst netem.Receiver, rn
 		panic("wireless: Config.Rate is required")
 	}
 	l := &Link{s: s, q: q, dst: dst, cfg: cfg.withDefaults(), rng: rng}
+	l.txFn = l.transmitBurst
+	l.endTxFn = func() {
+		l.busy = false
+		l.maybeStart()
+	}
+	l.recontendFn = func() {
+		l.s.ScheduleAfter(l.accessDelay(), l.txFn)
+	}
+	l.deliverFn = l.deliverPending
 	if o := cfg.Obs; o != nil {
 		label := cfg.ObsLabel
 		if label == "" {
@@ -317,7 +344,7 @@ func (l *Link) maybeStart() {
 		return
 	}
 	l.busy = true
-	l.s.ScheduleAfter(l.accessDelay(), l.transmitBurst)
+	l.s.ScheduleAfter(l.accessDelay(), l.txFn)
 }
 
 // accessDelay draws the channel-access wait: base DIFS/backoff, an
@@ -348,14 +375,12 @@ func (l *Link) transmitBurst() {
 	// On a shared channel, wait out another station's transmission and
 	// re-contend with a fresh backoff.
 	if ch := l.cfg.Channel; ch != nil && ch.freeAt > now {
-		l.s.Schedule(ch.freeAt, func() {
-			l.s.ScheduleAfter(l.accessDelay(), l.transmitBurst)
-		})
+		l.s.Schedule(ch.freeAt, l.recontendFn)
 		return
 	}
 	rate := l.CurrentRate(now)
 
-	var burst []*netem.Packet
+	burst := l.getBurstBuf()
 	var bits float64
 	for len(burst) < l.cfg.MaxAggPackets {
 		peekAir := time.Duration((bits + 12112) / rate * float64(time.Second))
@@ -377,6 +402,7 @@ func (l *Link) transmitBurst() {
 	}
 	if len(burst) == 0 {
 		// CoDel may have dropped everything.
+		l.putBurstBuf(burst)
 		l.busy = false
 		l.maybeStart()
 		return
@@ -389,21 +415,53 @@ func (l *Link) transmitBurst() {
 	if l.o != nil {
 		l.obsBurst(now, burst, bits, airtime)
 	}
-	deliverAt := now + airtime + l.cfg.PropDelay
-	dst := l.dst
-	l.s.Schedule(deliverAt, func() {
-		at := l.s.Now()
-		for _, p := range burst {
-			l.delivered++
-			l.deliveredBits += float64(p.Size * 8)
-			if l.o != nil {
-				l.obsDeliver(at, p)
-			}
-			dst.Receive(p)
+	l.pending = append(l.pending, pendingBurst{pkts: burst, dst: l.dst})
+	l.s.Schedule(now+airtime+l.cfg.PropDelay, l.deliverFn)
+	l.s.Schedule(now+airtime, l.endTxFn)
+}
+
+// pendingBurst is one sealed aggregate awaiting its delivery event.
+type pendingBurst struct {
+	pkts []*netem.Packet
+	dst  netem.Receiver
+}
+
+// deliverPending delivers the oldest in-flight aggregate (the 802.11
+// block-ACK instant for every packet in it).
+func (l *Link) deliverPending() {
+	at := l.s.Now()
+	e := l.pending[l.pendingHead]
+	l.pending[l.pendingHead] = pendingBurst{}
+	l.pendingHead++
+	if l.pendingHead == len(l.pending) {
+		l.pending = l.pending[:0]
+		l.pendingHead = 0
+	}
+	for _, p := range e.pkts {
+		l.delivered++
+		l.deliveredBits += float64(p.Size * 8)
+		if l.o != nil {
+			l.obsDeliver(at, p)
 		}
-	})
-	l.s.Schedule(now+airtime, func() {
-		l.busy = false
-		l.maybeStart()
-	})
+		e.dst.Receive(p)
+	}
+	l.putBurstBuf(e.pkts)
+}
+
+// getBurstBuf returns a cleared burst buffer with MaxAggPackets capacity.
+func (l *Link) getBurstBuf() []*netem.Packet {
+	if n := len(l.burstFree); n > 0 {
+		b := l.burstFree[n-1]
+		l.burstFree = l.burstFree[:n-1]
+		return b
+	}
+	return make([]*netem.Packet, 0, l.cfg.MaxAggPackets)
+}
+
+// putBurstBuf recycles a burst buffer once its packets are handed off.
+func (l *Link) putBurstBuf(b []*netem.Packet) {
+	for i := range b {
+		b[i] = nil // drop packet references; they belong downstream now
+	}
+	l.burstFree = append(l.burstFree, b[:0])
 }
