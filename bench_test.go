@@ -516,3 +516,16 @@ func BenchmarkObsDisabledInstruments(b *testing.B) {
 func BenchmarkExtQUIC(b *testing.B)      { runExperiment(b, "ext-quic", nil) }
 func BenchmarkExtNADA(b *testing.B)      { runExperiment(b, "ext-nada", nil) }
 func BenchmarkExtSelective(b *testing.B) { runExperiment(b, "ext-selective", nil) }
+
+func BenchmarkExtHandover(b *testing.B) {
+	runExperiment(b, "ext-handover", func(t *experiments.Table) map[string]float64 {
+		m := map[string]float64{}
+		if r := cellBy(t, "rtp", "zhuge", "reset"); r != nil {
+			m["rtp-reset-recovery-s"], _ = strconv.ParseFloat(r[5], 64)
+		}
+		if r := cellBy(t, "rtp", "zhuge", "migrate"); r != nil {
+			m["rtp-migrate-recovery-s"], _ = strconv.ParseFloat(r[5], 64)
+		}
+		return m
+	})
+}

@@ -7,11 +7,19 @@
 //	zhuge-sim -trace drop10 -proto tcp -cca copa -solution none
 //	zhuge-sim -trace w2 -proto rtp -solution none -qdisc codel -interferers 20
 //	zhuge-sim -trace w1 -solution zhuge -dur 10s -trace-out run.trace.json -metrics run.metrics.json
+//	zhuge-sim -aps 2 -solution zhuge -handover-at 40s,80s -handover-policy migrate
+//	zhuge-sim -exp handover
 //
 // Trace names: w1 w2 c1 c2 c3 ethernet abc, dropK (e.g. drop10 = 30 Mbps
 // dropping K-fold mid-run), a CSV file path, or constN (N Mbps constant).
 // (-trace names the bandwidth trace; -trace-out writes the packet-lifecycle
 // trace — open the .json form in chrome://tracing or Perfetto.)
+//
+// -aps builds a multi-AP topology (each AP on its own channel with an
+// independent trace realisation and its own solution instance); -handover-at
+// schedules station roams round-robin across the APs, with -handover-policy
+// picking what happens to the per-flow Zhuge state. -exp runs a full
+// experiment table by ID ("handover" is shorthand for "ext-handover").
 package main
 
 import (
@@ -21,10 +29,12 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"github.com/zhuge-project/zhuge/internal/experiments"
 	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/scenario"
 	"github.com/zhuge-project/zhuge/internal/trace"
@@ -41,6 +51,12 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		interferers = flag.Int("interferers", 0, "contending stations on the channel")
 		bulk        = flag.Int("bulk", 0, "competing CUBIC bulk flows")
+		aps         = flag.Int("aps", 1, "number of APs (each on its own channel, with its own solution instance)")
+		handoverAt  = flag.String("handover-at", "", "comma-separated roam times (e.g. 40s,80s); roams go round-robin across APs")
+		handoverPol = flag.String("handover-policy", "migrate", "per-flow Zhuge state across a roam: migrate|reset")
+		expID       = flag.String("exp", "", "run an experiment table by ID instead ('handover' = ext-handover); uses -seed, -scale, -j")
+		scale       = flag.Float64("scale", 1.0, "with -exp: duration scale factor")
+		workers     = flag.Int("j", runtime.NumCPU(), "with -exp: worker count for parallel cells")
 		traceOut    = flag.String("trace-out", "", "write a packet-lifecycle trace to this file (.jsonl = JSONL, else Chrome trace_event for Perfetto)")
 		metricsOut  = flag.String("metrics", "", "write a metrics + prediction-error JSON report to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -55,11 +71,11 @@ func main() {
 		}()
 	}
 
-	tr, err := resolveTrace(*traceName, *dur, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "zhuge-sim:", err)
-		os.Exit(2)
+	if *expID != "" {
+		runExperiment(*expID, *seed, *scale, *workers)
+		return
 	}
+
 	sol := map[string]scenario.Solution{
 		"none": scenario.SolutionNone, "zhuge": scenario.SolutionZhuge,
 		"fastack": scenario.SolutionFastAck, "abc": scenario.SolutionABC,
@@ -70,17 +86,55 @@ func main() {
 		Metrics: *metricsOut != "",
 		PredErr: *metricsOut != "",
 	})
-	p := scenario.NewPath(scenario.Options{
-		Seed: *seed, Trace: tr, Solution: sol, Qdisc: *qdisc, Interferers: *interferers,
-		Obs: o,
-	})
+
+	roams, err := parseHandovers(*handoverAt, *handoverPol, *aps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zhuge-sim:", err)
+		os.Exit(2)
+	}
+
+	var p *scenario.Path
+	var tr *trace.Trace
+	if *aps > 1 {
+		sp := scenario.Spec{Seed: *seed, Obs: o, Handovers: roams}
+		for i := 0; i < *aps; i++ {
+			// Each AP gets an independent realisation of the requested
+			// trace profile (generated traces vary with the seed; constant
+			// and file traces repeat).
+			atr, terr := resolveTrace(*traceName, *dur, *seed+int64(i))
+			if terr != nil {
+				fmt.Fprintln(os.Stderr, "zhuge-sim:", terr)
+				os.Exit(2)
+			}
+			sp.APs = append(sp.APs, scenario.APSpec{
+				Name: fmt.Sprintf("ap%d", i), Trace: atr,
+				Qdisc: *qdisc, Interferers: *interferers, Solution: sol,
+			})
+		}
+		p = sp.Build()
+		tr = sp.APs[0].Trace
+	} else {
+		if len(roams) > 0 {
+			fmt.Fprintln(os.Stderr, "zhuge-sim: -handover-at needs -aps > 1")
+			os.Exit(2)
+		}
+		tr, err = resolveTrace(*traceName, *dur, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zhuge-sim:", err)
+			os.Exit(2)
+		}
+		p = scenario.NewPath(scenario.Options{
+			Seed: *seed, Trace: tr, Solution: sol, Qdisc: *qdisc, Interferers: *interferers,
+			Obs: o,
+		})
+	}
 	for i := 0; i < *bulk; i++ {
 		p.AddBulkFlow(0, 0)
 	}
 	defer writeObs(o, *traceOut, *metricsOut)
 
-	fmt.Printf("trace=%s proto=%s solution=%s qdisc=%s dur=%v seed=%d\n\n",
-		tr.Name, *proto, *solution, *qdisc, *dur, *seed)
+	fmt.Printf("trace=%s proto=%s solution=%s qdisc=%s dur=%v seed=%d aps=%d\n\n",
+		tr.Name, *proto, *solution, *qdisc, *dur, *seed, *aps)
 
 	if *proto == "quic" {
 		f := p.AddQUICVideoFlow(scenario.TCPFlowConfig{CCA: *ccaName})
@@ -114,7 +168,9 @@ func main() {
 	if *ccaName == "nada" {
 		rtpCCA = "nada"
 	}
-	f := p.AddRTPFlow(scenario.RTPFlowConfig{CCA: rtpCCA})
+	// With roams scheduled, the sender must infer losses from feedback
+	// gaps (reset-on-handover discards fortunes silently otherwise).
+	f := p.AddRTPFlow(scenario.RTPFlowConfig{CCA: rtpCCA, GapLoss: len(roams) > 0})
 	p.Run(*dur)
 	fmt.Printf("network RTT:   %s\n", f.Metrics.RTT)
 	fmt.Printf("frame delay:   %s\n", f.Decoder.FrameDelay)
@@ -125,6 +181,55 @@ func main() {
 		f.Decoder.Decoded, f.Decoder.Skipped, f.Sender.Retransmits())
 	fmt.Printf("final rate: %.2f Mbps\n", f.Sender.Controller().Rate()/1e6)
 	fmt.Printf("goodput: %.2f Mbps\n", f.Metrics.DeliveredBytes*8/dur.Seconds()/1e6)
+}
+
+// runExperiment renders one experiment table, mirroring zhuge-bench for
+// the common case of poking at a single table from the scenario CLI.
+func runExperiment(id string, seed int64, scale float64, workers int) {
+	if id == "handover" {
+		id = "ext-handover"
+	}
+	e := experiments.ByID(id)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "zhuge-sim: unknown experiment %q; available:\n", id)
+		for _, x := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-20s %s\n", x.ID, x.Brief)
+		}
+		os.Exit(2)
+	}
+	t := e.Run(experiments.Config{Seed: seed, Scale: scale, Workers: workers})
+	fmt.Print(t.String())
+}
+
+// parseHandovers turns "-handover-at 40s,80s" into a roam schedule for the
+// default station, round-robin across ap1..apN-1 and back.
+func parseHandovers(spec, policy string, aps int) ([]scenario.HandoverSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var pol scenario.HandoverPolicy
+	switch policy {
+	case "migrate":
+		pol = scenario.HandoverMigrate
+	case "reset":
+		pol = scenario.HandoverReset
+	default:
+		return nil, fmt.Errorf("bad -handover-policy %q (want migrate|reset)", policy)
+	}
+	var hs []scenario.HandoverSpec
+	for i, part := range strings.Split(spec, ",") {
+		at, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -handover-at entry %q: %v", part, err)
+		}
+		hs = append(hs, scenario.HandoverSpec{
+			Station: scenario.DefaultStation,
+			To:      fmt.Sprintf("ap%d", (i+1)%aps),
+			At:      at,
+			Policy:  pol,
+		})
+	}
+	return hs, nil
 }
 
 // writeObs flushes the observability outputs after the run: the packet

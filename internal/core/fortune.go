@@ -80,6 +80,16 @@ type FortuneTellerConfig struct {
 	// Default 2s, comfortably above any delay a CCA distinguishes.
 	MaxPrediction time.Duration
 
+	// MaxDeqInterval, when positive, treats dequeue gaps longer than it
+	// as link-idle restarts rather than channel-access intervals: the gap
+	// is not recorded and burst tracking starts fresh. APs that can sit
+	// idle between flows — multi-AP topologies with roaming stations —
+	// need this so the first fortunes after traffic returns are not
+	// dominated by the idle period. Zero (the default, and the paper's
+	// single-AP setting, where the estimator never goes idle) records
+	// every gap.
+	MaxDeqInterval time.Duration
+
 	// SampleEvery enables the selective-estimation CPU optimisation the
 	// paper proposes for loaded APs (§7.6): a fresh prediction is
 	// computed at most once per SampleEvery per flow; packets in between
@@ -199,6 +209,17 @@ func (f *FortuneTeller) OnDequeue(now sim.Time, p *netem.Packet) {
 		return
 	}
 	iv := now - f.lastDeqAt
+	if f.cfg.MaxDeqInterval > 0 && iv > f.cfg.MaxDeqInterval {
+		// The link sat idle: the gap is absence of traffic, not a
+		// channel-access interval. Feeding it to avg(dequeueIntvl) would
+		// poison the tx term with the whole idle period for the next
+		// window (a roaming station's first fortunes at a revisited AP
+		// would all cap at MaxPrediction). Restart burst tracking instead,
+		// as if this were the first dequeue.
+		f.burstBytes = p.Size
+		f.lastDeqAt = now
+		return
+	}
 	if iv >= time.Millisecond {
 		// The previous burst closed; record its size and the gap.
 		f.maxBurst.Add(now, float64(f.burstBytes))
@@ -218,6 +239,15 @@ func (f *FortuneTeller) Predictions() int { return int(f.predictions.Value()) }
 // CacheHits returns how many predictions were served from the selective-
 // estimation cache.
 func (f *FortuneTeller) CacheHits() int { return int(f.cacheHits.Value()) }
+
+// Forget drops any selective-estimation cache entry for flow. Called when
+// a flow leaves this AP (handover): the cached prediction describes a
+// queue the flow no longer traverses.
+func (f *FortuneTeller) Forget(flow netem.FlowKey) {
+	if f.cache != nil {
+		delete(f.cache, flow)
+	}
+}
 
 // Predict tells the fortune of a packet of flow `flow` arriving now, before
 // it is enqueued: the queue state it observes is everything ahead of it.

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"github.com/zhuge-project/zhuge/internal/netem"
+)
+
+// FlowHandover carries one optimized flow's portable Zhuge state across a
+// station handover (the §8 mobility discussion): the Feedback Updater mode
+// plus either the out-of-band delta/token history or the pending in-band
+// fortunes. The zero value is valid and means "mode only" — importing it
+// is equivalent to a fresh Optimize.
+//
+// What deliberately does NOT move: the Fortune Teller's estimators (they
+// describe the old AP's queue and channel, which the new AP does not
+// share) and any packet whose departure event is already scheduled (those
+// drain through the old AP — no packet is ever re-owned mid-flight).
+type FlowHandover struct {
+	Mode Mode
+
+	oob *oobFlowState
+	ib  *ibFlowState
+}
+
+// ExportFlow detaches a flow from this AP and returns its portable state
+// (the migrate-state handover policy). The flow stops being optimized
+// here: later packets of the flow — stragglers still crossing the old
+// wireless uplink — forward untouched, exactly like any unoptimized flow.
+// It reports false if the flow was not optimized on this AP.
+func (ap *AP) ExportFlow(flow netem.FlowKey) (FlowHandover, bool) {
+	mode, ok := ap.rtc[flow]
+	if !ok {
+		return FlowHandover{}, false
+	}
+	delete(ap.rtc, flow)
+	ap.ft.Forget(flow)
+	return FlowHandover{
+		Mode: mode,
+		oob:  ap.oob.exportFlow(flow),
+		ib:   ap.ib.exportFlow(flow),
+	}, true
+}
+
+// ImportFlow attaches a flow exported from another AP, installing its
+// carried updater state. Call on the handover target after ExportFlow on
+// the source.
+func (ap *AP) ImportFlow(flow netem.FlowKey, h FlowHandover) {
+	ap.rtc[flow] = h.Mode
+	if ap.o != nil {
+		ap.o.Errs().SetMode(flow, h.Mode.String())
+	}
+	if h.oob != nil {
+		ap.oob.importFlow(flow, h.oob)
+	}
+	if h.ib != nil {
+		ap.ib.importFlow(flow, h.ib)
+	}
+}
+
+// DropFlow detaches a flow and discards its updater state (the
+// reset-on-handover policy): unflushed in-band fortunes are lost — the
+// sender sees them as a feedback gap — and the out-of-band delta and token
+// history restarts empty on the next AP. It returns the flow's mode so the
+// caller can re-Optimize it on the target AP, and false if the flow was
+// not optimized here.
+func (ap *AP) DropFlow(flow netem.FlowKey) (Mode, bool) {
+	mode, ok := ap.rtc[flow]
+	if !ok {
+		return 0, false
+	}
+	delete(ap.rtc, flow)
+	ap.ft.Forget(flow)
+	ap.oob.dropFlow(flow)
+	ap.ib.dropFlow(flow)
+	return mode, true
+}

@@ -187,6 +187,66 @@ func (u *InbandUpdater) OnFeedbackPacket(now sim.Time, p *netem.Packet) {
 	u.uplink.Receive(p)
 }
 
+// ibFlowState is the portable slice of an ibFlow: unflushed packet
+// fortunes, the feedback sequence counter, and the media SSRC. Migrating
+// it means packets that passed the old AP before the handover still get
+// their constructed feedback — from the new AP — instead of appearing as a
+// loss burst to the sender's congestion controller.
+type ibFlowState struct {
+	ssrc    uint32
+	records []packet.TWCCArrival
+	fbCount uint8
+	started bool
+}
+
+// exportFlow detaches and returns the flow's portable in-band state, or
+// nil if the updater holds none. The old per-flow ticker is stopped; the
+// records move out so they are flushed exactly once, by the importing AP.
+func (u *InbandUpdater) exportFlow(key netem.FlowKey) *ibFlowState {
+	f := u.flows[key]
+	if f == nil {
+		return nil
+	}
+	st := &ibFlowState{
+		ssrc:    f.ssrc,
+		records: append([]packet.TWCCArrival(nil), f.records...),
+		fbCount: f.fbCount,
+		started: f.started,
+	}
+	f.stopped = true
+	f.records = f.records[:0]
+	delete(u.flows, key)
+	return st
+}
+
+// importFlow installs exported in-band state. The feedback ticker restarts
+// on the importing AP's clock — its phase resets, but fbCount continuity
+// keeps the TWCC feedback sequence gap-free across the handover.
+func (u *InbandUpdater) importFlow(key netem.FlowKey, st *ibFlowState) {
+	f := u.flows[key]
+	if f == nil {
+		f = &ibFlow{downlink: key}
+		u.flows[key] = f
+	}
+	f.ssrc = st.ssrc
+	f.fbCount = st.fbCount
+	f.records = append(f.records, st.records...)
+	if st.started && !f.started {
+		f.started = true
+		u.startTicker(f)
+	}
+}
+
+// dropFlow abandons a flow's in-band state (the reset-on-handover policy):
+// unflushed fortunes are discarded — the sender will see those packets as
+// missing from feedback — and the ticker dies at its next tick.
+func (u *InbandUpdater) dropFlow(key netem.FlowKey) {
+	if f := u.flows[key]; f != nil {
+		f.stopped = true
+		delete(u.flows, key)
+	}
+}
+
 // Stop halts all per-flow tickers (end of experiment).
 func (u *InbandUpdater) Stop() {
 	for _, f := range u.flows {

@@ -269,6 +269,65 @@ func (u *OOBUpdater) OnAckPacket(now sim.Time, downlink netem.FlowKey, p *netem.
 	u.s.ScheduleAfter(actualDelay, f.sendFn)
 }
 
+// oobFlowState is the portable slice of an oobFlow — the estimator history
+// that travels with a roaming flow under the migrate-state handover policy.
+// The pending ACK ring deliberately stays behind: those packets' send
+// events are already scheduled and drain through the old AP's uplink; only
+// the distributional state (delta history, banked tokens, the last total
+// delay the delta chain continues from) and the order floor move.
+type oobFlowState struct {
+	lastTotalDelay time.Duration
+	haveLast       bool
+	deltaHistory   []timedDelta
+	tokenHistory   []time.Duration
+	tokenTotal     time.Duration
+	lastSentTime   sim.Time
+	pendingDelta   time.Duration
+}
+
+// exportFlow detaches and returns the flow's portable state, or nil if the
+// updater holds none. The flow's entry leaves the map; an outstanding send
+// event keeps the old ring alive through its own closure until it drains.
+func (u *OOBUpdater) exportFlow(key netem.FlowKey) *oobFlowState {
+	f := u.flows[key]
+	if f == nil {
+		return nil
+	}
+	st := &oobFlowState{
+		lastTotalDelay: f.lastTotalDelay,
+		haveLast:       f.haveLast,
+		deltaHistory:   append([]timedDelta(nil), f.deltaHistory...),
+		tokenHistory:   append([]time.Duration(nil), f.tokenHistory[f.tokenHead:]...),
+		tokenTotal:     f.tokenTotal,
+		lastSentTime:   f.lastSentTime,
+		pendingDelta:   f.pendingDelta,
+	}
+	delete(u.flows, key)
+	return st
+}
+
+// importFlow installs exported state for a flow arriving from another AP.
+// lastSentTime is simulation-global, so the order-preservation floor keeps
+// holding across the handover: the new AP never releases feedback before
+// the old AP's last scheduled send.
+func (u *OOBUpdater) importFlow(key netem.FlowKey, st *oobFlowState) {
+	f := u.flow(key)
+	f.lastTotalDelay = st.lastTotalDelay
+	f.haveLast = st.haveLast
+	f.deltaHistory = append(f.deltaHistory[:0], st.deltaHistory...)
+	f.tokenHistory = append(f.tokenHistory[:0], st.tokenHistory...)
+	f.tokenHead = 0
+	f.tokenTotal = st.tokenTotal
+	if st.lastSentTime > f.lastSentTime {
+		f.lastSentTime = st.lastSentTime
+	}
+	f.pendingDelta = st.pendingDelta
+}
+
+// dropFlow abandons a flow's state (the reset-on-handover policy). Pending
+// delayed ACKs still drain through their scheduled events.
+func (u *OOBUpdater) dropFlow(key netem.FlowKey) { delete(u.flows, key) }
+
 // Stats reports, for a downlink flow, how many ACKs were processed and the
 // mean extra delay applied (used by the token-ablation experiment).
 func (u *OOBUpdater) Stats(downlink netem.FlowKey) (acks int, meanDelay time.Duration) {

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBuilderPreservesSeedTables pins every experiment table to the
+// fingerprints captured in testdata/golden_tables.json (regenerate with
+// internal/experiments/goldengen after an intentional output change). The
+// single-AP tables were captured before the topology-graph refactor, so a
+// match proves the scenario builder reconstructs the original hard-wired
+// paths byte-identically; running at two worker counts additionally proves
+// the fingerprint is independent of parallelism.
+func TestBuilderPreservesSeedTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep is slow; skipped in -short")
+	}
+	raw, err := os.ReadFile("testdata/golden_tables.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]string{}
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range All() {
+		e := e
+		want, ok := golden[e.ID]
+		if !ok {
+			t.Errorf("%s: no golden fingerprint; run goldengen and commit the update", e.ID)
+			continue
+		}
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			for _, workers := range []int{1, 8} {
+				tab := e.Run(Config{Seed: 1, Scale: 0.02, Workers: workers})
+				sum := sha256.Sum256([]byte(tab.String()))
+				if got := hex.EncodeToString(sum[:]); got != want {
+					t.Errorf("workers=%d fingerprint %s, want %s", workers, got, want)
+				}
+			}
+		})
+	}
+	// The reverse direction: a stale golden entry for a deleted experiment
+	// would silently shrink coverage.
+	ids := map[string]bool{}
+	for _, e := range All() {
+		ids[e.ID] = true
+	}
+	for id := range golden {
+		if !ids[id] {
+			t.Errorf("golden entry %q has no registered experiment", id)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Command goldengen regenerates testdata/golden_tables.json: the sha256 of
+// every experiment table rendered at Seed 1, Scale 0.02 — the fingerprints
+// TestBuilderPreservesSeedTables pins. Run it only when a table's content is
+// SUPPOSED to change, and say why in the commit.
+//
+//	go run ./internal/experiments/goldengen > internal/experiments/testdata/golden_tables.json
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/zhuge-project/zhuge/internal/experiments"
+)
+
+func main() {
+	out := map[string]string{}
+	for _, e := range experiments.All() {
+		tab := e.Run(experiments.Config{Seed: 1, Scale: 0.02, Workers: 0})
+		h := sha256.Sum256([]byte(tab.String()))
+		out[e.ID] = hex.EncodeToString(h[:])
+		fmt.Fprintf(os.Stderr, "%s done\n", e.ID)
+		if dir := os.Getenv("GOLDEN_DUMP_DIR"); dir != "" {
+			os.WriteFile(dir+"/"+e.ID+".txt", []byte(tab.String()), 0o644)
+		}
+	}
+	b, _ := json.MarshalIndent(out, "", "  ")
+	os.Stdout.Write(append(b, '\n'))
+}

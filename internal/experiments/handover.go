@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/metrics"
+	"github.com/zhuge-project/zhuge/internal/obs"
+	"github.com/zhuge-project/zhuge/internal/scenario"
+	"github.com/zhuge-project/zhuge/internal/trace"
+)
+
+// ExtHandover is an extension experiment probing the §8 mobility
+// discussion: a station roams between two APs (separate channels, each
+// with its own Zhuge instance) in the middle of an RTC session. The roam
+// re-routes the station's flows; the handover policy decides what happens
+// to the per-flow Feedback Updater state — migrate it to the new AP, or
+// reset and start fresh. Resetting the in-band updater loses its
+// unflushed packet fortunes (a feedback gap the sender's GCC reads as
+// loss) and restarts the feedback sequence; resetting the out-of-band
+// updater forgets the delta history and token bank that pace ACK
+// releases. The recovery column measures how long after each roam the
+// sender's target bitrate needs to climb back to its pre-roam mean.
+func ExtHandover(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	dur := cfg.dur(120*time.Second, 30*time.Second)
+	t := &Table{
+		ID:     "ext-handover",
+		Title:  "Extension: station roaming between APs — Zhuge state migration vs reset (§8)",
+		Header: []string{"proto", "solution", "policy", "P(rtt>200ms)", "P(fdelay>400ms)", "recovery(s)"},
+	}
+	// The roams: to the second AP a third into the run, back at two
+	// thirds. Recovery is averaged over both.
+	roams := []time.Duration{dur / 3, 2 * dur / 3}
+	// Two constant-rate APs of equal capacity, tight enough that the
+	// video pushes against it: with no trace-driven rate changes and no
+	// capacity step across the roam, every post-roam rate dip is caused
+	// by the roam itself — the state-handling policy under study.
+	tr0 := trace.Constant("ap0-4M", 4e6, dur)
+	tr1 := trace.Constant("ap1-4M", 4e6, dur)
+
+	type cell struct {
+		proto  string
+		sol    scenario.Solution
+		pol    scenario.HandoverPolicy
+		policy string // printed policy label
+	}
+	var cells []cell
+	for _, proto := range []string{"rtp", "tcp"} {
+		cells = append(cells,
+			cell{proto, scenario.SolutionNone, scenario.HandoverReset, "n/a"},
+			cell{proto, scenario.SolutionZhuge, scenario.HandoverReset, scenario.HandoverReset.String()},
+			cell{proto, scenario.SolutionZhuge, scenario.HandoverMigrate, scenario.HandoverMigrate.String()},
+		)
+	}
+	runCells(cfg, t, len(cells), func(i int, o *obs.Obs) [][]string {
+		c := cells[i]
+		sp := scenario.Spec{
+			Seed: cfg.Seed,
+			Obs:  o,
+			APs: []scenario.APSpec{
+				{Name: "ap0", Trace: tr0, Solution: c.sol},
+				{Name: "ap1", Trace: tr1, Solution: c.sol},
+			},
+			Stations: []scenario.StationSpec{{Name: "roamer", AP: "ap0"}},
+		}
+		for _, at := range roams {
+			to := "ap1"
+			if len(sp.Handovers)%2 == 1 {
+				to = "ap0"
+			}
+			sp.Handovers = append(sp.Handovers, scenario.HandoverSpec{
+				Station: "roamer", To: to, At: at, Policy: c.pol,
+			})
+		}
+		p := sp.Build()
+		var m *scenario.FlowMetrics
+		var frameDelay *metrics.Histogram
+		if c.proto == "rtp" {
+			f := p.AddRTPFlow(scenario.RTPFlowConfig{Station: "roamer", GapLoss: true})
+			m = f.Metrics
+			frameDelay = f.Decoder.FrameDelay
+		} else {
+			f := p.AddTCPVideoFlow(scenario.TCPFlowConfig{Station: "roamer"})
+			m = f.Metrics
+			frameDelay = f.FrameDelay
+		}
+		p.Run(dur)
+		return [][]string{{
+			c.proto, c.sol.String(), c.policy,
+			pct(m.RTT.FractionAbove(rttThreshold)),
+			pct(frameDelay.FractionAbove(frameThreshold)),
+			secs(meanRecovery(&m.RateSeries, roams, dur)),
+		}}
+	})
+	return t
+}
+
+// meanRecovery averages, over the scheduled roams, the time the sender's
+// target-rate series needs to climb back to its pre-roam mean. Each roam
+// is measured until the next one (or the end of the run).
+func meanRecovery(rs *metrics.Series, roams []time.Duration, end time.Duration) time.Duration {
+	var total time.Duration
+	for i, h := range roams {
+		until := end
+		if i+1 < len(roams) {
+			until = roams[i+1]
+		}
+		total += recoveryAfter(rs, h, until)
+	}
+	return total / time.Duration(len(roams))
+}
+
+// recoveryAfter measures one roam: the target is the mean rate over the
+// 10 seconds before it, and recovery runs from the roam to the first
+// re-cross of that target after the post-roam dip (the first sample below
+// target). A controller oscillating in steady state re-crosses within one
+// sawtooth period, so undisturbed roams score small; a roam that stalls
+// the controller scores the full stall.
+func recoveryAfter(rs *metrics.Series, h, until time.Duration) time.Duration {
+	var sum float64
+	var n int
+	for _, pt := range rs.Points {
+		if pt.At >= h-10*time.Second && pt.At < h {
+			sum += pt.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	goal := sum / float64(n)
+	dipped := false
+	for _, pt := range rs.Points {
+		if pt.At <= h {
+			continue
+		}
+		if pt.At >= until {
+			break
+		}
+		if !dipped {
+			dipped = pt.Value < goal
+			continue
+		}
+		if pt.Value >= goal {
+			return pt.At - h
+		}
+	}
+	if dipped {
+		return until - h // never recovered inside the window
+	}
+	return 0
+}

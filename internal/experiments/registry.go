@@ -33,6 +33,7 @@ func All() []Experiment {
 		{"ext-quic", "Extension: Zhuge over encrypted QUIC (Copa, PCC)", ExtQUIC},
 		{"ext-nada", "Extension: NADA through the in-band updater", ExtNADA},
 		{"ext-selective", "Extension: selective estimation CPU optimisation", ExtSelectiveEstimation},
+		{"ext-handover", "Extension: station roaming — Zhuge state migration vs reset", ExtHandover},
 	}
 }
 

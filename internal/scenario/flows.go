@@ -45,6 +45,13 @@ type RTPFlowConfig struct {
 	MinRate   float64 // default 150 kbps
 	MaxRate   float64 // default 6 Mbps (paper: ~2 Mbps average video)
 	StartAt   time.Duration
+	// Station names the station carrying this flow; empty means the
+	// primary station on the first AP.
+	Station string
+	// GapLoss enables the sender's feedback-hole loss inference (see
+	// rtp.Sender.GapLoss); the handover experiments need it to observe
+	// the fortunes a state reset discards.
+	GapLoss bool
 	// Unoptimized leaves this flow outside Zhuge even when the path runs
 	// SolutionZhuge (the external-fairness experiment, Figure 20 bar b).
 	Unoptimized bool
@@ -80,6 +87,8 @@ type RTPFlow struct {
 func (p *Path) AddRTPFlow(cfg RTPFlowConfig) *RTPFlow {
 	cfg = cfg.withDefaults()
 	flow := p.NewFlowKey()
+	st := p.station(cfg.Station)
+	pa := p.apOf(st)
 	m := newFlowMetrics()
 
 	var rc cca.Rate
@@ -89,6 +98,7 @@ func (p *Path) AddRTPFlow(cfg RTPFlowConfig) *RTPFlow {
 		rc = cca.NewGCC(cfg.StartRate, cfg.MinRate, cfg.MaxRate)
 	}
 	snd := rtp.NewSender(p.S, flow, uint32(flow.SrcPort), rc, p.ServerOut())
+	snd.GapLoss = cfg.GapLoss
 	dec := video.NewDecoder()
 	rcv := rtp.NewReceiver(p.S, flow.Reverse(), uint32(flow.SrcPort), dec, p.ClientOut())
 	p.RegisterClient(flow, rcv)
@@ -100,16 +110,17 @@ func (p *Path) AddRTPFlow(cfg RTPFlowConfig) *RTPFlow {
 	snd.Encoder = enc
 	snd.OnRate = func(now sim.Time, bps float64) { m.RateSeries.Add(now, bps) }
 
-	if p.Opts.Solution == SolutionZhuge && !cfg.Unoptimized {
-		p.AP.Optimize(flow, core.ModeInBand)
+	if pa.Spec.Solution == SolutionZhuge && !cfg.Unoptimized {
+		pa.Zhuge.Optimize(flow, core.ModeInBand)
 	}
+	p.bindFlow(flow, st)
 
 	p.AddDeliveryTap(func(pkt *netem.Packet) {
 		if pkt.Flow != flow || pkt.Kind != netem.KindData {
 			return
 		}
 		now := p.S.Now()
-		rtt := now - pkt.SentAt + p.ReturnBase()
+		rtt := now - pkt.SentAt + p.FlowReturnBase(flow)
 		m.RTT.Add(rtt)
 		m.RTTSeries.Add(now, float64(rtt.Milliseconds()))
 		m.DeliveredBytes += float64(pkt.Size)
@@ -130,6 +141,9 @@ type TCPFlowConfig struct {
 	MinRate   float64
 	MaxRate   float64
 	StartAt   time.Duration
+	// Station names the station carrying this flow; empty means the
+	// primary station on the first AP.
+	Station string
 	// Unoptimized leaves this flow outside Zhuge/FastAck even when the
 	// path runs them (the external-fairness experiment, Figure 20 bar b).
 	Unoptimized bool
@@ -209,6 +223,8 @@ func (p *Path) AddTCPVideoFlow(cfg TCPFlowConfig) *TCPVideoFlow {
 	cfg = cfg.withDefaults()
 	flow := p.NewFlowKey()
 	flow.Proto = 6
+	st := p.station(cfg.Station)
+	pa := p.apOf(st)
 	m := newFlowMetrics()
 	f := &TCPVideoFlow{
 		Flow:       flow,
@@ -224,13 +240,14 @@ func (p *Path) AddTCPVideoFlow(cfg TCPFlowConfig) *TCPVideoFlow {
 	f.Sender = snd
 
 	if !cfg.Unoptimized {
-		switch p.Opts.Solution {
+		switch pa.Spec.Solution {
 		case SolutionZhuge:
-			p.AP.Optimize(flow, core.ModeOutOfBand)
+			pa.Zhuge.Optimize(flow, core.ModeOutOfBand)
 		case SolutionFastAck:
-			p.FastAck.Optimize(flow)
+			pa.FastAck.Optimize(flow)
 		}
 	}
+	p.bindFlow(flow, st)
 
 	// Frame completion at the client: in-order delivery reaching a frame
 	// boundary decodes the frame.
@@ -296,7 +313,7 @@ func (p *Path) AddTCPVideoFlow(cfg TCPFlowConfig) *TCPVideoFlow {
 			return
 		}
 		now := p.S.Now()
-		rtt := now - pkt.SentAt + p.ReturnBase()
+		rtt := now - pkt.SentAt + p.FlowReturnBase(flow)
 		m.RTT.Add(rtt)
 		m.RTTSeries.Add(now, float64(rtt.Milliseconds()))
 		m.DeliveredBytes += float64(pkt.Size)

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/topo"
+)
+
+// ScheduleHandover schedules a station roam at virtual time `at`. The
+// flow set moved is whatever the station carries when the roam fires, so
+// flows may still be attached after scheduling.
+func (p *Path) ScheduleHandover(station, toAP string, at time.Duration, policy HandoverPolicy) {
+	st := p.station(station)
+	to := p.apByName(toAP)
+	p.S.Schedule(at, func() { p.Handover(st, to, policy) })
+}
+
+// Handover re-associates a station with another AP and re-routes its
+// flows there, immediately:
+//
+//   - Downlink packets of the station's flows are routed to the new AP's
+//     datapath entry (or the station's own queue, now on the new AP's
+//     channel). Packets already queued or in the air at the old AP drain
+//     there and still deliver — the shared demux serves every AP — so
+//     nothing is lost or double-freed by the switch.
+//   - Uplink packets from the station enter the new AP's radio.
+//   - Per-flow Zhuge state moves per the policy: HandoverMigrate exports
+//     it from the old AP and imports it at the new one; HandoverReset
+//     discards it and starts the flow fresh on the new AP. Either way the
+//     old AP stops optimizing the flow, so stragglers arriving there
+//     forward untouched.
+//
+// APs running FastAck are not supported as handover endpoints: FastAck
+// taps the shared delivery demux, and a flow optimized on two APs' taps
+// would synthesize duplicate ACKs. ABC needs no per-flow state; its APs
+// hand over freely.
+func (p *Path) Handover(st *topo.Station, to *PathAP, policy HandoverPolicy) {
+	from := p.byTopo[st.AP()]
+	if from == nil {
+		panic("scenario: handover of a station on a foreign AP")
+	}
+	if from == to {
+		return
+	}
+	if from.FastAck != nil || to.FastAck != nil {
+		panic("scenario: handover between FastAck APs is not supported")
+	}
+
+	for _, flow := range st.Flows() {
+		p.moveFlowState(from, to, flow, policy)
+	}
+	st.Associate(to.Topo)
+	for _, flow := range st.Flows() {
+		p.wanRouter.Route(flow, st.DownIn())
+		p.clientOut.Route(flow.Reverse(), to.Topo.Uplink)
+	}
+}
+
+// moveFlowState applies the handover policy to one flow's AP-side state.
+func (p *Path) moveFlowState(from, to *PathAP, flow netem.FlowKey, policy HandoverPolicy) {
+	if from.Zhuge == nil {
+		return // nothing to move; the flow was never optimized here
+	}
+	switch policy {
+	case HandoverMigrate:
+		h, ok := from.Zhuge.ExportFlow(flow)
+		if !ok {
+			return
+		}
+		if to.Zhuge != nil {
+			to.Zhuge.ImportFlow(flow, h)
+		}
+	case HandoverReset:
+		mode, ok := from.Zhuge.DropFlow(flow)
+		if !ok {
+			return
+		}
+		if to.Zhuge != nil {
+			to.Zhuge.Optimize(flow, mode)
+		}
+	default:
+		panic(fmt.Sprintf("scenario: unknown handover policy %d", policy))
+	}
+}

@@ -48,6 +48,8 @@ func (p *Path) AddQUICVideoFlow(cfg TCPFlowConfig) *QUICVideoFlow {
 	cfg = cfg.withDefaults()
 	flow := p.NewFlowKey()
 	flow.Proto = 17
+	st := p.station(cfg.Station)
+	pa := p.apOf(st)
 	m := newFlowMetrics()
 	f := &QUICVideoFlow{
 		Flow:       flow,
@@ -67,9 +69,10 @@ func (p *Path) AddQUICVideoFlow(cfg TCPFlowConfig) *QUICVideoFlow {
 	p.RegisterServer(flow, snd)
 	f.Sender = snd
 
-	if !cfg.Unoptimized && p.Opts.Solution == SolutionZhuge {
-		p.AP.Optimize(flow, core.ModeOutOfBand)
+	if !cfg.Unoptimized && pa.Spec.Solution == SolutionZhuge {
+		pa.Zhuge.Optimize(flow, core.ModeOutOfBand)
 	}
+	p.bindFlow(flow, st)
 
 	rcv.OnDeliver = func(now sim.Time, upTo uint64) {
 		for len(f.frames) > 0 && f.frames[0].end <= upTo {
@@ -125,7 +128,7 @@ func (p *Path) AddQUICVideoFlow(cfg TCPFlowConfig) *QUICVideoFlow {
 			return
 		}
 		now := p.S.Now()
-		rtt := now - pkt.SentAt + p.ReturnBase()
+		rtt := now - pkt.SentAt + p.FlowReturnBase(flow)
 		m.RTT.Add(rtt)
 		m.RTTSeries.Add(now, float64(rtt.Milliseconds()))
 		m.DeliveredBytes += float64(pkt.Size)

@@ -1,9 +1,12 @@
 // Package scenario assembles end-to-end topologies for experiments and
-// examples: server(s) — WAN — access point (optionally running Zhuge, ABC
-// or FastAck) — wireless downlink — client(s), with the uplink returning
-// over a contended wireless hop and the AP's Ethernet uplink. Flow
-// factories attach RTP/GCC video calls, TCP video streams and bulk-transfer
-// competitors, and collect the paper's metrics.
+// examples: server(s) — WAN — access point(s) (optionally running Zhuge,
+// ABC or FastAck) — wireless downlink — client(s), with the uplink
+// returning over a contended wireless hop and each AP's Ethernet uplink.
+// Paths are built on the internal/topo graph, either declaratively from a
+// Spec (multi-AP, stations, scheduled handovers) or through the classic
+// single-AP NewPath options. Flow factories attach RTP/GCC video calls,
+// TCP video streams and bulk-transfer competitors, and collect the
+// paper's metrics.
 package scenario
 
 import (
@@ -14,8 +17,8 @@ import (
 	"github.com/zhuge-project/zhuge/internal/core"
 	"github.com/zhuge-project/zhuge/internal/netem"
 	"github.com/zhuge-project/zhuge/internal/obs"
-	"github.com/zhuge-project/zhuge/internal/queue"
 	"github.com/zhuge-project/zhuge/internal/sim"
+	"github.com/zhuge-project/zhuge/internal/topo"
 	"github.com/zhuge-project/zhuge/internal/trace"
 	"github.com/zhuge-project/zhuge/internal/wireless"
 )
@@ -50,7 +53,7 @@ func (s Solution) String() string {
 	}
 }
 
-// Options configures a path.
+// Options configures a classic single-AP path (the NewPath surface).
 type Options struct {
 	Seed     int64
 	Trace    *trace.Trace  // downlink available bandwidth
@@ -74,185 +77,91 @@ type Options struct {
 	Obs *obs.Obs
 }
 
+// Spec converts the single-AP options into their declarative form.
+func (o Options) Spec() Spec {
+	return Spec{
+		Seed: o.Seed, WANRTT: o.WANRTT, Obs: o.Obs,
+		APs: []APSpec{{
+			Name: "ap0", Trace: o.Trace, Qdisc: o.Qdisc,
+			QueueCap: o.QueueCap, Interferers: o.Interferers,
+			Solution: o.Solution, FTConfig: o.FTConfig, OOB: o.OOB,
+			MCSScale: o.MCSScale,
+		}},
+	}
+}
+
 // Path is an assembled topology ready for flows.
 type Path struct {
 	S    *sim.Simulator
-	Opts Options
+	Opts Options // the first AP's configuration (single-AP compatibility)
+	Spec Spec
 
+	// G is the underlying topology graph.
+	G *topo.Graph
+
+	// APs lists every access point of the path; the fields below expose
+	// the first one, the surface single-AP experiments use.
+	APs      []*PathAP
 	Downlink *wireless.Link
 	Uplink   *wireless.Link
+	AP       *core.AP
+	FastAck  *baseline.FastAck
+	ABC      *baseline.ABCRouter
+	Channel  *wireless.Channel
 
-	// entry points
-	downIn netem.Receiver // server-side packets toward clients
-	upIn   netem.Receiver // client-side packets toward servers
+	// Flows holds the handles of Spec-declared flows, in declaration
+	// order.
+	Flows []*BuiltFlow
 
-	wanDown *netem.Link // server -> AP
-	wanUp   *netem.Link // AP -> server
+	clientDemux *topo.Demux
+	serverDemux *topo.Demux
+	wanDown     *topo.Wire       // server -> AP WAN segment
+	wanRouter   *topo.RouterNode // behind wanDown: flow -> AP/station entry
+	clientOut   *topo.RouterNode // client uplink -> associated AP's radio
 
-	AP      *core.AP
-	FastAck *baseline.FastAck
-	ABC     *baseline.ABCRouter
-
-	Channel *wireless.Channel
-
-	clients  map[netem.FlowKey]netem.Receiver
-	servers  map[netem.FlowKey]netem.Receiver
-	stations map[netem.FlowKey]netem.Receiver // flows routed to other STAs
+	stations    map[string]*topo.Station
+	defaultSta  *topo.Station
+	byTopo      map[*topo.AP]*PathAP
+	flowStation map[netem.FlowKey]*topo.Station
 
 	stationN int
-
 	nextPort uint16
-	// deliveryTaps run when a downlink packet is delivered to its client
-	// (the 802.11 ACK instant): metrics and FastAck hook here.
-	deliveryTaps []func(p *netem.Packet)
 }
 
-// NewPath assembles the topology.
+// NewPath assembles the classic single-AP topology.
 func NewPath(o Options) *Path {
 	if o.Trace == nil {
 		panic("scenario: Options.Trace is required")
 	}
-	if o.WANRTT == 0 {
-		o.WANRTT = o.Trace.BaseRTT
-	}
-	s := sim.New(o.Seed)
-	p := &Path{
-		S:        s,
-		Opts:     o,
-		Channel:  wireless.NewChannel(),
-		clients:  make(map[netem.FlowKey]netem.Receiver),
-		servers:  make(map[netem.FlowKey]netem.Receiver),
-		stations: make(map[netem.FlowKey]netem.Receiver),
-		nextPort: 5000,
-	}
-
-	var q queue.Qdisc
-	switch o.Qdisc {
-	case "", "fifo":
-		q = queue.NewFIFO(o.QueueCap)
-	case "codel":
-		q = queue.NewCoDel(o.QueueCap)
-	case "fqcodel":
-		q = queue.NewFQCoDel(0, o.QueueCap)
-	default:
-		panic(fmt.Sprintf("scenario: unknown qdisc %q", o.Qdisc))
-	}
-
-	// Downlink wireless: trace-driven rate, delivering to the client
-	// demux through the delivery taps.
-	clientDemux := netem.ReceiverFunc(func(pkt *netem.Packet) {
-		for _, tap := range p.deliveryTaps {
-			tap(pkt)
-		}
-		if dst, ok := p.clients[pkt.Flow]; ok {
-			dst.Receive(pkt)
-		}
-		// Endpoints copy what they need out of the packet; delivery is
-		// where a downlink packet's life ends.
-		pkt.Release()
-	})
-	p.Downlink = wireless.NewLink(s, wireless.Config{
-		Channel:     p.Channel,
-		Rate:        func(at sim.Time) float64 { return o.Trace.RateAt(at) },
-		MCSScale:    o.MCSScale,
-		Interferers: o.Interferers,
-		Obs:         o.Obs,
-		ObsLabel:    "downlink",
-	}, q, clientDemux, s.NewRand("downlink"))
-
-	// Server demux sits behind the AP's Ethernet uplink.
-	serverDemux := netem.ReceiverFunc(func(pkt *netem.Packet) {
-		if dst, ok := p.servers[pkt.Flow.Reverse()]; ok {
-			dst.Receive(pkt)
-		}
-		pkt.Release()
-	})
-	p.wanUp = netem.NewLink(s, 200e6, o.WANRTT/2, serverDemux)
-
-	// Uplink wireless: clients contend on the same channel to reach the
-	// AP. It shares the trace rate and interferer count; feedback traffic
-	// is light so its queue rarely builds.
-	uplinkQ := queue.NewFIFO(0)
-	p.Uplink = wireless.NewLink(s, wireless.Config{
-		Rate:        func(at sim.Time) float64 { return o.Trace.RateAt(at) },
-		Interferers: o.Interferers,
-		Obs:         o.Obs,
-		ObsLabel:    "uplink",
-	}, uplinkQ, nil, s.NewRand("uplink"))
-
-	// AP uplink-side processing depends on the solution.
-	switch o.Solution {
-	case SolutionZhuge:
-		ap := core.NewAP(s, p.Downlink, p.wanUp, s.NewRand("zhuge"), o.FTConfig)
-		ap.OOB().SetOptions(o.OOB)
-		ap.SetObs(o.Obs)
-		p.AP = ap
-		p.downIn = ap.DownlinkIn()
-		p.Uplink.SetDst(ap.UplinkIn())
-	case SolutionFastAck:
-		fa := baseline.NewFastAck(s, p.wanUp)
-		p.FastAck = fa
-		p.downIn = p.Downlink
-		p.Uplink.SetDst(fa.UplinkIn())
-		p.deliveryTaps = append(p.deliveryTaps, fa.OnDelivered)
-	case SolutionABC:
-		abc := baseline.NewABCRouter(s, q)
-		p.ABC = abc
-		p.Downlink.AddObserver(abc)
-		p.downIn = p.Downlink
-		p.Uplink.SetDst(p.wanUp)
-	default:
-		p.downIn = p.Downlink
-		p.Uplink.SetDst(p.wanUp)
-	}
-
-	// Server -> AP WAN link feeds a router: flows bound to secondary
-	// stations go to their own queue; everything else takes the primary
-	// station's entry (through the AP solution, if any).
-	router := netem.ReceiverFunc(func(pkt *netem.Packet) {
-		if dst, ok := p.stations[pkt.Flow]; ok {
-			dst.Receive(pkt)
-			return
-		}
-		p.downIn.Receive(pkt)
-	})
-	p.wanDown = netem.NewLink(s, 200e6, o.WANRTT/2, router)
-	p.upIn = p.Uplink
-
-	return p
+	return o.Spec().Build()
 }
 
-// AddStation attaches another wireless client (its own per-station queue at
-// the AP) contending on the same channel, and routes the given downlink
-// flows to it. Competing traffic to other stations costs the primary flow
-// airtime, not queue space — how 802.11 competition actually behaves.
+// AddStation attaches another wireless client (its own per-station queue
+// at the first AP) contending on the same channel, and routes the given
+// downlink flows to it. Competing traffic to other stations costs the
+// primary flow airtime, not queue space — how 802.11 competition actually
+// behaves.
 func (p *Path) AddStation(flows ...netem.FlowKey) *wireless.Link {
-	clientDemux := netem.ReceiverFunc(func(pkt *netem.Packet) {
-		for _, tap := range p.deliveryTaps {
-			tap(pkt)
-		}
-		if dst, ok := p.clients[pkt.Flow]; ok {
-			dst.Receive(pkt)
-		}
-		pkt.Release()
-	})
 	p.stationN++
-	link := wireless.NewLink(p.S, wireless.Config{
-		Channel:     p.Channel,
-		Rate:        func(at sim.Time) float64 { return p.Opts.Trace.RateAt(at) },
-		Interferers: p.Opts.Interferers,
-		Obs:         p.Opts.Obs,
-		ObsLabel:    fmt.Sprintf("station%d", p.stationN),
-	}, queue.NewFIFO(p.Opts.QueueCap), clientDemux, p.S.NewRand(fmt.Sprintf("station%d", p.stationN)))
+	label := fmt.Sprintf("station%d", p.stationN)
+	st := topo.NewStation(p.G, topo.StationConfig{
+		Name:     label,
+		OwnQueue: true,
+		QueueCap: p.Opts.QueueCap,
+		Label:    label,
+		Obs:      p.Spec.Obs,
+	}, p.APs[0].Topo, p.clientDemux)
+	p.G.Add(st)
+	p.stations[label] = st
 	for _, f := range flows {
-		p.stations[f] = link
+		p.RouteToStation(f, st.Link())
 	}
-	return link
+	return st.Link()
 }
 
 // RouteToStation binds a downlink flow to an existing secondary station.
 func (p *Path) RouteToStation(flow netem.FlowKey, st *wireless.Link) {
-	p.stations[flow] = st
+	p.wanRouter.Route(flow, st)
 }
 
 // NewFlowKey allocates a fresh downlink 5-tuple for a flow.
@@ -266,31 +175,70 @@ func (p *Path) NewFlowKey() netem.FlowKey {
 
 // RegisterClient binds the client-side receiver for a downlink flow.
 func (p *Path) RegisterClient(flow netem.FlowKey, r netem.Receiver) {
-	p.clients[flow] = r
+	p.clientDemux.Register(flow, r)
 }
 
 // RegisterServer binds the server-side receiver for a downlink flow (it
 // receives the flow's uplink/feedback packets).
 func (p *Path) RegisterServer(flow netem.FlowKey, r netem.Receiver) {
-	p.servers[flow] = r
+	p.serverDemux.Register(flow, r)
 }
 
 // AddDeliveryTap registers a function invoked when any downlink packet is
-// delivered over the air to its client.
+// delivered over the air to its client, on any AP or station link.
 func (p *Path) AddDeliveryTap(tap func(p *netem.Packet)) {
-	p.deliveryTaps = append(p.deliveryTaps, tap)
+	p.clientDemux.AddTap(tap)
+}
+
+// bindFlow attaches a flow to the station carrying it and routes both
+// directions there. Flows on the primary station ride the routers'
+// default routes.
+func (p *Path) bindFlow(flow netem.FlowKey, st *topo.Station) {
+	st.AddFlow(flow)
+	p.flowStation[flow] = st
+	if st == p.defaultSta {
+		return
+	}
+	p.wanRouter.Route(flow, st.DownIn())
+	p.clientOut.Route(flow.Reverse(), st.AP().Uplink)
+}
+
+// apOf returns the AP bundle a station is currently associated with.
+func (p *Path) apOf(st *topo.Station) *PathAP {
+	pa := p.byTopo[st.AP()]
+	if pa == nil {
+		panic("scenario: station associated with a foreign AP")
+	}
+	return pa
 }
 
 // ServerOut returns the receiver a server writes downlink packets into.
-func (p *Path) ServerOut() netem.Receiver { return p.wanDown }
+func (p *Path) ServerOut() netem.Receiver { return p.wanDown.Link() }
 
 // ClientOut returns the receiver a client writes uplink packets into.
-func (p *Path) ClientOut() netem.Receiver { return p.upIn }
+func (p *Path) ClientOut() netem.Receiver { return p.clientOut.Router() }
 
-// ReturnBase estimates the stable reverse-path latency (AP uplink wire +
-// WAN), used to turn one-way data delays into network RTTs for metrics.
+// ReturnBase estimates the stable reverse-path latency through the first
+// AP, used to turn one-way data delays into network RTTs for metrics: the
+// AP's wired uplink (half the WAN RTT) plus the expected wait for an
+// in-flight downlink TXOP — half the aggregate-airtime limit — before the
+// uplink ACK's own transmission.
 func (p *Path) ReturnBase() time.Duration {
-	return p.Opts.WANRTT/2 + 2*time.Millisecond
+	return p.apReturnBase(p.APs[0])
+}
+
+func (p *Path) apReturnBase(pa *PathAP) time.Duration {
+	return pa.WANUp.Link().Delay() + pa.Topo.Downlink.Config().MaxAggAirtime/2
+}
+
+// FlowReturnBase is ReturnBase through the AP currently serving the
+// flow's station — after a handover the return path crosses the new AP's
+// wired uplink.
+func (p *Path) FlowReturnBase(flow netem.FlowKey) time.Duration {
+	if st, ok := p.flowStation[flow]; ok {
+		return p.apReturnBase(p.apOf(st))
+	}
+	return p.ReturnBase()
 }
 
 // Run executes the simulation up to virtual time d. It may be called

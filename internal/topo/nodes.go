@@ -1,0 +1,162 @@
+package topo
+
+import (
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+)
+
+// Demux is a terminal delivery node: the point where a packet's simulated
+// life ends and an endpoint's logic runs. It fans packets out to
+// registered receivers by flow key (optionally reversed, for server-side
+// demuxing of uplink traffic), runs delivery taps first, and Releases
+// every packet afterwards — endpoints copy what they need; the pooled
+// packet never escapes delivery.
+//
+// One Demux instance serves any number of upstream links: the AP downlink
+// and every secondary station deliver into the same client demux, so taps
+// (metrics, FastAck) observe all air deliveries uniformly.
+type Demux struct {
+	name    string
+	reverse bool
+	dst     map[netem.FlowKey]netem.Receiver
+	taps    []func(p *netem.Packet)
+}
+
+// NewDemux builds a delivery demux. With reverse set, packets are looked
+// up under Flow.Reverse() — the server-side convention, where receivers
+// register under their downlink flow but consume uplink packets.
+func NewDemux(name string, reverse bool) *Demux {
+	return &Demux{name: name, reverse: reverse, dst: make(map[netem.FlowKey]netem.Receiver)}
+}
+
+// NodeName implements Node.
+func (d *Demux) NodeName() string { return d.name }
+
+// Ports implements Node: a single In port, no outputs (terminal).
+func (d *Demux) Ports() []PortSpec { return []PortSpec{{Name: "in", Dir: In}} }
+
+// In implements Node.
+func (d *Demux) In(port string) netem.Receiver {
+	if port != "in" {
+		panic(badPort(d.name, port))
+	}
+	return d
+}
+
+// ConnectOut implements Node; a Demux has no outputs.
+func (d *Demux) ConnectOut(port string, _ netem.Receiver) { panic(badPort(d.name, port)) }
+
+// Register binds the receiver for a flow. Registration keys are always
+// the downlink flow; a reverse demux translates on receive.
+func (d *Demux) Register(flow netem.FlowKey, r netem.Receiver) { d.dst[flow] = r }
+
+// AddTap registers a function invoked on every packet before delivery.
+// Taps added after wiring still see all later packets.
+func (d *Demux) AddTap(tap func(p *netem.Packet)) { d.taps = append(d.taps, tap) }
+
+// Receive implements netem.Receiver: run taps, deliver, Release.
+func (d *Demux) Receive(p *netem.Packet) {
+	for _, tap := range d.taps {
+		tap(p)
+	}
+	key := p.Flow
+	if d.reverse {
+		key = key.Reverse()
+	}
+	if dst, ok := d.dst[key]; ok {
+		dst.Receive(p)
+	}
+	p.Release()
+}
+
+// Wire is a wired link node: fixed rate and propagation delay, infinite
+// buffer — the WAN segments and the AP's Ethernet uplink.
+type Wire struct {
+	name string
+	link *netem.Link
+}
+
+// NewWire builds a wired link. rate is in bits per second; the
+// destination is wired later via ConnectOut or Graph.Connect.
+func NewWire(g *Graph, name string, rate float64, delay time.Duration) *Wire {
+	return &Wire{name: name, link: netem.NewLink(g.Sim(), rate, delay, nil)}
+}
+
+// NodeName implements Node.
+func (w *Wire) NodeName() string { return w.name }
+
+// Ports implements Node.
+func (w *Wire) Ports() []PortSpec {
+	return []PortSpec{{Name: "in", Dir: In}, {Name: "out", Dir: Out}}
+}
+
+// In implements Node.
+func (w *Wire) In(port string) netem.Receiver {
+	if port != "in" {
+		panic(badPort(w.name, port))
+	}
+	return w.link
+}
+
+// ConnectOut implements Node.
+func (w *Wire) ConnectOut(port string, dst netem.Receiver) {
+	if port != "out" {
+		panic(badPort(w.name, port))
+	}
+	w.link.SetDst(dst)
+}
+
+// Link exposes the underlying netem link (delay inspection, tests).
+func (w *Wire) Link() *netem.Link { return w.link }
+
+// RouterNode routes packets to next hops by exact flow key, with a
+// default route — the graph node wrapping netem.Router. Handover re-points
+// routes here instead of rebuilding demux closures.
+type RouterNode struct {
+	name string
+	r    *netem.Router
+}
+
+// NewRouterNode builds a router with no routes and no default; wire the
+// default via ConnectOut("default", ...) or Graph.Connect.
+func NewRouterNode(name string) *RouterNode {
+	return &RouterNode{name: name, r: netem.NewRouter(nil)}
+}
+
+// NodeName implements Node.
+func (n *RouterNode) NodeName() string { return n.name }
+
+// Ports implements Node. Per-flow routes are runtime state (Route /
+// Unroute), not static ports.
+func (n *RouterNode) Ports() []PortSpec {
+	return []PortSpec{{Name: "in", Dir: In}, {Name: "default", Dir: Out}}
+}
+
+// In implements Node.
+func (n *RouterNode) In(port string) netem.Receiver {
+	if port != "in" {
+		panic(badPort(n.name, port))
+	}
+	return n.r
+}
+
+// ConnectOut implements Node.
+func (n *RouterNode) ConnectOut(port string, dst netem.Receiver) {
+	if port != "default" {
+		panic(badPort(n.name, port))
+	}
+	n.r.SetDefault(dst)
+}
+
+// Route binds a flow to a next hop.
+func (n *RouterNode) Route(flow netem.FlowKey, next netem.Receiver) { n.r.Route(flow, next) }
+
+// Unroute removes a flow's route, restoring the default.
+func (n *RouterNode) Unroute(flow netem.FlowKey) { n.r.Unroute(flow) }
+
+// NextHop reports where a flow currently goes.
+func (n *RouterNode) NextHop(flow netem.FlowKey) netem.Receiver { return n.r.NextHop(flow) }
+
+// Router exposes the underlying netem router.
+func (n *RouterNode) Router() *netem.Router { return n.r }

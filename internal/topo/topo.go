@@ -1,0 +1,116 @@
+// Package topo models simulated network topologies as a composable graph:
+// first-class nodes (delivery demuxes, wired links, routers, access-point
+// assemblies, stations) connected through typed ports. The scenario
+// package builds every experiment path on this graph; multi-AP layouts and
+// station handover fall out of re-pointing routes instead of rebuilding
+// hard-wired closures.
+//
+// A Node exposes named ports: an In port is a packet entry (a
+// netem.Receiver); an Out port is a connection point wired to some other
+// node's In port. Wiring happens once at build time — the datapath itself
+// remains direct Receiver calls with no per-packet graph overhead.
+//
+// The package is deliberately solution-agnostic: it knows how to assemble
+// the AP's queue and radio links, but the mechanism under test (Zhuge,
+// FastAck, ABC) is injected by the caller through the Attachment
+// interface, keeping topo free of dependencies on core and baseline.
+package topo
+
+import (
+	"fmt"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// Direction says which way packets cross a port.
+type Direction int
+
+// Port directions.
+const (
+	// In ports accept packets; In(name) returns their Receiver.
+	In Direction = iota
+	// Out ports emit packets; ConnectOut(name, dst) wires them.
+	Out
+)
+
+// String names the direction for port listings and error messages.
+func (d Direction) String() string {
+	if d == In {
+		return "in"
+	}
+	return "out"
+}
+
+// PortSpec describes one port of a node.
+type PortSpec struct {
+	Name string
+	Dir  Direction
+}
+
+// Node is a named element of a topology graph.
+type Node interface {
+	// NodeName identifies the node within its graph (unique).
+	NodeName() string
+	// Ports lists the node's ports.
+	Ports() []PortSpec
+	// In returns the packet entry for an In port. Panics on unknown or
+	// Out ports — port names are build-time constants, not runtime input.
+	In(port string) netem.Receiver
+	// ConnectOut wires an Out port to a destination receiver.
+	ConnectOut(port string, dst netem.Receiver)
+}
+
+// Graph holds a topology's nodes. Nodes are kept in insertion order so
+// every iteration — construction, teardown, debugging dumps — is
+// deterministic regardless of names.
+type Graph struct {
+	s     *sim.Simulator
+	nodes []Node
+	index map[string]Node
+}
+
+// NewGraph starts an empty topology over the given simulator.
+func NewGraph(s *sim.Simulator) *Graph {
+	return &Graph{s: s, index: make(map[string]Node)}
+}
+
+// Sim returns the simulator the graph's nodes schedule on.
+func (g *Graph) Sim() *sim.Simulator { return g.s }
+
+// Add registers a node. Names must be unique; duplicates are a build-time
+// bug and panic.
+func (g *Graph) Add(n Node) {
+	name := n.NodeName()
+	if _, dup := g.index[name]; dup {
+		panic(fmt.Sprintf("topo: duplicate node %q", name))
+	}
+	g.nodes = append(g.nodes, n)
+	g.index[name] = n
+}
+
+// Node looks a node up by name, or nil if absent.
+func (g *Graph) Node(name string) Node { return g.index[name] }
+
+// Nodes returns the nodes in insertion order. The slice is shared; treat
+// it as read-only.
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Connect wires from:fromPort -> to:toPort. Both nodes must already be in
+// the graph; unknown names panic (wiring is build-time configuration).
+func (g *Graph) Connect(from, fromPort, to, toPort string) {
+	src := g.index[from]
+	if src == nil {
+		panic(fmt.Sprintf("topo: connect from unknown node %q", from))
+	}
+	dst := g.index[to]
+	if dst == nil {
+		panic(fmt.Sprintf("topo: connect to unknown node %q", to))
+	}
+	src.ConnectOut(fromPort, dst.In(toPort))
+}
+
+// badPort reports a port misuse uniformly across node implementations.
+func badPort(node, port string) string {
+	return fmt.Sprintf("topo: node %q has no port %q", node, port)
+}

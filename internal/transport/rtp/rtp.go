@@ -90,6 +90,17 @@ type Sender struct {
 	// OnRate, if set, observes every rate update.
 	OnRate func(now sim.Time, bps float64)
 
+	// GapLoss infers loss for sent packets the feedback stream has
+	// silently skipped: when a TWCC message's range starts beyond
+	// still-unreported sends, those packets are flushed to the rate
+	// controller as lost (libwebrtc's TransportFeedbackAdapter behavior).
+	// Off by default: the historical sender only counted packets a
+	// feedback range explicitly covered, which hides feedback holes —
+	// exactly the signal the AP-handover experiments need to observe.
+	GapLoss  bool
+	flushSeq uint16
+	flushing bool
+
 	sentPackets int
 	retransmits int
 }
@@ -232,6 +243,22 @@ func (snd *Sender) onTWCC(raw []byte) {
 	now := snd.s.Now()
 	samples := snd.samplesScratch[:0]
 	seq := fb.BaseSeq
+	if snd.GapLoss {
+		if !snd.flushing {
+			snd.flushing = true
+			snd.flushSeq = fb.BaseSeq
+		}
+		// Sends the feedback stream silently skipped past are lost: no
+		// later message will ever cover them (feedback bases only
+		// advance), so report them to the controller now, ahead of the
+		// covered range.
+		for s := snd.flushSeq; int16(fb.BaseSeq-s) > 0; s++ {
+			if rec := snd.sent[s]; rec.valid {
+				samples = append(samples, cca.FeedbackSample{Seq: s, SendAt: rec.at, Size: rec.size})
+				snd.sent[s] = sentRecord{}
+			}
+		}
+	}
 	arrivals := fb.AppendArrivals(snd.arrivalsScratch[:0])
 	snd.arrivalsScratch = arrivals[:0]
 	ai := 0
@@ -250,6 +277,9 @@ func (snd *Sender) onTWCC(raw []byte) {
 			ai++
 		}
 		seq++
+	}
+	if snd.GapLoss && int16(seq-snd.flushSeq) > 0 {
+		snd.flushSeq = seq
 	}
 	snd.samplesScratch = samples[:0]
 	if len(samples) > 0 {

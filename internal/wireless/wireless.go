@@ -294,6 +294,22 @@ func (l *Link) obsDeliver(now sim.Time, p *netem.Packet) {
 // AddObserver registers an AP-datapath observer (e.g. the Fortune Teller).
 func (l *Link) AddObserver(o Observer) { l.observers = append(l.observers, o) }
 
+// Channel returns the shared medium the link currently contends on (nil if
+// the link has its own air).
+func (l *Link) Channel() *Channel { return l.cfg.Channel }
+
+// SetChannel re-homes the link onto a different shared medium — the
+// physical half of a station handover. Only future channel-access draws
+// contend on ch: an aggregate already on the air completes under the old
+// channel's reservation (its delivery and end-of-tx events are already
+// scheduled), exactly like a radio finishing its TXOP before retuning. A
+// nil ch detaches the link onto its own air.
+func (l *Link) SetChannel(ch *Channel) { l.cfg.Channel = ch }
+
+// Config returns the link's effective configuration (defaults filled in).
+// Topology code derives return-path latency estimates from it.
+func (l *Link) Config() Config { return l.cfg }
+
 // Queue returns the link's qdisc.
 func (l *Link) Queue() queue.Qdisc { return l.q }
 
