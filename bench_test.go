@@ -529,3 +529,63 @@ func BenchmarkExtHandover(b *testing.B) {
 		return m
 	})
 }
+
+// --- Sharded parallel DES: campus workload across shard counts -----------
+
+// timedShardedRun drives the cluster with a timing executor: per window it
+// measures each shard's compute and accumulates both the serial sum and the
+// critical path (the slowest shard per window — the wall-clock an N-core
+// machine would see, since shards within a window have no ordering edges).
+// Shards run sequentially here, so the measurement is honest on any core
+// count and BENCH_shard.json documents which methodology produced it.
+func timedShardedRun(spd *scenario.ShardedPath, d time.Duration) (critical, serial time.Duration) {
+	spd.Cluster.RunWith(sim.Time(d), func(n int, fn func(i int)) {
+		var max time.Duration
+		for i := 0; i < n; i++ {
+			t0 := time.Now()
+			fn(i)
+			el := time.Since(t0)
+			serial += el
+			if el > max {
+				max = el
+			}
+		}
+		critical += max
+	})
+	return critical, serial
+}
+
+// BenchmarkShardedRun runs one campus topology partitioned over 1/2/4/8
+// shards. events/sec is the measured single-core throughput (window
+// protocol overhead included); cp-events/sec divides by the critical path
+// instead — the projected throughput with one core per shard.
+func BenchmarkShardedRun(b *testing.B) {
+	dur := 2 * time.Second
+	ccfg := scenario.CampusConfig{
+		APs: 16, Stations: 160, Roams: 16,
+		Duration: dur, Solution: scenario.SolutionZhuge,
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			var events uint64
+			var critical time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				spd, err := scenario.BuildSharded(scenario.Campus(1, ccfg), scenario.ShardedOptions{
+					Shards: shards, CutDelay: scenario.CampusCutDelay,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				crit, _ := timedShardedRun(spd, dur)
+				critical += crit
+				events += spd.Cluster.Fired()
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+			if critical > 0 {
+				b.ReportMetric(float64(events)/critical.Seconds(), "cp-events/sec")
+			}
+		})
+	}
+}

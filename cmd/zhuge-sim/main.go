@@ -54,6 +54,8 @@ func main() {
 		aps         = flag.Int("aps", 1, "number of APs (each on its own channel, with its own solution instance)")
 		handoverAt  = flag.String("handover-at", "", "comma-separated roam times (e.g. 40s,80s); roams go round-robin across APs")
 		handoverPol = flag.String("handover-policy", "migrate", "per-flow Zhuge state across a roam: migrate|reset")
+		campus      = flag.Int("campus", 0, "run the sharded campus workload with this many APs (10 stations each); prints the determinism fingerprint; uses -shards, -j, -dur, -seed")
+		shards      = flag.Int("shards", 1, "with -campus: partition the topology over this many shard simulators")
 		expID       = flag.String("exp", "", "run an experiment table by ID instead ('handover' = ext-handover); uses -seed, -scale, -j")
 		scale       = flag.Float64("scale", 1.0, "with -exp: duration scale factor")
 		workers     = flag.Int("j", runtime.NumCPU(), "with -exp: worker count for parallel cells")
@@ -73,6 +75,11 @@ func main() {
 
 	if *expID != "" {
 		runExperiment(*expID, *seed, *scale, *workers)
+		return
+	}
+
+	if *campus > 0 {
+		runCampus(*campus, *shards, *workers, *seed, *dur)
 		return
 	}
 
@@ -181,6 +188,38 @@ func main() {
 		f.Decoder.Decoded, f.Decoder.Skipped, f.Sender.Retransmits())
 	fmt.Printf("final rate: %.2f Mbps\n", f.Sender.Controller().Rate()/1e6)
 	fmt.Printf("goodput: %.2f Mbps\n", f.Metrics.DeliveredBytes*8/dur.Seconds()/1e6)
+}
+
+// runCampus builds the campus workload, partitions it over -shards shard
+// simulators, runs it on -j workers, and prints the per-flow fingerprint on
+// stdout. The fingerprint covers every flow's RTT distribution, frame
+// counts, delivered bytes and the cluster's event total, so CI proves the
+// shard-count-invariance contract by diffing the stdout of two invocations
+// (`-shards 1` vs `-shards 8`) byte for byte; the human-facing summary goes
+// to stderr to keep stdout diff-clean.
+func runCampus(aps, shards, workers int, seed int64, dur time.Duration) {
+	cfg := scenario.CampusConfig{
+		APs: aps, Stations: 10 * aps, Roams: aps,
+		Duration: dur, Solution: scenario.SolutionZhuge,
+	}
+	spd, err := scenario.BuildSharded(scenario.Campus(seed, cfg), scenario.ShardedOptions{
+		Shards:   shards,
+		CutDelay: scenario.CampusCutDelay,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zhuge-sim:", err)
+		os.Exit(2)
+	}
+	start := time.Now()
+	spd.Run(dur, workers)
+	wall := time.Since(start)
+	fmt.Fprintf(os.Stderr, "campus aps=%d stations=%d shards=%d workers=%d dur=%v seed=%d\n",
+		aps, 10*aps, shards, workers, dur, seed)
+	look, _ := spd.Cluster.Lookahead()
+	fmt.Fprintf(os.Stderr, "events=%d windows=%d lookahead=%v wall=%v (%.0f events/sec)\n",
+		spd.Cluster.Fired(), spd.Cluster.Windows(), look,
+		wall.Round(time.Millisecond), float64(spd.Cluster.Fired())/wall.Seconds())
+	fmt.Print(spd.Fingerprint())
 }
 
 // runExperiment renders one experiment table, mirroring zhuge-bench for

@@ -185,6 +185,7 @@ var deterministicSegments = map[string]bool{
 	"trace":       true,
 	"experiments": true,
 	"scenario":    true,
+	"shard":       true,
 	"topo":        true,
 	"baseline":    true,
 	"packet":      true,

@@ -117,6 +117,7 @@ func TestDeterministicPkgClassification(t *testing.T) {
 		{"github.com/zhuge-project/zhuge/internal/trace", true},
 		{"github.com/zhuge-project/zhuge/internal/experiments", true},
 		{"github.com/zhuge-project/zhuge/internal/scenario", true},
+		{"github.com/zhuge-project/zhuge/internal/shard", true},
 
 		{"github.com/zhuge-project/zhuge/internal/liveap", false},
 		{"github.com/zhuge-project/zhuge/internal/parallel", false},

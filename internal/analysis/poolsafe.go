@@ -9,7 +9,8 @@ import (
 // PoolSafe is a flow-sensitive, per-function check for misuse of pooled
 // values: reading a pooled object after Release() and releasing the same
 // object twice. The pooled types are listed in pooledTypes — currently
-// *netem.Packet and *packet.FeedbackBuf — all recycled through sync.Pools
+// *netem.Packet, *packet.FeedbackBuf and *rtp.Payload — all recycled
+// through sync.Pools
 // shared across flows and (at -j > 1) across concurrently running
 // simulations, so a stale reference aliases a future allocation — the
 // resulting corruption is nondeterministic and shows up far from the bug.
@@ -38,8 +39,8 @@ import (
 var PoolSafe = &Analyzer{
 	Name: "poolsafe",
 	Doc: "detect use-after-Release and double-Release of pooled values " +
-		"(netem.Packet, packet.FeedbackBuf) within a function; released " +
-		"objects alias future pool allocations",
+		"(netem.Packet, packet.FeedbackBuf, rtp.Payload) within a function; " +
+		"released objects alias future pool allocations",
 	Run: runPoolSafe,
 }
 
@@ -51,6 +52,7 @@ var PoolSafe = &Analyzer{
 var pooledTypes = map[[2]string]bool{
 	{"netem", "Packet"}:       true,
 	{"packet", "FeedbackBuf"}: true,
+	{"rtp", "Payload"}:        true,
 }
 
 func runPoolSafe(pass *Pass) error {

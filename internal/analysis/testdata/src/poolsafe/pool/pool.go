@@ -1,6 +1,6 @@
 // Package pool is a poolsafe fixture exercising use-after-Release and
 // double-Release detection on every pooled type (*netem.Packet,
-// *packet.FeedbackBuf), including the idioms that must stay legal:
+// *packet.FeedbackBuf, *rtp.Payload), including the idioms that must stay legal:
 // release-then-reassign (the codel drop loop), releases confined to a
 // conditional branch, and deferred releases.
 package pool
@@ -8,6 +8,7 @@ package pool
 import (
 	"github.com/zhuge-project/zhuge/internal/netem"
 	"github.com/zhuge-project/zhuge/internal/packet"
+	"github.com/zhuge-project/zhuge/internal/transport/rtp"
 )
 
 func useAfterRelease() int {
@@ -93,6 +94,19 @@ func bufAsPayload(dst netem.Receiver) {
 	p := netem.NewPacket()
 	p.Payload = b
 	dst.Receive(p)
+}
+
+// payloadUseAfterRelease: the table covers *rtp.Payload, the pooled media
+// payload whose store/wire refcount makes stale reads alias another flow's
+// packet.
+func payloadUseAfterRelease(pl *rtp.Payload) uint16 {
+	pl.Release()
+	return pl.RTPSeq // want `use of pl after Release`
+}
+
+func payloadDoubleRelease(pl *rtp.Payload) {
+	pl.Release()
+	pl.Release() // want `double Release of pl`
 }
 
 func suppressedUse() int {

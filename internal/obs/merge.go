@@ -1,0 +1,40 @@
+package obs
+
+import "fmt"
+
+// MergeSnapshots combines per-shard registry snapshots into one. At campus
+// scale every cell exports its instruments under a cell-unique prefix; a
+// name appearing in two snapshots is therefore a labelling bug — two
+// components silently sharing one metric would corrupt both — and merging
+// fails loudly instead of summing or overwriting. The merged snapshot
+// serialises with sorted keys like any other (encoding/json renders map
+// keys in order), so shard count and merge order leave no trace in
+// exported metrics.
+func MergeSnapshots(snaps ...Snapshot) (Snapshot, error) {
+	out := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistStat{},
+	}
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			if _, dup := out.Counters[name]; dup {
+				return Snapshot{}, fmt.Errorf("obs: counter %q exported by more than one shard", name)
+			}
+			out.Counters[name] = v
+		}
+		for name, v := range s.Gauges {
+			if _, dup := out.Gauges[name]; dup {
+				return Snapshot{}, fmt.Errorf("obs: gauge %q exported by more than one shard", name)
+			}
+			out.Gauges[name] = v
+		}
+		for name, v := range s.Histograms {
+			if _, dup := out.Histograms[name]; dup {
+				return Snapshot{}, fmt.Errorf("obs: histogram %q exported by more than one shard", name)
+			}
+			out.Histograms[name] = v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMergeSnapshotsCombines(t *testing.T) {
+	a := Snapshot{
+		Counters:   map[string]int64{"ap0.downlink.enq": 10},
+		Gauges:     map[string]float64{"ap0.rate": 1e6},
+		Histograms: map[string]HistStat{"ap0.sojourn": {Count: 3}},
+	}
+	b := Snapshot{
+		Counters:   map[string]int64{"ap1.downlink.enq": 20},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistStat{},
+	}
+	m, err := MergeSnapshots(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["ap0.downlink.enq"] != 10 || m.Counters["ap1.downlink.enq"] != 20 {
+		t.Fatalf("merged counters wrong: %v", m.Counters)
+	}
+	if m.Gauges["ap0.rate"] != 1e6 || m.Histograms["ap0.sojourn"].Count != 3 {
+		t.Fatal("gauge or histogram lost in merge")
+	}
+}
+
+// TestMergeSnapshotsRejectsCollision pins the loud-failure contract: a name
+// exported by two shards is a labelling bug, and merging must not silently
+// sum or overwrite either side.
+func TestMergeSnapshotsRejectsCollision(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Snapshot
+	}{
+		{"counter",
+			Snapshot{Counters: map[string]int64{"downlink.enq": 1}},
+			Snapshot{Counters: map[string]int64{"downlink.enq": 2}}},
+		{"gauge",
+			Snapshot{Gauges: map[string]float64{"rate": 1}},
+			Snapshot{Gauges: map[string]float64{"rate": 2}}},
+		{"histogram",
+			Snapshot{Histograms: map[string]HistStat{"sojourn": {}}},
+			Snapshot{Histograms: map[string]HistStat{"sojourn": {}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := MergeSnapshots(tc.a, tc.b)
+			if err == nil {
+				t.Fatal("merge accepted a duplicate instrument name")
+			}
+			if !strings.Contains(err.Error(), "more than one shard") {
+				t.Fatalf("error %q does not name the collision", err)
+			}
+		})
+	}
+}

@@ -168,3 +168,51 @@ func TestWorkers(t *testing.T) {
 		t.Error("positive requests pass through")
 	}
 }
+
+// TestPoolBarriers drives a pool through many rounds and checks every cell
+// of every round runs exactly once with a full barrier between rounds.
+func TestPoolBarriers(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		results := make([]int, 64)
+		for round := 1; round <= 50; round++ {
+			p.Do(len(results), func(i int) { results[i]++ })
+			for i, r := range results {
+				if r != round {
+					t.Fatalf("workers=%d round %d: cell %d ran %d times", workers, round, i, r)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolPanic checks a panicking cell surfaces as *PanicError with its
+// index, and the pool survives for later rounds.
+func TestPoolPanic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	func() {
+		defer func() {
+			pe, ok := recover().(*PanicError)
+			if !ok {
+				t.Fatalf("recover() = %T, want *PanicError", pe)
+			}
+			if pe.Cell != 3 {
+				t.Fatalf("panicked cell = %d, want 3", pe.Cell)
+			}
+		}()
+		p.Do(8, func(i int) {
+			if i == 3 {
+				panic("boom")
+			}
+		})
+	}()
+	ran := make([]int, 4)
+	p.Do(4, func(i int) { ran[i] = 1 })
+	for i, r := range ran {
+		if r != 1 {
+			t.Fatalf("post-panic round: cell %d did not run", i)
+		}
+	}
+}

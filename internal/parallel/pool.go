@@ -1,0 +1,97 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a reusable worker pool for repeated barrier fan-outs. Map spawns
+// fresh goroutines per call, which is fine for sweeps (cells run for
+// milliseconds to minutes) but wasteful for the shard coordinator, which
+// issues one fan-out per synchronisation window — potentially thousands per
+// run. A Pool keeps its workers parked on a channel between rounds so a
+// window barrier costs channel hand-offs, not goroutine creation.
+//
+// Do has the same determinism contract as Map: cells are claimed from an
+// atomic counter in arbitrary order, and callers preserve determinism by
+// writing results into per-index slots.
+type Pool struct {
+	workers int
+	jobs    chan *poolJob
+}
+
+// poolJob is one barrier round: workers claim cells from next until n is
+// exhausted, then check out via wg.
+type poolJob struct {
+	n    int
+	fn   func(int)
+	next atomic.Int64
+	pe   atomic.Pointer[PanicError]
+	wg   sync.WaitGroup
+}
+
+// NewPool starts a pool. workers <= 0 means one per available CPU; a pool
+// of one worker runs every Do inline with zero synchronisation. Close the
+// pool when done to release the worker goroutines.
+func NewPool(workers int) *Pool {
+	workers = Workers(workers)
+	p := &Pool{workers: workers}
+	if workers <= 1 {
+		return p
+	}
+	p.jobs = make(chan *poolJob)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range p.jobs {
+				for {
+					i := int(j.next.Add(1)) - 1
+					if i >= j.n {
+						break
+					}
+					if pe := runCell(i, j.fn); pe != nil {
+						j.pe.CompareAndSwap(nil, pe)
+					}
+				}
+				j.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the resolved worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Do runs fn(i) for every i in [0, n) across the pool's workers and returns
+// when all cells have finished — a barrier. A panicking cell re-panics here
+// as a *PanicError after the round drains, exactly like Map.
+func (p *Pool) Do(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if pe := runCell(i, fn); pe != nil {
+				panic(pe)
+			}
+		}
+		return
+	}
+	j := &poolJob{n: n, fn: fn}
+	j.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.jobs <- j
+	}
+	j.wg.Wait()
+	if pe := j.pe.Load(); pe != nil {
+		panic(pe)
+	}
+}
+
+// Close releases the pool's worker goroutines. Do must not be called after
+// Close.
+func (p *Pool) Close() {
+	if p.jobs != nil {
+		close(p.jobs)
+	}
+}

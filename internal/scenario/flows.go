@@ -112,6 +112,10 @@ func (p *Path) AddRTPFlow(cfg RTPFlowConfig) *RTPFlow {
 
 	if pa.Spec.Solution == SolutionZhuge && !cfg.Unoptimized {
 		pa.Zhuge.Optimize(flow, core.ModeInBand)
+		// The AP now builds this flow's feedback at packet arrival; its
+		// arrival entries no longer prove receiver possession, so the
+		// sender must keep retransmission payloads until the horizon.
+		snd.APFeedback = true
 	}
 	p.bindFlow(flow, st)
 

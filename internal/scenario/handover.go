@@ -49,7 +49,7 @@ func (p *Path) Handover(st *topo.Station, to *PathAP, policy HandoverPolicy) {
 	}
 
 	for _, flow := range st.Flows() {
-		p.moveFlowState(from, to, flow, policy)
+		moveFlowState(from, to, flow, policy)
 	}
 	st.Associate(to.Topo)
 	for _, flow := range st.Flows() {
@@ -59,7 +59,10 @@ func (p *Path) Handover(st *topo.Station, to *PathAP, policy HandoverPolicy) {
 }
 
 // moveFlowState applies the handover policy to one flow's AP-side state.
-func (p *Path) moveFlowState(from, to *PathAP, flow netem.FlowKey, policy HandoverPolicy) {
+// It is deliberately a free function over PathAP bundles: a sharded run
+// migrates state between APs that live in different cells (and different
+// Paths), not just within one.
+func moveFlowState(from, to *PathAP, flow netem.FlowKey, policy HandoverPolicy) {
 	if from.Zhuge == nil {
 		return // nothing to move; the flow was never optimized here
 	}

@@ -164,11 +164,16 @@ func (p *Path) RouteToStation(flow netem.FlowKey, st *wireless.Link) {
 	p.wanRouter.Route(flow, st)
 }
 
-// NewFlowKey allocates a fresh downlink 5-tuple for a flow.
+// NewFlowKey allocates a fresh downlink 5-tuple for a flow. Inside a
+// sharded decomposition the cell index lands in the third IP octet, so no
+// two cells can mint the same key (and per-flow RNG labels, which embed
+// the key, stay cell-unique). Cell 0 — and every standalone build — keeps
+// the classic addresses.
 func (p *Path) NewFlowKey() netem.FlowKey {
 	p.nextPort++
+	off := uint32(p.Spec.Cell) << 8
 	return netem.FlowKey{
-		SrcIP: 0x0a000001, DstIP: 0xc0a80002,
+		SrcIP: 0x0a000001 + off, DstIP: 0xc0a80002 + off,
 		SrcPort: p.nextPort, DstPort: p.nextPort, Proto: 17,
 	}
 }

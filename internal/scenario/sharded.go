@@ -1,0 +1,336 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/obs"
+	"github.com/zhuge-project/zhuge/internal/shard"
+	"github.com/zhuge-project/zhuge/internal/sim"
+	"github.com/zhuge-project/zhuge/internal/topo"
+)
+
+// ShardedOptions configures BuildSharded.
+type ShardedOptions struct {
+	// Shards is the number of parallel event heaps the topology's cells
+	// are grouped onto; <= 0 (or more than there are cells) means one
+	// shard per cell. The grouping only affects wall-clock speed: outputs
+	// are byte-identical for every value.
+	Shards int
+
+	// CutDelay is the one-way backhaul delay of every inter-cell edge —
+	// the trombone path a roamed station's traffic crosses, and the
+	// lookahead that bounds the cluster's parallel windows. It must be
+	// positive whenever the Spec roams stations across cells; zero or
+	// negative delays are rejected at build time.
+	CutDelay time.Duration
+
+	// Obs optionally supplies one observability bundle per cell, keyed by
+	// the cell's label (the AP name; "" for a single-cell build). A
+	// registry is bound to one simulator and must never be shared across
+	// shards, hence a factory instead of a single bundle; merge the
+	// per-cell snapshots with obs.MergeSnapshots.
+	Obs func(cell string) *obs.Obs
+}
+
+// ShardedCell is one cell of a sharded build: a complete single-AP Path —
+// its AP, the stations homed there, their flows and server endpoints —
+// assembled on the shard-local simulator the partitioner assigned it to.
+type ShardedCell struct {
+	Index int
+	Label string
+	Path  *Path
+	Shard *shard.Shard
+}
+
+// ShardedPath is a Spec decomposed into per-AP cells running under a
+// shard.Cluster. The decomposition is fixed by the Spec alone — one cell
+// per AP, stations and flows homed with their starting AP — and the shard
+// count only groups cells onto simulators, which is what makes `-shards 1`
+// versus `-shards 8` byte-identical.
+//
+// Stations that roam to an AP in another cell are tromboned rather than
+// migrated: the station object, its flows' endpoints and their metrics
+// stay in the home cell, while the flow's downlink detours home WAN ->
+// cut edge -> visited AP's queue and radio -> cut edge -> home delivery
+// demux (and the uplink mirrors it). The cut edges' delay models the
+// inter-AP backhaul and doubles as the cluster's lookahead.
+type ShardedPath struct {
+	Spec    Spec
+	Opts    ShardedOptions
+	Cluster *shard.Cluster
+	Cells   []*ShardedCell
+
+	byAP  map[string]*ShardedCell
+	edges map[[2]int]*shard.Edge  // (from cell, to cell) -> cut edge
+	home  map[string]*ShardedCell // station -> home cell
+	where map[string]*ShardedCell // station -> cell currently serving it
+}
+
+// BuildSharded decomposes the Spec into per-AP cells, groups them onto
+// shards with topo.Partition, wires the cut edges every declared roam
+// needs, and registers the roams as barrier actions. It returns an error
+// when the Spec needs cross-cell edges but the cut delay grants no
+// lookahead; structural mistakes (unknown APs or stations, missing traces)
+// panic exactly like Build.
+func BuildSharded(sp Spec, opt ShardedOptions) (*ShardedPath, error) {
+	if len(sp.APs) == 0 {
+		panic("scenario: Spec needs at least one AP")
+	}
+	for i := range sp.APs {
+		if sp.APs[i].Trace == nil {
+			panic(fmt.Sprintf("scenario: AP %d has no Trace", i))
+		}
+		if sp.APs[i].Name == "" {
+			sp.APs[i].Name = fmt.Sprintf("ap%d", i)
+		}
+	}
+	if sp.WANRTT == 0 {
+		sp.WANRTT = sp.APs[0].Trace.BaseRTT
+	}
+	n := len(sp.APs)
+
+	cellOfAP := make(map[string]int, n)
+	for i := range sp.APs {
+		if _, dup := cellOfAP[sp.APs[i].Name]; dup {
+			panic(fmt.Sprintf("scenario: duplicate AP %q", sp.APs[i].Name))
+		}
+		cellOfAP[sp.APs[i].Name] = i
+	}
+
+	// Home every station — the implicit primary lives in cell 0 — and
+	// every flow with its station's cell.
+	cellOfSta := map[string]int{DefaultStation: 0}
+	cellStations := make([][]StationSpec, n)
+	for _, ss := range sp.Stations {
+		if ss.Name == "" {
+			panic("scenario: StationSpec needs a Name")
+		}
+		ci := 0
+		if ss.AP != "" {
+			c, ok := cellOfAP[ss.AP]
+			if !ok {
+				panic(fmt.Sprintf("scenario: unknown AP %q", ss.AP))
+			}
+			ci = c
+		}
+		if _, dup := cellOfSta[ss.Name]; dup && ss.Name != DefaultStation {
+			panic(fmt.Sprintf("scenario: duplicate station %q", ss.Name))
+		}
+		cellOfSta[ss.Name] = ci
+		cellStations[ci] = append(cellStations[ci], ss)
+	}
+	cellFlows := make([][]FlowSpec, n)
+	for _, fs := range sp.Flows {
+		sta := fs.Station
+		if sta == "" {
+			sta = DefaultStation
+		}
+		ci, ok := cellOfSta[sta]
+		if !ok {
+			panic(fmt.Sprintf("scenario: unknown station %q", fs.Station))
+		}
+		cellFlows[ci] = append(cellFlows[ci], fs)
+	}
+
+	// Group cells onto shards and build each cell on its shard's clock.
+	// Cells are built in index order regardless of grouping; per-cell
+	// event order is a function of the cell alone, so the grouping stays
+	// invisible in every per-cell output.
+	assign := topo.Partition(n, opt.Shards)
+	groups := topo.Groups(assign)
+	cluster := shard.NewCluster()
+	shards := make([]*shard.Shard, len(groups))
+	for gi := range groups {
+		shards[gi] = cluster.AddShard(fmt.Sprintf("shard%d", gi), sim.New(sp.Seed))
+	}
+	spd := &ShardedPath{
+		Spec: sp, Opts: opt, Cluster: cluster,
+		byAP:  make(map[string]*ShardedCell, n),
+		edges: make(map[[2]int]*shard.Edge),
+		home:  make(map[string]*ShardedCell),
+		where: make(map[string]*ShardedCell),
+	}
+	for i := 0; i < n; i++ {
+		label := ""
+		if n > 1 {
+			label = sp.APs[i].Name
+		}
+		cs := Spec{
+			Seed: sp.Seed, WANRTT: sp.WANRTT,
+			Sim: shards[assign[i]].Sim(), Cell: i, CellLabel: label,
+			APs:      []APSpec{sp.APs[i]},
+			Stations: cellStations[i],
+			Flows:    cellFlows[i],
+		}
+		if opt.Obs != nil {
+			cs.Obs = opt.Obs(label)
+		}
+		cell := &ShardedCell{Index: i, Label: label, Path: cs.Build(), Shard: shards[assign[i]]}
+		spd.Cells = append(spd.Cells, cell)
+		spd.byAP[sp.APs[i].Name] = cell
+	}
+	for sta, ci := range cellOfSta {
+		spd.home[sta] = spd.Cells[ci]
+		spd.where[sta] = spd.Cells[ci]
+	}
+
+	// Create the cut edges the declared roams will traverse — both
+	// directions of every (home, target) pair — in sorted order, so edge
+	// identity and the cluster's drain order are functions of the Spec,
+	// never of the grouping.
+	pairs := make(map[[2]int]bool)
+	for _, h := range sp.Handovers {
+		sta := h.Station
+		if sta == "" {
+			sta = DefaultStation
+		}
+		hc, ok := cellOfSta[sta]
+		if !ok {
+			panic(fmt.Sprintf("scenario: handover of unknown station %q", h.Station))
+		}
+		tc, ok := cellOfAP[h.To]
+		if !ok {
+			panic(fmt.Sprintf("scenario: handover to unknown AP %q", h.To))
+		}
+		if hc != tc {
+			pairs[[2]int{hc, tc}] = true
+			pairs[[2]int{tc, hc}] = true
+		}
+	}
+	sorted := make([][2]int, 0, len(pairs))
+	for pr := range pairs {
+		sorted = append(sorted, pr)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i][0] < sorted[j][0] ||
+			(sorted[i][0] == sorted[j][0] && sorted[i][1] < sorted[j][1])
+	})
+	for _, pr := range sorted {
+		name := fmt.Sprintf("cut.%s->%s", sp.APs[pr[0]].Name, sp.APs[pr[1]].Name)
+		e, err := cluster.Connect(name, shards[assign[pr[0]]], shards[assign[pr[1]]], opt.CutDelay)
+		if err != nil {
+			return nil, err
+		}
+		spd.edges[pr] = e
+	}
+
+	// Roams are barrier actions: they run single-threaded between windows
+	// at their exact virtual time, which is what lets them touch two
+	// cells' state (routers, demux registrations, Zhuge flow state) at
+	// once without racing any shard.
+	for _, h := range sp.Handovers {
+		h := h
+		cluster.At(h.At, func() { spd.handover(h) })
+	}
+	return spd, nil
+}
+
+// Cell returns the cell homed on the named AP.
+func (spd *ShardedPath) Cell(ap string) *ShardedCell {
+	c := spd.byAP[ap]
+	if c == nil {
+		panic(fmt.Sprintf("scenario: unknown AP %q", ap))
+	}
+	return c
+}
+
+// Run advances the whole topology to virtual time d on a pool of workers.
+// workers <= 1 is the sequential reference; any value produces the same
+// outputs.
+func (spd *ShardedPath) Run(d time.Duration, workers int) {
+	spd.Cluster.Run(d, workers)
+}
+
+// MergedSnapshot merges every cell's metrics registry snapshot into one.
+// It fails if two cells exported the same instrument name — per-cell
+// labels are supposed to make that impossible, so a collision is a
+// labelling bug, not data to be silently summed.
+func (spd *ShardedPath) MergedSnapshot() (obs.Snapshot, error) {
+	snaps := make([]obs.Snapshot, 0, len(spd.Cells))
+	for _, c := range spd.Cells {
+		if o := c.Path.Spec.Obs; o != nil && o.Reg != nil {
+			snaps = append(snaps, o.Reg.Snapshot())
+		}
+	}
+	return obs.MergeSnapshots(snaps...)
+}
+
+// handover executes one roam at the barrier. The station keeps its home
+// association and identity; only its flows' datapath moves:
+//
+//   - To a foreign cell: downlink re-routes home WAN -> cut edge ->
+//     visited AP's datapath entry (so the visited queue, radio and
+//     solution serve it), deliveries and uplink feedback trombone back to
+//     the home demuxes where the flows' receivers and metrics live.
+//   - Back home: the home routers are restored. Forwarders left behind in
+//     a previously visited cell only ever see that cell's in-flight
+//     stragglers, which still drain home — nothing is lost by a roam.
+//
+// Zhuge per-flow state migrates (or resets) between the serving APs per
+// the declared policy, exactly as in the single-simulator Handover.
+func (spd *ShardedPath) handover(h HandoverSpec) {
+	sta := h.Station
+	if sta == "" {
+		sta = DefaultStation
+	}
+	home, cur, to := spd.home[sta], spd.where[sta], spd.byAP[h.To]
+	if to == cur {
+		return
+	}
+	fromPA, toPA := cur.Path.APs[0], to.Path.APs[0]
+	if fromPA.FastAck != nil || toPA.FastAck != nil {
+		panic("scenario: handover between FastAck APs is not supported")
+	}
+	st := home.Path.Station(sta)
+	for _, flow := range st.Flows() {
+		moveFlowState(fromPA, toPA, flow, h.Policy)
+	}
+	if to == home {
+		for _, flow := range st.Flows() {
+			home.Path.wanRouter.Route(flow, st.DownIn())
+			home.Path.clientOut.Route(flow.Reverse(), toPA.Topo.Uplink)
+		}
+	} else {
+		out := spd.edges[[2]int{home.Index, to.Index}]
+		back := spd.edges[[2]int{to.Index, home.Index}]
+		for _, flow := range st.Flows() {
+			home.Path.wanRouter.Route(flow, edgeSender{out, toPA.Topo.In("wan")})
+			home.Path.clientOut.Route(flow.Reverse(), edgeSender{out, toPA.Topo.In("air")})
+			to.Path.clientDemux.Register(flow, demuxForward{back, home.Path.clientDemux})
+			to.Path.serverDemux.Register(flow, demuxForward{back, home.Path.serverDemux})
+		}
+	}
+	spd.where[sta] = to
+}
+
+// edgeSender adapts a cut edge to netem.Receiver so routers can point
+// flows at it: packets handed here leave the cell and surface at dst on
+// the destination cell after the edge delay. Ownership passes to the edge.
+type edgeSender struct {
+	e   *shard.Edge
+	dst netem.Receiver
+}
+
+// Receive implements netem.Receiver.
+func (es edgeSender) Receive(p *netem.Packet) { es.e.Send(p, es.dst) }
+
+// demuxForward trombones a roamed flow's packets home from a visited
+// cell's terminal demux. The demux releases every packet after delivery,
+// so the forwarder must hand the edge a copy; the payload pointer moves to
+// the copy (and is stripped from the original) so pooled payloads are
+// released exactly once, at the home demux.
+type demuxForward struct {
+	e    *shard.Edge
+	home netem.Receiver
+}
+
+// Receive implements netem.Receiver.
+func (f demuxForward) Receive(p *netem.Packet) {
+	cp := netem.NewPacket()
+	*cp = *p
+	p.Payload = nil
+	f.e.Send(cp, f.home)
+}

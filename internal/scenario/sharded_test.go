@@ -1,0 +1,216 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/obs"
+	"github.com/zhuge-project/zhuge/internal/sim"
+	"github.com/zhuge-project/zhuge/internal/trace"
+)
+
+// testCampus is a small-but-real campus: several APs, stations with and
+// without their own queues, staggered RTP flows, and roams that cross
+// shard boundaries in both directions.
+func testCampus() CampusConfig {
+	return CampusConfig{APs: 6, Stations: 12, Roams: 4, Duration: 2 * time.Second,
+		Solution: SolutionZhuge}
+}
+
+func buildAndRunCampus(t *testing.T, shards, workers int, d time.Duration) *ShardedPath {
+	t.Helper()
+	spd, err := BuildSharded(Campus(1, testCampus()), ShardedOptions{
+		Shards: shards, CutDelay: CampusCutDelay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spd.Run(d, workers)
+	return spd
+}
+
+// TestShardCountIsInvisible is the tentpole gate: the same campus run on
+// one shard and on eight shards (with a parallel worker pool) must produce
+// byte-identical outputs.
+func TestShardCountIsInvisible(t *testing.T) {
+	d := 2 * time.Second
+	base := buildAndRunCampus(t, 1, 1, d)
+	want := base.Fingerprint()
+	if !strings.Contains(want, "rtt_n=") || strings.Contains(want, "rtt_n=0 ") {
+		t.Fatalf("reference run delivered no packets:\n%s", want)
+	}
+	for _, shards := range []int{2, 8} {
+		got := buildAndRunCampus(t, shards, 4, d).Fingerprint()
+		if got != want {
+			t.Fatalf("-shards %d diverged from -shards 1:\n--- want\n%s\n--- got\n%s", shards, want, got)
+		}
+	}
+	if len(base.Cells) != 6 {
+		t.Fatalf("campus built %d cells, want 6", len(base.Cells))
+	}
+}
+
+// TestSingleCellPassthrough pins the compatibility guarantee: a single-AP
+// Spec built sharded must reproduce the classic Build byte-identically —
+// same flow keys, same RNG streams, same metrics.
+func TestSingleCellPassthrough(t *testing.T) {
+	mk := func() Spec {
+		tr := trace.Generate(trace.OfficeWiFi(), 2*time.Second, sim.LabeledRand(7, "t"))
+		return Spec{
+			Seed: 7,
+			APs:  []APSpec{{Trace: tr, Solution: SolutionZhuge}},
+			Flows: []FlowSpec{
+				{Kind: "rtp"},
+				{Kind: "tcp", StartAt: 300 * time.Millisecond},
+			},
+		}
+	}
+	classic := mk().Build()
+	classic.Run(2 * time.Second)
+
+	spd, err := BuildSharded(mk(), ShardedOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spd.Run(2*time.Second, 1)
+
+	if n := len(spd.Cells); n != 1 {
+		t.Fatalf("single-AP spec built %d cells, want 1", n)
+	}
+	if spd.Cells[0].Label != "" {
+		t.Fatalf("single cell got label %q; must stay unlabelled for passthrough", spd.Cells[0].Label)
+	}
+	want := flowsFingerprint(classic)
+	got := flowsFingerprint(spd.Cells[0].Path)
+	if want != got {
+		t.Fatalf("sharded single-cell run diverged from classic Build:\n--- classic\n%s\n--- sharded\n%s", want, got)
+	}
+	if classic.S.Fired() != spd.Cluster.Fired() {
+		t.Fatalf("event counts differ: classic %d, sharded %d", classic.S.Fired(), spd.Cluster.Fired())
+	}
+}
+
+// flowsFingerprint renders a classic Path's per-flow outputs in the same
+// shape the sharded fingerprint uses for one cell.
+func flowsFingerprint(p *Path) string {
+	var b strings.Builder
+	for _, bf := range p.Flows {
+		var m *FlowMetrics
+		switch {
+		case bf.RTP != nil:
+			m = bf.RTP.Metrics
+			fmt.Fprintf(&b, "%s decoded=%d", bf.RTP.Flow, bf.RTP.Decoder.Decoded)
+		case bf.TCP != nil:
+			m = bf.TCP.Metrics
+			fmt.Fprintf(&b, "%s sent=%d dropped=%d", bf.TCP.Flow, bf.TCP.FramesSent, bf.TCP.FramesDropped)
+		}
+		if m != nil {
+			fmt.Fprintf(&b, " rtt_n=%d mean=%d p99=%d delivered=%.0f",
+				m.RTT.Count(), int64(m.RTT.Mean()), int64(m.RTT.Quantile(0.99)), m.DeliveredBytes)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestCrossShardHandover pins the trombone: a station roams to an AP on
+// another shard mid-run and back, and its flow keeps delivering the whole
+// time — through the visited AP's queue and radio while roamed.
+func TestCrossShardHandover(t *testing.T) {
+	mk := func() Spec {
+		dur := 3 * time.Second
+		t0 := trace.Generate(trace.OfficeWiFi(), dur, sim.LabeledRand(3, "east"))
+		t1 := trace.Generate(trace.RestaurantWiFi(), dur, sim.LabeledRand(3, "west"))
+		return Spec{
+			Seed: 3,
+			APs: []APSpec{
+				{Name: "east", Trace: t0, Solution: SolutionZhuge},
+				{Name: "west", Trace: t1, Solution: SolutionZhuge},
+			},
+			Stations: []StationSpec{{Name: "roamer", AP: "east", OwnQueue: true}},
+			Flows:    []FlowSpec{{Kind: "rtp", Station: "roamer"}},
+			Handovers: []HandoverSpec{
+				{Station: "roamer", To: "west", At: time.Second, Policy: HandoverMigrate},
+				{Station: "roamer", To: "east", At: 2 * time.Second, Policy: HandoverMigrate},
+			},
+		}
+	}
+	run := func(shards, workers int) *ShardedPath {
+		spd, err := BuildSharded(mk(), ShardedOptions{Shards: shards, CutDelay: CampusCutDelay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spd.Run(3*time.Second, workers)
+		return spd
+	}
+	spd := run(2, 2)
+	rtp := spd.Cell("east").Path.Flows[0].RTP
+	if rtp == nil {
+		t.Fatal("roamer's flow not built in its home cell")
+	}
+	// Deliveries must continue in every phase: before, during, after.
+	var pre, mid, post int
+	for _, s := range rtp.Metrics.RTTSeries.Points {
+		switch {
+		case s.At < time.Second:
+			pre++
+		case s.At < 2*time.Second:
+			mid++
+		default:
+			post++
+		}
+	}
+	if pre == 0 || mid == 0 || post == 0 {
+		t.Fatalf("deliveries pre/mid/post roam = %d/%d/%d; the trombone dropped a phase", pre, mid, post)
+	}
+	if rtp.Decoder.Decoded == 0 {
+		t.Fatal("no frames decoded across the roam")
+	}
+	// And the boundary crossing must not depend on the grouping.
+	if a, b := run(1, 1).Fingerprint(), spd.Fingerprint(); a != b {
+		t.Fatalf("cross-shard handover diverges between shard counts:\n--- 1 shard\n%s\n--- 2 shards\n%s", a, b)
+	}
+}
+
+// TestZeroLookaheadRejected pins the build-time error for a cut with no
+// delay: the cluster cannot grant any parallel window from it.
+func TestZeroLookaheadRejected(t *testing.T) {
+	sp := Campus(1, testCampus())
+	_, err := BuildSharded(sp, ShardedOptions{Shards: 2}) // CutDelay zero
+	if err == nil {
+		t.Fatal("BuildSharded accepted a zero-delay cut edge")
+	}
+	if !strings.Contains(err.Error(), "lookahead") {
+		t.Fatalf("error %q does not explain the lookahead requirement", err)
+	}
+}
+
+// TestShardedObsLabelsUnique runs a sharded campus with a metrics registry
+// per cell and checks the merged snapshot: every instrument name unique
+// (merge fails loudly otherwise) and cell-prefixed.
+func TestShardedObsLabelsUnique(t *testing.T) {
+	sp := Campus(1, CampusConfig{APs: 3, Stations: 6, Roams: 2, Duration: time.Second})
+	spd, err := BuildSharded(sp, ShardedOptions{
+		Shards:   3,
+		CutDelay: CampusCutDelay,
+		Obs:      func(string) *obs.Obs { return obs.New(obs.Options{Metrics: true}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spd.Run(time.Second, 2)
+	snap, err := spd.MergedSnapshot()
+	if err != nil {
+		t.Fatalf("per-cell labels collided: %v", err)
+	}
+	if len(snap.Counters)+len(snap.Histograms) == 0 {
+		t.Fatal("merged snapshot is empty; obs did not attach")
+	}
+	for name := range snap.Counters {
+		if !strings.HasPrefix(name, "ap0") {
+			t.Fatalf("counter %q is not cell-prefixed", name)
+		}
+	}
+}

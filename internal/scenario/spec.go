@@ -107,6 +107,20 @@ type Spec struct {
 	// Nil keeps the datapath on its zero-overhead fast path.
 	Obs *obs.Obs
 
+	// Sim optionally supplies the simulator to build on: sharded runs
+	// place several cells onto one shard-local clock. Nil creates a fresh
+	// simulator from Seed — the classic single-run behaviour.
+	Sim *sim.Simulator
+
+	// Cell and CellLabel place this Spec inside a sharded decomposition
+	// (see BuildSharded). Cell offsets the flow 5-tuples so every cell
+	// allocates disjoint keys; a non-empty CellLabel makes all RNG and
+	// observability labels cell-unique, including the first AP's (which
+	// otherwise keeps the bare single-AP labels). Both must be zero for a
+	// standalone build, keeping the classic wiring byte-identical.
+	Cell      int
+	CellLabel string
+
 	APs       []APSpec
 	Stations  []StationSpec
 	Flows     []FlowSpec
@@ -147,7 +161,10 @@ func (sp Spec) Build() *Path {
 		sp.WANRTT = sp.APs[0].Trace.BaseRTT
 	}
 
-	s := sim.New(sp.Seed)
+	s := sp.Sim
+	if s == nil {
+		s = sim.New(sp.Seed)
+	}
 	g := topo.NewGraph(s)
 	p := &Path{
 		S:           s,
@@ -230,9 +247,16 @@ func (p *Path) buildAP(i int, as APSpec) {
 	g := p.G
 	// The first AP keeps the bare labels of the original single-AP wiring
 	// so its RNG streams and observability prefixes are unchanged; later
-	// APs get name-prefixed ones.
+	// APs get name-prefixed ones. Inside a sharded decomposition every AP
+	// is labelled, and cell-prefixed, so no two cells' streams or metric
+	// names can collide no matter how generically their APs are named.
 	downLabel, upLabel, solLabel := "downlink", "uplink", "zhuge"
-	if i > 0 {
+	if p.Spec.CellLabel != "" {
+		prefix := p.Spec.CellLabel + "." + as.Name
+		downLabel = prefix + ".downlink"
+		upLabel = prefix + ".uplink"
+		solLabel = prefix + ".zhuge"
+	} else if i > 0 {
 		downLabel = as.Name + ".downlink"
 		upLabel = as.Name + ".uplink"
 		solLabel = as.Name + ".zhuge"
@@ -242,7 +266,9 @@ func (p *Path) buildAP(i int, as APSpec) {
 	// channel-access interval when a station roams back (the single-AP
 	// estimators never go idle, so the default stays off there and the
 	// original scenarios remain bit-exact).
-	if len(p.Spec.APs) > 1 && as.FTConfig.MaxDeqInterval == 0 {
+	// A sharded cell's AP can also idle while its stations roam elsewhere,
+	// so the same cap applies whenever the Spec is part of a decomposition.
+	if (len(p.Spec.APs) > 1 || p.Spec.CellLabel != "") && as.FTConfig.MaxDeqInterval == 0 {
 		as.FTConfig.MaxDeqInterval = time.Second
 	}
 	tr := as.Trace
@@ -282,11 +308,15 @@ func (p *Path) buildStation(ss StationSpec) {
 		panic(fmt.Sprintf("scenario: duplicate station %q", ss.Name))
 	}
 	ap := p.apByName(ss.AP)
+	label := ss.Name
+	if p.Spec.CellLabel != "" {
+		label = p.Spec.CellLabel + "." + ss.Name
+	}
 	st := topo.NewStation(p.G, topo.StationConfig{
 		Name:     ss.Name,
 		OwnQueue: ss.OwnQueue,
 		QueueCap: ss.QueueCap,
-		Label:    ss.Name,
+		Label:    label,
 		Obs:      p.Spec.Obs,
 	}, ap.Topo, p.clientDemux)
 	p.G.Add(st)

@@ -1,0 +1,236 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/parallel"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// Shard is one parallel unit: a simulator advancing a subgraph of the
+// topology under the cluster's window protocol.
+type Shard struct {
+	name string
+	s    *sim.Simulator
+}
+
+// Name returns the shard's unique name within its cluster.
+func (sh *Shard) Name() string { return sh.name }
+
+// Sim returns the shard-local simulator. Build cell topologies on it; do
+// not call Run/RunUntil yourself — the cluster owns the clock.
+func (sh *Shard) Sim() *sim.Simulator { return sh.s }
+
+// Edge is a directed cut link between two shards with a fixed positive
+// delay — the lookahead that licenses parallel windows. All sends on one
+// edge must originate from a single cell (one deterministic event stream),
+// so the inbox FIFO order is a function of that cell alone and shard count
+// stays invisible.
+type Edge struct {
+	name  string
+	delay sim.Time
+	src   *Shard
+	dst   *Shard
+	inbox ring
+}
+
+// Name returns the edge's unique name within its cluster.
+func (e *Edge) Name() string { return e.name }
+
+// Delay returns the edge's propagation delay (its lookahead contribution).
+func (e *Edge) Delay() time.Duration { return e.delay }
+
+// Send hands a packet across the cut: it will be delivered to dst on the
+// destination shard at the source shard's now plus the edge delay. The
+// caller gives up ownership of p — the packet must not be touched or
+// Released after Send; the destination's delivery path releases it.
+func (e *Edge) Send(p *netem.Packet, dst netem.Receiver) {
+	e.inbox.push(Parcel{P: p, At: e.src.s.Now() + e.delay, Dst: dst})
+}
+
+// action is one barrier callback: fn runs single-threaded at virtual time
+// at, between windows, and may touch state on any shard.
+type action struct {
+	at  sim.Time
+	seq int
+	fn  func()
+}
+
+// Cluster coordinates a set of shards: it computes safe windows from the
+// cut edges' minimum delay, fans RunBefore out over a worker pool, drains
+// edge inboxes at every barrier in global edge-name order, and runs
+// registered barrier actions at their exact virtual times.
+type Cluster struct {
+	shards  []*Shard
+	byName  map[string]bool
+	edges   []*Edge
+	edgeSet map[string]bool
+	look    sim.Time // min edge delay; valid when len(edges) > 0
+	actions []action
+	nextAct int
+	windows uint64
+}
+
+// NewCluster returns an empty cluster.
+func NewCluster() *Cluster {
+	return &Cluster{byName: make(map[string]bool), edgeSet: make(map[string]bool)}
+}
+
+// AddShard registers a simulator as a shard. Duplicate names are a
+// build-time bug and panic, matching the topology graph's convention.
+func (c *Cluster) AddShard(name string, s *sim.Simulator) *Shard {
+	if c.byName[name] {
+		panic(fmt.Sprintf("shard: duplicate shard %q", name))
+	}
+	c.byName[name] = true
+	sh := &Shard{name: name, s: s}
+	c.shards = append(c.shards, sh)
+	return sh
+}
+
+// Shards returns the shards in registration order (read-only).
+func (c *Cluster) Shards() []*Shard { return c.shards }
+
+// Connect creates a directed edge from one shard to another with the given
+// delay. A non-positive delay is rejected: it would mean zero lookahead —
+// a cross-shard message could arrive in the very instant it was sent, and
+// no window wider than a single event could ever be granted. Model such
+// couplings inside one cell instead.
+func (c *Cluster) Connect(name string, from, to *Shard, delay time.Duration) (*Edge, error) {
+	if delay <= 0 {
+		return nil, fmt.Errorf(
+			"shard: edge %q (%s -> %s) has delay %v: cut edges need a positive delay, "+
+				"because the minimum edge delay is the lookahead that bounds parallel windows",
+			name, from.name, to.name, delay)
+	}
+	if c.edgeSet[name] {
+		panic(fmt.Sprintf("shard: duplicate edge %q", name))
+	}
+	c.edgeSet[name] = true
+	e := &Edge{name: name, delay: delay, src: from, dst: to}
+	c.edges = append(c.edges, e)
+	if len(c.edges) == 1 || delay < c.look {
+		c.look = delay
+	}
+	return e, nil
+}
+
+// Lookahead returns the cluster's window bound: the minimum edge delay,
+// or false when there are no edges (windows are then bounded only by
+// barrier actions and the horizon).
+func (c *Cluster) Lookahead() (time.Duration, bool) {
+	return c.look, len(c.edges) > 0
+}
+
+// At registers a barrier action at virtual time t. Actions run
+// single-threaded between windows, in (time, registration) order, before
+// any shard executes events at t; unlike ordinary events they may touch
+// state across shards (a cross-shard handover migrates flow state here).
+// Register actions before Run.
+func (c *Cluster) At(t sim.Time, fn func()) {
+	c.actions = append(c.actions, action{at: t, seq: len(c.actions), fn: fn})
+}
+
+// Fired returns the cumulative event count across all shards.
+func (c *Cluster) Fired() uint64 {
+	var n uint64
+	for _, sh := range c.shards {
+		n += sh.s.Fired()
+	}
+	return n
+}
+
+// Windows returns how many synchronisation windows Run granted.
+func (c *Cluster) Windows() uint64 { return c.windows }
+
+// Run advances every shard to end using a pool of workers. workers <= 1
+// runs windows inline — the sequential reference that sharded output is
+// checked byte-identical against.
+func (c *Cluster) Run(end sim.Time, workers int) {
+	pool := parallel.NewPool(workers)
+	defer pool.Close()
+	c.RunWith(end, pool.Do)
+}
+
+// RunWith is Run with a caller-supplied barrier executor: do(n, fn) must
+// run fn(0..n-1) to completion before returning. Benchmarks inject a
+// timing executor here to measure per-shard window cost.
+func (c *Cluster) RunWith(end sim.Time, do func(n int, fn func(i int))) {
+	sort.Slice(c.edges, func(i, j int) bool { return c.edges[i].name < c.edges[j].name })
+	sort.Slice(c.actions, func(i, j int) bool {
+		a, b := c.actions[i], c.actions[j]
+		return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+	})
+	for {
+		minNext, haveNext := c.minNext()
+		actAt, haveAct := c.nextAction()
+		if (!haveNext || minNext >= end) && (!haveAct || actAt > end) {
+			break
+		}
+		w := end
+		if haveNext && len(c.edges) > 0 && minNext+c.look < w {
+			w = minNext + c.look
+		}
+		if haveAct && actAt < w {
+			w = actAt
+		}
+		// Every cross-shard arrival is >= minNext + minimum edge delay
+		// >= w, so executing [now, w) on all shards concurrently can
+		// never deliver into a shard's past.
+		do(len(c.shards), func(i int) { c.shards[i].s.RunBefore(w) })
+		c.drainEdges()
+		c.runActions(w)
+		c.windows++
+	}
+	// Epilogue: the horizon itself. Events stamped exactly at end still
+	// belong to the run (RunUntil semantics); the window has zero width,
+	// so cross-shard influence at equal time is impossible and the
+	// parallel pass stays safe.
+	do(len(c.shards), func(i int) { c.shards[i].s.RunUntil(end) })
+	c.drainEdges()
+}
+
+// minNext returns the earliest pending event time across all shards.
+func (c *Cluster) minNext() (sim.Time, bool) {
+	var min sim.Time
+	found := false
+	for _, sh := range c.shards {
+		if at, ok := sh.s.NextEventTime(); ok && (!found || at < min) {
+			min, found = at, true
+		}
+	}
+	return min, found
+}
+
+// nextAction returns the time of the earliest unexecuted barrier action.
+func (c *Cluster) nextAction() (sim.Time, bool) {
+	if c.nextAct >= len(c.actions) {
+		return 0, false
+	}
+	return c.actions[c.nextAct].at, true
+}
+
+// drainEdges empties every edge inbox in global name order, scheduling the
+// arrivals on the destination shards. Runs only at barriers, after the
+// worker pool has joined.
+func (c *Cluster) drainEdges() {
+	for _, e := range c.edges {
+		dst := e.dst.s
+		e.inbox.drain(func(pc Parcel) {
+			p, rcv := pc.P, pc.Dst
+			dst.Schedule(pc.At, func() { rcv.Receive(p) })
+		})
+	}
+}
+
+// runActions executes every action with at <= w in (time, registration)
+// order, single-threaded.
+func (c *Cluster) runActions(w sim.Time) {
+	for c.nextAct < len(c.actions) && c.actions[c.nextAct].at <= w {
+		c.actions[c.nextAct].fn()
+		c.nextAct++
+	}
+}

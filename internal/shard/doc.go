@@ -1,0 +1,39 @@
+// Package shard runs one simulated topology across several event heaps in
+// parallel — conservative parallel discrete-event simulation in the
+// bounded-time-window (null-message) style.
+//
+// The unit of decomposition is a cell: a subgraph that owns its own
+// sim.Simulator (the PR 4 flat 4-ary event core, running as a shard-local
+// clock) and shares no mutable state with any other cell. Cells are joined
+// only by Edges — explicit links with a positive minimum delay, mirroring
+// the topology graph's Wire nodes, whose delay is the lookahead that makes
+// conservative synchronisation possible: a packet sent at time t cannot
+// arrive before t+delay, so while the global minimum next-event time is m,
+// every shard may safely execute events strictly before m+L (L = the
+// minimum delay over all edges) without ever receiving a message in its
+// past.
+//
+// A Cluster advances its shards in lockstep windows:
+//
+//	W = min(m + L, next barrier action, horizon)
+//	every shard runs events in [now, W) in parallel   (RunBefore)
+//	edge inboxes drain in global edge order            (barrier)
+//	actions scheduled exactly at W run single-threaded (barrier)
+//
+// Edges never deliver at send time — not even when source and destination
+// happen to share a shard. Sends enqueue (packet, arrival, dst) into the
+// edge's inbox ring; the coordinator drains every edge at every barrier in
+// name order and schedules the arrivals on the destination simulators.
+// Deferring uniformly is what makes shard count invisible: the order in
+// which cross-cell arrivals obtain event sequence numbers depends only on
+// the (fixed) edge order and each edge's (deterministic, per-cell) FIFO
+// content, never on which simulator a cell happened to be grouped into.
+//
+// Ownership rules for the inbox rings: an Edge has exactly one producer
+// (events of its source cell, during a window) and one consumer (the
+// coordinator, at the barrier). The barrier's WaitGroup gives the
+// happens-before edge between the two; the ring's atomics additionally
+// make in-window publication safe under the race detector. A packet pushed
+// into an edge belongs to the edge until the barrier delivers it; senders
+// must not retain or release it.
+package shard

@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"sync/atomic"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// Parcel is one cross-cell hand-off in flight: a packet, the virtual time
+// it arrives, and the receiver it is delivered to on the destination shard.
+type Parcel struct {
+	P  *netem.Packet
+	At sim.Time
+	Dst netem.Receiver
+}
+
+// ringCap is the bounded inbox capacity per edge (must be a power of two).
+// A window's worth of traffic on one cut edge rarely exceeds a handful of
+// packets; anything beyond the ring spills to the overflow slice.
+const ringCap = 256
+
+// ring is a single-producer single-consumer bounded queue of parcels with
+// an unbounded overflow spill. The producer is the source cell's events
+// (one goroutine per window); the consumer is the coordinator at the
+// barrier. head and tail are atomics so in-window pushes are cleanly
+// published, but the design leans on the barrier: the consumer only drains
+// between windows, after the worker pool's WaitGroup has established
+// happens-before with every producer.
+//
+// Overflow keeps FIFO order with a sticky flag: once a push spills, every
+// later push in the same window spills too (even if ring slots free up —
+// they don't, the consumer is parked), so drain order is ring first,
+// overflow second, both in push order.
+type ring struct {
+	buf  [ringCap]Parcel
+	head atomic.Uint64 // next slot to pop (consumer-owned)
+	tail atomic.Uint64 // next slot to push (producer-owned)
+
+	overflowing bool
+	overflow    []Parcel
+}
+
+// push enqueues a parcel. Producer side only.
+func (r *ring) push(p Parcel) {
+	if !r.overflowing {
+		t := r.tail.Load()
+		if t-r.head.Load() < ringCap {
+			r.buf[t%ringCap] = p
+			r.tail.Store(t + 1)
+			return
+		}
+		r.overflowing = true
+	}
+	r.overflow = append(r.overflow, p)
+}
+
+// drain pops every queued parcel in FIFO order into fn and resets the
+// overflow state. Consumer side only, at a barrier.
+func (r *ring) drain(fn func(Parcel)) {
+	h, t := r.head.Load(), r.tail.Load()
+	for ; h < t; h++ {
+		i := h % ringCap
+		fn(r.buf[i])
+		r.buf[i] = Parcel{}
+	}
+	r.head.Store(h)
+	for i, p := range r.overflow {
+		fn(p)
+		r.overflow[i] = Parcel{}
+	}
+	r.overflow = r.overflow[:0]
+	r.overflowing = false
+}
+
+// pending reports how many parcels are queued. Consumer side only.
+func (r *ring) pending() int {
+	return int(r.tail.Load()-r.head.Load()) + len(r.overflow)
+}

@@ -1,0 +1,170 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+func TestRingFIFOAndOverflow(t *testing.T) {
+	var r ring
+	const n = ringCap + 100 // force the overflow spill
+	for i := 0; i < n; i++ {
+		r.push(Parcel{At: sim.Time(i)})
+	}
+	if got := r.pending(); got != n {
+		t.Fatalf("pending = %d, want %d", got, n)
+	}
+	var got []sim.Time
+	r.drain(func(p Parcel) { got = append(got, p.At) })
+	if len(got) != n {
+		t.Fatalf("drained %d parcels, want %d", len(got), n)
+	}
+	for i, at := range got {
+		if at != sim.Time(i) {
+			t.Fatalf("parcel %d has At %d: FIFO order broken across the spill", i, at)
+		}
+	}
+	if r.pending() != 0 || r.overflowing {
+		t.Fatal("drain did not reset the ring")
+	}
+	// The ring must be reusable after a drain.
+	r.push(Parcel{At: 42})
+	r.drain(func(p Parcel) {
+		if p.At != 42 {
+			t.Fatalf("post-drain parcel At = %d, want 42", p.At)
+		}
+	})
+}
+
+func TestZeroLookaheadRejected(t *testing.T) {
+	c := NewCluster()
+	a := c.AddShard("a", sim.New(1))
+	b := c.AddShard("b", sim.New(2))
+	for _, d := range []time.Duration{0, -time.Millisecond} {
+		if _, err := c.Connect("cut", a, b, d); err == nil {
+			t.Fatalf("Connect with delay %v succeeded, want error", d)
+		} else if !strings.Contains(err.Error(), "lookahead") {
+			t.Fatalf("error %q does not explain the lookahead requirement", err)
+		}
+	}
+	if _, err := c.Connect("cut", a, b, time.Millisecond); err != nil {
+		t.Fatalf("positive delay rejected: %v", err)
+	}
+	if l, ok := c.Lookahead(); !ok || l != time.Millisecond {
+		t.Fatalf("Lookahead = %v, %v; want 1ms, true", l, ok)
+	}
+}
+
+// exchange builds two shards ping-ponging packets over a pair of edges and
+// returns the delivery log. Used both for protocol checks and for the
+// worker-count determinism gate.
+func exchange(t *testing.T, workers int) []string {
+	t.Helper()
+	c := NewCluster()
+	a := c.AddShard("a", sim.New(1))
+	b := c.AddShard("b", sim.New(2))
+	ab, err := c.Connect("a->b", a, b, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := c.Connect("b->a", b, a, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var log []string
+	// b echoes every arrival straight back; a records the round trip.
+	bIn := netem.ReceiverFunc(func(p *netem.Packet) {
+		log = append(log, fmt.Sprintf("b got seq %d at %v", p.Seq, b.Sim().Now()))
+		echo := netem.NewPacket()
+		echo.Seq = p.Seq
+		p.Release()
+		var aIn netem.Receiver
+		aIn = netem.ReceiverFunc(func(q *netem.Packet) {
+			log = append(log, fmt.Sprintf("a got seq %d at %v", q.Seq, a.Sim().Now()))
+			q.Release()
+		})
+		ba.Send(echo, aIn)
+	})
+	for i := 0; i < 10; i++ {
+		seq := uint64(i)
+		at := time.Duration(i) * time.Millisecond
+		a.Sim().Schedule(at, func() {
+			p := netem.NewPacket()
+			p.Seq = seq
+			ab.Send(p, bIn)
+		})
+	}
+	// A barrier action at 7ms observing both clocks in lockstep.
+	c.At(7*time.Millisecond, func() {
+		log = append(log, fmt.Sprintf("action at a=%v b=%v", a.Sim().Now(), b.Sim().Now()))
+	})
+	// An event exactly at the horizon must still fire (RunUntil semantics).
+	a.Sim().Schedule(30*time.Millisecond, func() { log = append(log, "horizon event") })
+
+	c.Run(30*time.Millisecond, workers)
+	if c.Windows() == 0 {
+		t.Fatal("cluster granted no windows")
+	}
+	if c.Fired() == 0 {
+		t.Fatal("no events fired")
+	}
+	return log
+}
+
+func TestClusterProtocol(t *testing.T) {
+	log := exchange(t, 1)
+	// 10 sends -> 10 b-arrivals at send+5ms, 10 a-echoes at +8ms, one
+	// action line, one horizon line.
+	if len(log) != 22 {
+		t.Fatalf("log has %d lines, want 22:\n%s", len(log), strings.Join(log, "\n"))
+	}
+	var sawB, sawA int
+	for _, l := range log {
+		switch {
+		case strings.HasPrefix(l, "b got seq"):
+			want := fmt.Sprintf("b got seq %d at %v", sawB, time.Duration(sawB)*time.Millisecond+5*time.Millisecond)
+			if l != want {
+				t.Fatalf("line %q, want %q", l, want)
+			}
+			sawB++
+		case strings.HasPrefix(l, "a got seq"):
+			want := fmt.Sprintf("a got seq %d at %v", sawA, time.Duration(sawA)*time.Millisecond+8*time.Millisecond)
+			if l != want {
+				t.Fatalf("line %q, want %q", l, want)
+			}
+			sawA++
+		case strings.HasPrefix(l, "action"):
+			if l != "action at a=7ms b=7ms" {
+				t.Fatalf("barrier action saw desynchronised clocks: %q", l)
+			}
+		}
+	}
+	if sawB != 10 || sawA != 10 {
+		t.Fatalf("deliveries b=%d a=%d, want 10/10", sawB, sawA)
+	}
+	if log[len(log)-1] != "horizon event" {
+		t.Fatalf("last line %q, want the horizon event", log[len(log)-1])
+	}
+}
+
+// TestWorkerCountInvisible is the package-local determinism gate: the same
+// cluster advanced by 1 worker and by 4 workers must produce an identical
+// delivery log.
+func TestWorkerCountInvisible(t *testing.T) {
+	seq := exchange(t, 1)
+	par := exchange(t, 4)
+	if len(seq) != len(par) {
+		t.Fatalf("log lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("line %d differs:\n  1 worker:  %q\n  4 workers: %q", i, seq[i], par[i])
+		}
+	}
+}

@@ -313,6 +313,13 @@ func (s *Simulator) peekTime() (Time, bool) {
 	return 0, false
 }
 
+// NextEventTime returns the timestamp of the earliest pending event and
+// whether one exists. A shard coordinator uses it to compute the global
+// lower bound on virtual time before granting the next safe window.
+func (s *Simulator) NextEventTime() (Time, bool) {
+	return s.peekTime()
+}
+
 // Step fires the next pending event, advancing the clock to it.
 // It reports whether an event fired.
 func (s *Simulator) Step() bool {
@@ -353,6 +360,25 @@ func (s *Simulator) RunUntil(end Time) {
 	for !s.stopped {
 		at, ok := s.peekTime()
 		if !ok || at > end {
+			break
+		}
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}
+
+// RunBefore fires events with timestamps strictly less than end, then
+// advances the clock to end. It is the half-open twin of RunUntil, used by
+// the shard coordinator: a window [start, end) is safe to execute in
+// parallel, while events exactly at end may race with cross-shard arrivals
+// carrying the same timestamp and must wait for the next window.
+func (s *Simulator) RunBefore(end Time) {
+	s.stopped = false
+	for !s.stopped {
+		at, ok := s.peekTime()
+		if !ok || at >= end {
 			break
 		}
 		s.Step()

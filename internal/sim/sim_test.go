@@ -468,3 +468,59 @@ func TestSameTickMultiComponentOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestNextEventTime checks the peek used by the shard coordinator: it must
+// see through both the heap and an in-progress same-tick batch.
+func TestNextEventTime(t *testing.T) {
+	s := New(1)
+	if _, ok := s.NextEventTime(); ok {
+		t.Fatal("empty simulator reported a pending event")
+	}
+	s.Schedule(5*time.Millisecond, func() {})
+	s.Schedule(2*time.Millisecond, func() {})
+	if at, ok := s.NextEventTime(); !ok || at != 2*time.Millisecond {
+		t.Fatalf("NextEventTime = %v, %v; want 2ms, true", at, ok)
+	}
+	// Force a batch: two events at the same instant, peek from inside the
+	// first must report the batched second.
+	s.Schedule(2*time.Millisecond, func() {})
+	s.Step()
+	if at, ok := s.NextEventTime(); !ok || at != 2*time.Millisecond {
+		t.Fatalf("mid-batch NextEventTime = %v, %v; want 2ms, true", at, ok)
+	}
+	s.Run()
+	if _, ok := s.NextEventTime(); ok {
+		t.Fatal("drained simulator reported a pending event")
+	}
+}
+
+// TestRunBefore checks the half-open window semantics: events strictly
+// before the bound fire, events at the bound stay pending, and the clock
+// lands exactly on the bound either way.
+func TestRunBefore(t *testing.T) {
+	s := New(1)
+	var fired []string
+	s.Schedule(1*time.Millisecond, func() { fired = append(fired, "a") })
+	s.Schedule(2*time.Millisecond, func() { fired = append(fired, "b") })
+	s.Schedule(2*time.Millisecond, func() { fired = append(fired, "c") })
+	s.RunBefore(2 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != "a" {
+		t.Fatalf("fired %v, want [a]: boundary events must not run", fired)
+	}
+	if s.Now() != 2*time.Millisecond {
+		t.Fatalf("now = %v, want 2ms", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+	// The next window picks the boundary events up.
+	s.RunBefore(3 * time.Millisecond)
+	if len(fired) != 3 || fired[1] != "b" || fired[2] != "c" {
+		t.Fatalf("fired %v, want [a b c]", fired)
+	}
+	// An empty window still advances the clock.
+	s.RunBefore(10 * time.Millisecond)
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("now = %v, want 10ms", s.Now())
+	}
+}

@@ -1,0 +1,70 @@
+package topo
+
+import "fmt"
+
+// Partition assigns n cells to k contiguous, balanced groups: assign[i] is
+// the group of cell i, groups are numbered 0..k-1 in cell order, and group
+// sizes differ by at most one. Contiguity is deliberate — neighbouring
+// cells (adjacent APs, the likeliest handover partners) land on the same
+// shard, so a balanced contiguous split minimises cut edges for the
+// roaming patterns the scenarios generate without needing a general graph
+// partitioner. k is clamped to [1, n].
+//
+// The assignment is a pure function of (n, k): the sharded determinism
+// gate relies on the decomposition being identical for every worker count
+// and across runs.
+func Partition(n, k int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		// Cell i goes to group floor(i*k/n): each group gets n/k cells,
+		// the remainder spread one-per-group from the front.
+		assign[i] = i * k / n
+	}
+	return assign
+}
+
+// CutEdges returns the directed cell-pair edges that cross the given
+// partition, in input order. A sharded build uses it to report how much of
+// the topology's edge set actually pays cross-shard synchronisation under
+// a particular grouping; edges inside one shard still defer to the barrier
+// (that is what keeps shard count invisible), but they never traverse an
+// inbox ring under contention.
+func CutEdges(assign []int, edges [][2]int) [][2]int {
+	var cut [][2]int
+	for _, e := range edges {
+		if assign[e[0]] != assign[e[1]] {
+			cut = append(cut, e)
+		}
+	}
+	return cut
+}
+
+// Groups inverts a Partition assignment into per-group cell lists, in
+// group order. It panics on a non-contiguous or non-monotonic assignment —
+// Partition never produces one, and the sharded builder depends on group g
+// owning a contiguous cell range.
+func Groups(assign []int) [][]int {
+	if len(assign) == 0 {
+		return nil
+	}
+	k := assign[len(assign)-1] + 1
+	groups := make([][]int, k)
+	prev := 0
+	for i, g := range assign {
+		if g < prev || g > prev+1 || g >= k {
+			panic(fmt.Sprintf("topo: non-contiguous partition assignment at cell %d: %v", i, assign))
+		}
+		groups[g] = append(groups[g], i)
+		prev = g
+	}
+	return groups
+}

@@ -1,0 +1,62 @@
+package topo
+
+import "testing"
+
+func TestPartitionBalanceAndContiguity(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for k := 1; k <= 12; k++ {
+			assign := Partition(n, k)
+			if len(assign) != n {
+				t.Fatalf("Partition(%d,%d): %d assignments", n, k, len(assign))
+			}
+			groups := Groups(assign)
+			want := k
+			if want > n {
+				want = n
+			}
+			if len(groups) != want {
+				t.Fatalf("Partition(%d,%d): %d groups, want %d", n, k, len(groups), want)
+			}
+			min, max := n, 0
+			for _, g := range groups {
+				if len(g) < min {
+					min = len(g)
+				}
+				if len(g) > max {
+					max = len(g)
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("Partition(%d,%d): group sizes %d..%d unbalanced", n, k, min, max)
+			}
+		}
+	}
+}
+
+func TestPartitionClampsAndEmpty(t *testing.T) {
+	if got := Partition(0, 4); got != nil {
+		t.Fatalf("Partition(0,4) = %v, want nil", got)
+	}
+	if got := Partition(3, 0); len(got) != 3 || got[0] != 0 || got[2] != 0 {
+		t.Fatalf("Partition(3,0) = %v, want all zero", got)
+	}
+	assign := Partition(3, 8)
+	if g := Groups(assign); len(g) != 3 {
+		t.Fatalf("Partition(3,8) yields %d groups, want 3 (one per cell)", len(g))
+	}
+}
+
+func TestCutEdges(t *testing.T) {
+	assign := Partition(6, 2) // cells 0-2 on shard 0, 3-5 on shard 1
+	edges := [][2]int{{0, 1}, {2, 3}, {3, 2}, {4, 5}, {0, 5}}
+	cut := CutEdges(assign, edges)
+	want := [][2]int{{2, 3}, {3, 2}, {0, 5}}
+	if len(cut) != len(want) {
+		t.Fatalf("cut = %v, want %v", cut, want)
+	}
+	for i := range want {
+		if cut[i] != want[i] {
+			t.Fatalf("cut = %v, want %v", cut, want)
+		}
+	}
+}

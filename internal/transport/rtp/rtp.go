@@ -8,6 +8,8 @@ package rtp
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/cca"
@@ -40,6 +42,38 @@ type Payload struct {
 	Key       bool
 	Captured  sim.Time
 	Retransmit bool
+
+	// refs counts the owners of a pooled payload: the wire packet carrying
+	// it and, for original (non-retransmit) sends, the sender's
+	// retransmission store. Manipulated only through newPayload/Release.
+	refs int32
+}
+
+// payloadPool recycles Payloads across flows and shards. Media payloads are
+// the last per-packet allocation on the video datapath: one per RTP packet
+// sent, several per frame, multiplied per shard at campus scale.
+var payloadPool = sync.Pool{New: func() any { return new(Payload) }}
+
+// newPayload returns a zeroed Payload from the pool holding refs references.
+func newPayload(refs int32) *Payload {
+	pl := payloadPool.Get().(*Payload)
+	atomic.StoreInt32(&pl.refs, refs)
+	return pl
+}
+
+// Release drops one reference and recycles the payload when the last owner
+// lets go (implements netem's structural payloadReleaser hook, so the wire
+// reference dies with the packet that carried it; the sender releases its
+// store reference when feedback confirms delivery or the slot is reused).
+// The count is atomic because under a sharded run the wire reference can die
+// on another shard's goroutine — a tromboned packet dropped at a visited AP
+// — concurrently with the home sender releasing its store reference.
+func (p *Payload) Release() {
+	if atomic.AddInt32(&p.refs, -1) > 0 {
+		return
+	}
+	*p = Payload{}
+	payloadPool.Put(p)
 }
 
 // TWCCInfo exposes the transport-wide sequence number the way a real AP
@@ -90,6 +124,20 @@ type Sender struct {
 	// OnRate, if set, observes every rate update.
 	OnRate func(now sim.Time, bps float64)
 
+	// APFeedback records that TWCC feedback for this flow is constructed
+	// by a Zhuge AP at packet arrival, against the Fortune Teller's
+	// prediction — before the packet has crossed the queue and air link. An
+	// "arrived" entry in such feedback is not proof the receiver has the
+	// packet (it may still be dropped by the qdisc and NACKed), so the
+	// retransmission store must not recycle payloads on it; recycling falls
+	// back to the virtual-time horizon prune. Client-generated feedback
+	// (the default) is receiver ground truth and recycles on confirmation.
+	APFeedback bool
+
+	// pruneSeq is the oldest store slot the horizon prune has not yet
+	// visited; slots behind it hold payloads younger than storeHorizon.
+	pruneSeq uint16
+
 	// GapLoss infers loss for sent packets the feedback stream has
 	// silently skipped: when a TWCC message's range starts beyond
 	// still-unreported sends, those packets are flushed to the rate
@@ -106,9 +154,10 @@ type Sender struct {
 }
 
 type sentRecord struct {
-	at    sim.Time
-	size  int
-	valid bool
+	at     sim.Time
+	size   int
+	rtpSeq uint16 // media seq of the payload, for store release on confirm
+	valid  bool
 }
 
 // NewSender builds an RTP sender for flow with rate controller cc, writing
@@ -128,8 +177,35 @@ func (snd *Sender) SentPackets() int { return snd.sentPackets }
 // Retransmits returns the cumulative retransmission count.
 func (snd *Sender) Retransmits() int { return snd.retransmits }
 
+// storeHorizon bounds how long a payload can sit in the retransmission
+// store before the prune recycles it. It must exceed the last instant a
+// NACK can still arrive for a send: the receiver abandons a missing
+// sequence 2s after detecting the gap, detection lags the send by at most
+// one frame interval plus the (possibly bufferbloated) one-way delay of the
+// next delivered packet, and the NACK rides the uplink back. 8s dominates
+// that sum with seconds to spare, so pruned slots are provably dead and
+// the prune changes no run's behavior.
+const storeHorizon = 8 * time.Second
+
+// pruneStore walks forward from the oldest unvisited slot, recycling
+// payloads older than storeHorizon. Amortised O(1) per send: each slot is
+// visited once per trip around the sequence space.
+func (snd *Sender) pruneStore(now sim.Time) {
+	for snd.pruneSeq != snd.rtpSeq {
+		if pl := snd.store[snd.pruneSeq]; pl != nil {
+			if now-pl.Captured <= storeHorizon {
+				return
+			}
+			snd.store[snd.pruneSeq] = nil
+			pl.Release()
+		}
+		snd.pruneSeq++
+	}
+}
+
 // SendFrame packetises one encoded frame and queues it on the pacer.
 func (snd *Sender) SendFrame(f video.Frame) {
+	snd.pruneStore(snd.s.Now())
 	total := (f.Size + MTU - 1) / MTU
 	if total == 0 {
 		total = 1
@@ -141,15 +217,30 @@ func (snd *Sender) SendFrame(f video.Frame) {
 			n = MTU
 		}
 		remaining -= n
-		pl := &Payload{
-			SSRC: snd.ssrc, RTPSeq: snd.rtpSeq, FrameID: f.ID,
-			FrameIdx: i, FrameTot: total, Key: f.Key, Captured: f.CapturedAt,
-		}
+		// Two references: one rides the wire packet, one stays in the
+		// retransmission store until feedback confirms delivery (or the
+		// slot is reused a full sequence-space later).
+		pl := newPayload(2)
+		pl.SSRC, pl.RTPSeq = snd.ssrc, snd.rtpSeq
+		pl.FrameID, pl.FrameIdx, pl.FrameTot = f.ID, i, total
+		pl.Key, pl.Captured = f.Key, f.CapturedAt
+		snd.releaseStored(pl.RTPSeq)
 		snd.store[pl.RTPSeq] = pl
 		snd.rtpSeq++
 		snd.enqueue(pl, n+rtpOverhead)
 	}
 	snd.pace()
+}
+
+// releaseStored drops the store's reference on the payload at seq, if any,
+// and empties the slot. Called when feedback confirms the sequence arrived —
+// no NACK for it can come anymore — and before a wrapped sequence number
+// reuses the slot.
+func (snd *Sender) releaseStored(seq uint16) {
+	if pl := snd.store[seq]; pl != nil {
+		snd.store[seq] = nil
+		pl.Release()
+	}
 }
 
 // enqueue stamps a fresh TWCC sequence number and queues the packet.
@@ -206,7 +297,7 @@ func (snd *Sender) sendHead() {
 	sendAt := snd.s.Now()
 	pl := p.Payload.(*Payload)
 	pl.TWCCSeq = snd.twccSeq
-	snd.sent[pl.TWCCSeq] = sentRecord{at: sendAt, size: p.Size, valid: true}
+	snd.sent[pl.TWCCSeq] = sentRecord{at: sendAt, size: p.Size, rtpSeq: pl.RTPSeq, valid: true}
 	snd.twccSeq++
 	p.SentAt = sendAt
 	p.Seq = uint64(pl.TWCCSeq)
@@ -270,6 +361,16 @@ func (snd *Sender) onTWCC(raw []byte) {
 				s.Arrived = true
 				s.ArriveAt = arrivals[ai].At
 				ai++
+				// Client feedback only: the receiver has this media
+				// sequence (original or retransmit), it will never be
+				// NACKed again, so the store's copy is dead. Recycling
+				// here — one feedback interval after the send — lets a
+				// steady-state flow run from a handful of pooled
+				// payloads. AP-built feedback cannot promise receipt;
+				// those flows recycle via the horizon prune instead.
+				if !snd.APFeedback {
+					snd.releaseStored(rec.rtpSeq)
+				}
 			}
 			samples = append(samples, s)
 			snd.sent[seq] = sentRecord{}
@@ -304,13 +405,20 @@ func (snd *Sender) onNACK(raw []byte) {
 			continue
 		}
 		snd.retransmits++
-		clone := *pl
+		// One reference: clones ride the wire and are never stored. Fields
+		// are copied one by one — never `*clone = *pl` — because pl's wire
+		// twin may still be alive on another shard and its Release would
+		// race a whole-struct copy of the refcount.
+		clone := newPayload(1)
+		clone.SSRC, clone.RTPSeq = pl.SSRC, pl.RTPSeq
+		clone.FrameID, clone.FrameIdx, clone.FrameTot = pl.FrameID, pl.FrameIdx, pl.FrameTot
+		clone.Key, clone.Captured = pl.Key, pl.Captured
 		clone.Retransmit = true
 		size := MTU
 		if clone.FrameIdx == clone.FrameTot-1 {
 			size = MTU / 2 // tail packets are smaller on average
 		}
-		snd.enqueue(&clone, size+rtpOverhead)
+		snd.enqueue(clone, size+rtpOverhead)
 	}
 	snd.pace()
 }

@@ -206,3 +206,61 @@ func TestReceiverSendsReceiverReports(t *testing.T) {
 		t.Errorf("saw %d receiver reports over 5s, want ~5", rrSeen)
 	}
 }
+
+// storeCensus counts retransmission-store slots still holding a payload
+// among all media sequences sent so far.
+func storeCensus(snd *Sender) (live, total int) {
+	total = int(snd.rtpSeq)
+	for i := 0; i < total; i++ {
+		if snd.store[uint16(i)] != nil {
+			live++
+		}
+	}
+	return live, total
+}
+
+// TestPayloadStoreRecycles pins the pooled-payload lifecycle under client
+// feedback: TWCC arrivals are receiver ground truth, so the store drops its
+// reference a feedback interval after each send and a steady-state flow
+// runs from a handful of pooled payloads.
+func TestPayloadStoreRecycles(t *testing.T) {
+	s := sim.New(1)
+	sess := newSession(s, 50e6, 20*time.Millisecond)
+	sess.enc.Start()
+	sess.rcv.Start()
+	s.RunUntil(5 * time.Second)
+	live, total := storeCensus(sess.snd)
+	if total < 300 {
+		t.Fatalf("only %d media packets sent in 5s", total)
+	}
+	if live > total/10 {
+		t.Errorf("store holds %d of %d payloads under client feedback, want <10%% (only the last unconfirmed sends)", live, total)
+	}
+}
+
+// TestPayloadStorePrunesAtHorizon pins the AP-feedback path: arrival
+// entries built by a Zhuge AP cannot prove receiver possession, so the
+// store must hold every payload until the NACK horizon — and recycle them
+// once virtual time passes it.
+func TestPayloadStorePrunesAtHorizon(t *testing.T) {
+	s := sim.New(1)
+	sess := newSession(s, 50e6, 20*time.Millisecond)
+	sess.snd.APFeedback = true
+	sess.enc.Start()
+	sess.rcv.Start()
+	s.RunUntil(5 * time.Second)
+	if live, total := storeCensus(sess.snd); live != total {
+		t.Fatalf("AP-feedback store recycled %d of %d payloads before the horizon", total-live, total)
+	}
+	s.RunUntil(12 * time.Second)
+	live, total := storeCensus(sess.snd)
+	if live == total {
+		t.Fatal("horizon prune recycled nothing by t=12s")
+	}
+	if sess.snd.store[0] != nil {
+		t.Error("first send (t~0) still stored at t=12s, beyond the 8s horizon")
+	}
+	if total > 0 && sess.snd.store[sess.snd.rtpSeq-1] == nil {
+		t.Error("newest send already pruned; the horizon must spare recent payloads")
+	}
+}
