@@ -1,0 +1,71 @@
+package zhuge
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchJSONSchema pins the shared shape of the committed BENCH_*.json
+// result documents. The files are written by hand after benchmark runs and
+// had drifted (three of the four lacked the benchmark/workload keys); this
+// gate keeps every current and future document queryable with one set of
+// keys: benchmark, workload, machine (with a cpu), and non-empty results.
+// File-specific extras (methodology, acceptance, command, ...) stay free.
+func TestBenchJSONSchema(t *testing.T) {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no BENCH_*.json files found; the schema gate expects the committed benchmark documents")
+	}
+	for _, f := range files {
+		t.Run(f, func(t *testing.T) {
+			raw, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var doc map[string]json.RawMessage
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				t.Fatalf("not a JSON object: %v", err)
+			}
+
+			for _, key := range []string{"benchmark", "workload"} {
+				var s string
+				if err := json.Unmarshal(doc[key], &s); err != nil || s == "" {
+					t.Errorf("top-level %q must be a non-empty string (err=%v)", key, err)
+				}
+			}
+
+			var machine map[string]json.RawMessage
+			if err := json.Unmarshal(doc["machine"], &machine); err != nil {
+				t.Fatalf("top-level \"machine\" must be an object: %v", err)
+			}
+			var cpu string
+			if err := json.Unmarshal(machine["cpu"], &cpu); err != nil || cpu == "" {
+				t.Errorf("machine.cpu must be a non-empty string (err=%v)", err)
+			}
+
+			results, ok := doc["results"]
+			if !ok {
+				t.Fatal("top-level \"results\" is missing")
+			}
+			var asList []json.RawMessage
+			var asMap map[string]json.RawMessage
+			switch {
+			case json.Unmarshal(results, &asList) == nil:
+				if len(asList) == 0 {
+					t.Error("results array is empty")
+				}
+			case json.Unmarshal(results, &asMap) == nil:
+				if len(asMap) == 0 {
+					t.Error("results object is empty")
+				}
+			default:
+				t.Error("results must be a JSON array or object")
+			}
+		})
+	}
+}

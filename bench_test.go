@@ -501,6 +501,8 @@ func BenchmarkObsDisabledInstruments(b *testing.B) {
 		h  *obs.Hist
 		tr *obs.Tracer
 		pe *obs.PredErr
+		lt *obs.LoopTracker
+		ss *obs.SeriesSet
 	)
 	flow := netem.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 9, Proto: 17}
 	b.ReportAllocs()
@@ -510,6 +512,11 @@ func BenchmarkObsDisabledInstruments(b *testing.B) {
 		h.Observe(time.Millisecond)
 		tr.Record(obs.Event{At: sim.Time(i), Type: obs.EvEnqueue, Flow: flow})
 		pe.Observe(flow, time.Millisecond, time.Millisecond)
+		lt.OnObserve(sim.Time(i), flow)
+		lt.OnFeedbackOut(sim.Time(i), flow)
+		lt.OnReact(sim.Time(i), flow)
+		lt.OnAir(sim.Time(i), flow)
+		ss.Sample(sim.Time(i), nil)
 	}
 }
 

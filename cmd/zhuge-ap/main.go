@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/liveap"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/trace"
 )
 
@@ -37,6 +38,7 @@ func main() {
 		zhuge     = flag.Bool("zhuge", false, "enable the Fortune Teller + Feedback Updater")
 		queueKB   = flag.Int("queue", 256, "downlink queue limit in KiB")
 		statsEvy  = flag.Duration("stats", 5*time.Second, "stats print interval")
+		statsHTTP = flag.String("stats-http", "", "serve live relay stats (JSON over HTTP) on this address (e.g. localhost:8077)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -83,10 +85,25 @@ func main() {
 	fmt.Printf("zhuge-ap: media %s -> %s, feedback %s -> %s, zhuge=%v\n",
 		relay.MediaAddr(), *client, relay.FeedbackAddr(), *server, *zhuge)
 
+	var stats *obs.StatsServer
+	if *statsHTTP != "" {
+		stats, err = obs.NewStatsServer(*statsHTTP)
+		if err != nil {
+			fatal(err)
+		}
+		defer stats.Close()
+		fmt.Printf("zhuge-ap: live stats on http://%s\n", stats.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	tick := time.NewTicker(*statsEvy)
 	defer tick.Stop()
+	// The HTTP page refreshes faster than the print interval so curl sees
+	// near-live relay counters; Publish is nil-safe when -stats-http is off.
+	httpTick := time.NewTicker(time.Second)
+	defer httpTick.Stop()
+	stats.Publish("relay", relay.Stats())
 	for {
 		select {
 		case <-sig:
@@ -94,6 +111,8 @@ func main() {
 			return
 		case <-tick.C:
 			fmt.Printf("stats: %+v\n", relay.Stats())
+		case <-httpTick.C:
+			stats.Publish("relay", relay.Stats())
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/experiments"
@@ -44,6 +45,7 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write per-cell metrics/prediction-error snapshots (JSON) to this file")
 		traceDir   = flag.String("trace", "", "write per-cell Chrome packet traces into this directory (use with small -scale)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		statsAddr  = flag.String("stats", "", "serve live run progress (JSON over HTTP) on this address (e.g. localhost:8077)")
 	)
 	flag.Parse()
 
@@ -72,7 +74,9 @@ func main() {
 	}
 
 	if *exp == "all" {
-		runAll(cfg, *format, *outDir)
+		prog := startProgress(*statsAddr, len(experiments.All()))
+		runAll(cfg, *format, *outDir, prog)
+		prog.close()
 		writeSweep(cfg.Obs, *metricsOut)
 		return
 	}
@@ -81,14 +85,94 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 		os.Exit(2)
 	}
+	prog := startProgress(*statsAddr, 1)
 	start := time.Now()
 	table := e.Run(cfg)
+	prog.completed(e.ID)
 	if err := emit(table, *format, *outDir, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "zhuge-bench:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	prog.close()
 	writeSweep(cfg.Obs, *metricsOut)
+}
+
+// benchProgress publishes live sweep progress over the stats plane while
+// experiments run: which tables have completed, the global cell counter,
+// and elapsed wall time. All methods are nil-safe so the no-stats path
+// costs nothing.
+type benchProgress struct {
+	srv   *obs.StatsServer
+	mu    sync.Mutex
+	total int
+	done  []string
+	start time.Time
+	quit  chan struct{}
+}
+
+func startProgress(addr string, total int) *benchProgress {
+	if addr == "" {
+		return nil
+	}
+	srv, err := obs.NewStatsServer(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zhuge-bench: stats:", err)
+		os.Exit(1)
+	}
+	p := &benchProgress{srv: srv, total: total, start: time.Now(), quit: make(chan struct{})}
+	fmt.Fprintf(os.Stderr, "zhuge-bench: live stats on http://%s\n", srv.Addr())
+	p.publish()
+	go func() {
+		t := time.NewTicker(500 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				p.publish()
+			case <-p.quit:
+				return
+			}
+		}
+	}()
+	return p
+}
+
+func (p *benchProgress) publish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	page := map[string]any{
+		"experiments_total": p.total,
+		"experiments_done":  len(p.done),
+		"completed":         append([]string(nil), p.done...),
+		"cells_run":         experiments.CellsRun(),
+		"elapsed_ms":        time.Since(p.start).Milliseconds(),
+	}
+	p.mu.Unlock()
+	p.srv.Publish("progress", page)
+}
+
+// completed records one finished experiment and pushes a fresh page.
+func (p *benchProgress) completed(id string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done = append(p.done, id)
+	p.mu.Unlock()
+	p.publish()
+}
+
+// close publishes the final page and shuts the listener down.
+func (p *benchProgress) close() {
+	if p == nil {
+		return
+	}
+	close(p.quit)
+	p.publish()
+	p.srv.Close()
 }
 
 // writeSweep exports the per-cell observability snapshots collected during
@@ -115,7 +199,7 @@ func writeSweep(s *obs.Sweep, metricsOut string) {
 // runAll executes every experiment, fanning them across the worker pool on
 // top of each experiment's own cell-level parallelism, and streams results
 // in registry order as they complete.
-func runAll(cfg experiments.Config, format, outDir string) {
+func runAll(cfg experiments.Config, format, outDir string, prog *benchProgress) {
 	all := experiments.All()
 	start := time.Now()
 
@@ -147,6 +231,7 @@ func runAll(cfg experiments.Config, format, outDir string) {
 			os.Exit(1)
 		}
 		os.Stdout.Write(r.out)
+		prog.completed(e.ID)
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, r.elapsed.Round(time.Millisecond))
 	}
 

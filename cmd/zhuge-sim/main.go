@@ -37,6 +37,8 @@ import (
 	"github.com/zhuge-project/zhuge/internal/experiments"
 	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/scenario"
+	"github.com/zhuge-project/zhuge/internal/shard"
+	"github.com/zhuge-project/zhuge/internal/sim"
 	"github.com/zhuge-project/zhuge/internal/trace"
 )
 
@@ -60,7 +62,11 @@ func main() {
 		scale       = flag.Float64("scale", 1.0, "with -exp: duration scale factor")
 		workers     = flag.Int("j", runtime.NumCPU(), "with -exp: worker count for parallel cells")
 		traceOut    = flag.String("trace-out", "", "write a packet-lifecycle trace to this file (.jsonl = JSONL, else Chrome trace_event for Perfetto)")
-		metricsOut  = flag.String("metrics", "", "write a metrics + prediction-error JSON report to this file")
+		metricsOut  = flag.String("metrics", "", "write a metrics + prediction-error + control-loop JSON report to this file")
+		seriesOut   = flag.String("series-out", "", "write virtual-time telemetry series to this file (.csv = CSV, else JSONL; see OBSERVABILITY.md)")
+		seriesEvery = flag.Duration("series-every", 100*time.Millisecond, "virtual-time sampling interval for -series-out")
+		profileOut  = flag.String("profile-out", "", "with -campus: write the per-cell load profile (JSON) to this file; use -shards 0 for exact per-cell rows")
+		statsAddr   = flag.String("stats", "", "serve the live stats plane (registry snapshots, series windows, shard load) on this HTTP address (e.g. localhost:8377)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -79,7 +85,7 @@ func main() {
 	}
 
 	if *campus > 0 {
-		runCampus(*campus, *shards, *workers, *seed, *dur)
+		runCampus(*campus, *shards, *workers, *seed, *dur, *profileOut, *seriesOut, *statsAddr)
 		return
 	}
 
@@ -90,8 +96,10 @@ func main() {
 
 	o := obs.New(obs.Options{
 		Trace:   *traceOut != "",
-		Metrics: *metricsOut != "",
+		Metrics: *metricsOut != "" || *seriesOut != "" || *statsAddr != "",
 		PredErr: *metricsOut != "",
+		Series:  *seriesOut != "" || *statsAddr != "",
+		Loop:    *metricsOut != "" || *statsAddr != "",
 	})
 
 	roams, err := parseHandovers(*handoverAt, *handoverPol, *aps)
@@ -138,7 +146,20 @@ func main() {
 	for i := 0; i < *bulk; i++ {
 		p.AddBulkFlow(0, 0)
 	}
-	defer writeObs(o, *traceOut, *metricsOut)
+	if o != nil {
+		obs.StartSampler(p.S, o.Series, o.Reg, *seriesEvery)
+	}
+	if *statsAddr != "" {
+		stats, serr := obs.NewStatsServer(*statsAddr)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "zhuge-sim: stats:", serr)
+			os.Exit(2)
+		}
+		defer stats.Close()
+		fmt.Fprintf(os.Stderr, "zhuge-sim: live stats on http://%s/\n", stats.Addr())
+		startLiveStats(p, o, stats)
+	}
+	defer writeObs(o, *traceOut, *metricsOut, *seriesOut)
 
 	fmt.Printf("trace=%s proto=%s solution=%s qdisc=%s dur=%v seed=%d aps=%d\n\n",
 		tr.Name, *proto, *solution, *qdisc, *dur, *seed, *aps)
@@ -197,7 +218,7 @@ func main() {
 // shard-count-invariance contract by diffing the stdout of two invocations
 // (`-shards 1` vs `-shards 8`) byte for byte; the human-facing summary goes
 // to stderr to keep stdout diff-clean.
-func runCampus(aps, shards, workers int, seed int64, dur time.Duration) {
+func runCampus(aps, shards, workers int, seed int64, dur time.Duration, profileOut, seriesOut, statsAddr string) {
 	cfg := scenario.CampusConfig{
 		APs: aps, Stations: 10 * aps, Roams: aps,
 		Duration: dur, Solution: scenario.SolutionZhuge,
@@ -210,8 +231,21 @@ func runCampus(aps, shards, workers int, seed int64, dur time.Duration) {
 		fmt.Fprintln(os.Stderr, "zhuge-sim:", err)
 		os.Exit(2)
 	}
+
+	profiling := profileOut != "" || seriesOut != "" || statsAddr != ""
+	var pf *shardProfile
+	if profiling {
+		pf = newShardProfile(spd, profileOut != "", seriesOut != "", statsAddr)
+		defer pf.close()
+	}
+
 	start := time.Now()
-	spd.Run(dur, workers)
+	if pf != nil {
+		pf.start = start
+		spd.RunProfiled(dur, workers, pf.p)
+	} else {
+		spd.Run(dur, workers)
+	}
 	wall := time.Since(start)
 	fmt.Fprintf(os.Stderr, "campus aps=%d stations=%d shards=%d workers=%d dur=%v seed=%d\n",
 		aps, 10*aps, shards, workers, dur, seed)
@@ -219,7 +253,110 @@ func runCampus(aps, shards, workers int, seed int64, dur time.Duration) {
 	fmt.Fprintf(os.Stderr, "events=%d windows=%d lookahead=%v wall=%v (%.0f events/sec)\n",
 		spd.Cluster.Fired(), spd.Cluster.Windows(), look,
 		wall.Round(time.Millisecond), float64(spd.Cluster.Fired())/wall.Seconds())
+	if pf != nil {
+		pf.finish(fmt.Sprintf("campus-%dap", aps), profileOut, seriesOut)
+	}
 	fmt.Print(spd.Fingerprint())
+}
+
+// shardProfile bundles the campus run's load profiler with its optional
+// telemetry series and live stats plane. All human/diagnostic output goes
+// to stderr or files — stdout stays byte-diff-clean for the CI shard
+// invariance gate.
+type shardProfile struct {
+	spd   *scenario.ShardedPath
+	p     *shard.Profiler
+	set     *obs.SeriesSet
+	stats   *obs.StatsServer
+	start   time.Time
+	lastEnd sim.Time
+}
+
+func newShardProfile(spd *scenario.ShardedPath, wallClock, series bool, statsAddr string) *shardProfile {
+	pf := &shardProfile{spd: spd, p: spd.NewProfiler()}
+	if wallClock || statsAddr != "" {
+		// internal/shard is a deterministic package and cannot read wall
+		// time itself; the clock is injected here, at the cmd layer.
+		pf.p.Clock = func() time.Duration { return time.Since(pf.start) }
+	}
+	if series {
+		pf.set = obs.NewSeriesSet(0)
+		pf.p.Series = pf.set
+	}
+	if statsAddr != "" {
+		stats, err := obs.NewStatsServer(statsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zhuge-sim: stats:", err)
+			os.Exit(2)
+		}
+		pf.stats = stats
+		fmt.Fprintf(os.Stderr, "zhuge-sim: live stats on http://%s/\n", stats.Addr())
+		// Publish from the profiler's barrier hook: it runs single-threaded
+		// between windows, so it can read profiler state without racing the
+		// shard workers. Every window is too chatty at campus event rates;
+		// every 32nd keeps the page fresh at negligible cost.
+		pf.p.OnWindow = func(end sim.Time) {
+			pf.lastEnd = end
+			if pf.p.Windows()%32 != 0 {
+				return
+			}
+			pf.publish(end)
+		}
+	}
+	return pf
+}
+
+func (pf *shardProfile) publish(end sim.Time) {
+	if err := pf.stats.Publish("shards", pf.p.Loads()); err != nil {
+		fmt.Fprintln(os.Stderr, "zhuge-sim: stats:", err)
+	}
+	err := pf.stats.Publish("campus", map[string]any{
+		"events":           pf.spd.Cluster.Fired(),
+		"windows":          pf.p.Windows(),
+		"virtual_ns":       int64(end),
+		"serial_ns":        int64(pf.p.Serial()),
+		"critical_path_ns": int64(pf.p.Critical()),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zhuge-sim: stats:", err)
+	}
+}
+
+func (pf *shardProfile) finish(workload, profileOut, seriesOut string) {
+	if pf.stats != nil {
+		pf.publish(pf.lastEnd)
+	}
+	lp := pf.spd.LoadProfile(pf.p, workload)
+	fmt.Fprintf(os.Stderr, "load: critical=%v serial=%v heaviest/lightest=%.2f\n",
+		pf.p.Critical().Round(time.Millisecond), pf.p.Serial().Round(time.Millisecond),
+		lp.MaxMinEventRatio)
+	if profileOut != "" {
+		f, err := os.Create(profileOut)
+		if err == nil {
+			err = lp.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zhuge-sim: profile-out:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "load profile written to %s\n", profileOut)
+	}
+	if seriesOut != "" {
+		if err := writeSeriesFile(pf.set, seriesOut); err != nil {
+			fmt.Fprintln(os.Stderr, "zhuge-sim: series-out:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry series written to %s\n", seriesOut)
+	}
+}
+
+func (pf *shardProfile) close() {
+	if pf.stats != nil {
+		pf.stats.Close()
+	}
 }
 
 // runExperiment renders one experiment table, mirroring zhuge-bench for
@@ -271,16 +408,94 @@ func parseHandovers(spec, policy string, aps int) ([]scenario.HandoverSpec, erro
 	return hs, nil
 }
 
+// startLiveStats publishes the bundle's registry snapshot, control-loop
+// decomposition and series windows to the stats plane on a periodic
+// virtual-time tick. The tick runs on the simulation goroutine; Publish
+// copies into the server under its lock, so HTTP readers never touch live
+// simulator state.
+func startLiveStats(p *scenario.Path, o *obs.Obs, stats *obs.StatsServer) {
+	if o == nil {
+		return
+	}
+	const every = 500 * time.Millisecond
+	publish := func() {
+		if o.Reg != nil {
+			stats.Publish("metrics", o.Reg.Snapshot())
+		}
+		if lt := o.ControlLoop(); lt != nil {
+			stats.Publish("loop", lt.Rows())
+		}
+		if o.Series != nil {
+			stats.Publish("series", seriesWindows(o.Series, 100))
+		}
+	}
+	var tick func()
+	tick = func() {
+		publish()
+		p.S.ScheduleAfter(every, tick)
+	}
+	p.S.ScheduleAfter(every, tick)
+}
+
+// seriesWindows renders the freshest n points of every series as
+// name -> [[t_ns, value], ...] for the stats plane.
+func seriesWindows(set *obs.SeriesSet, n int) map[string][][2]float64 {
+	out := make(map[string][][2]float64, set.Len())
+	var scratch []obs.SeriesPoint
+	for _, name := range set.Names() {
+		scratch = set.Of(name).Points(scratch[:0])
+		if len(scratch) > n {
+			scratch = scratch[len(scratch)-n:]
+		}
+		w := make([][2]float64, len(scratch))
+		for i, pt := range scratch {
+			w[i] = [2]float64{float64(pt.At), pt.V}
+		}
+		out[name] = w
+	}
+	return out
+}
+
+// writeSeriesFile exports a series set as CSV (for .csv paths) or JSONL.
+func writeSeriesFile(set *obs.SeriesSet, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = set.WriteCSV(f)
+	} else {
+		err = set.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // writeObs flushes the observability outputs after the run: the packet
 // trace (when -trace-out is set), the metrics/prediction-error report (when
-// -metrics is set), and — whenever predictions were joined against actual
-// latencies — the per-flow error table on stdout.
-func writeObs(o *obs.Obs, traceOut, metricsOut string) {
+// -metrics is set), the telemetry series (when -series-out is set), and —
+// whenever samples were collected — the prediction-error and control-loop
+// tables on stdout.
+func writeObs(o *obs.Obs, traceOut, metricsOut, seriesOut string) {
 	if o == nil {
 		return
 	}
 	if rows := o.Errs().Rows(); len(rows) > 0 {
 		fmt.Printf("\nprediction error (predicted vs actual AP->client latency):\n%s", o.Errs().Table())
+	}
+	if lt := o.ControlLoop(); lt != nil {
+		if m, _ := lt.Matched(); m > 0 {
+			fmt.Printf("\ncontrol-loop decomposition (AP observation -> new rate on air):\n%s", lt.Table())
+		}
+	}
+	if seriesOut != "" {
+		if err := writeSeriesFile(o.Series, seriesOut); err != nil {
+			fmt.Fprintln(os.Stderr, "zhuge-sim: series-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry series written to %s\n", seriesOut)
 	}
 	if traceOut != "" {
 		if err := o.Trace().WriteTraceFile(traceOut); err != nil {

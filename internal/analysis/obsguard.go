@@ -27,6 +27,8 @@ import (
 //	(*obs.Tracer).Record
 //	(*obs.PredErr).Observe, (*obs.PredErr).SetMode
 //	(*obs.Registry).Counter, Gauge, Hist, Snapshot
+//	(*obs.LoopTracker).OnObserve, OnFeedbackOut, OnReact, OnAir
+//	(*obs.SeriesSet).Sample
 //
 // A call on a struct field (x.f.Record(...)) must be dominated by a nil
 // check of that exact field: either an enclosing `if x.f != nil { ... }`
@@ -49,6 +51,13 @@ var guardedMethods = map[string]map[string]bool{
 	"Tracer":   {"Record": true},
 	"PredErr":  {"Observe": true, "SetMode": true},
 	"Registry": {"Counter": true, "Gauge": true, "Hist": true, "Snapshot": true},
+	// Control-loop spans fire on per-packet datapath edges (AP observe,
+	// feedback departure, sender reaction, send instant); an unguarded
+	// call would put their bookkeeping back on the disabled path.
+	"LoopTracker": {"OnObserve": true, "OnFeedbackOut": true, "OnReact": true, "OnAir": true},
+	// Sampling walks the whole registry; only the virtual-time sampler
+	// (inside obs, exempt) and guarded call sites may invoke it.
+	"SeriesSet": {"Sample": true},
 }
 
 func runObsGuard(pass *Pass) error {

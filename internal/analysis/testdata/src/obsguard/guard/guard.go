@@ -98,3 +98,47 @@ func (l *link) suppressed(now time.Duration, f netem.FlowKey) {
 	//lint:ignore obsguard fixture exercises the suppression comment
 	l.tr.Record(obs.Event{At: now, Flow: f})
 }
+
+// Control-loop spans and registry sampling joined the guarded table with
+// the flight-recorder work: their call sites sit on per-packet datapath
+// edges and must stay off the disabled path.
+type loopLink struct {
+	lt *obs.LoopTracker
+	ss *obs.SeriesSet
+}
+
+func (l *loopLink) unguardedSpans(now time.Duration, f netem.FlowKey) {
+	l.lt.OnObserve(now, f)     // want `obs hook l\.lt\.OnObserve is not dominated by a nil check`
+	l.lt.OnFeedbackOut(now, f) // want `obs hook l\.lt\.OnFeedbackOut is not dominated by a nil check`
+	l.lt.OnReact(now, f)       // want `obs hook l\.lt\.OnReact is not dominated by a nil check`
+	l.lt.OnAir(now, f)         // want `obs hook l\.lt\.OnAir is not dominated by a nil check`
+}
+
+func (l *loopLink) guardedSpans(now time.Duration, f netem.FlowKey) {
+	if l.lt != nil {
+		l.lt.OnObserve(now, f)
+		l.lt.OnFeedbackOut(now, f)
+		l.lt.OnReact(now, f)
+		l.lt.OnAir(now, f)
+	}
+}
+
+func (l *loopLink) unguardedSample(now time.Duration, reg *obs.Registry) {
+	l.ss.Sample(now, reg) // want `obs hook l\.ss\.Sample is not dominated by a nil check`
+}
+
+func (l *loopLink) guardedSample(now time.Duration, reg *obs.Registry) {
+	if l.ss == nil {
+		return
+	}
+	l.ss.Sample(now, reg)
+}
+
+// hoistedTracker mirrors the scenario wiring idiom: the tracker is hoisted
+// into a checked local and the closure only installed when it exists.
+func hoistedTracker(o *obs.Obs, f netem.FlowKey) func(time.Duration) {
+	if lt := o.ControlLoop(); lt != nil {
+		return func(now time.Duration) { lt.OnReact(now, f) }
+	}
+	return nil
+}

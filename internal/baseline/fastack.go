@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/sim"
 	"github.com/zhuge-project/zhuge/internal/transport/tcpsim"
 )
@@ -20,6 +21,13 @@ type FastAck struct {
 	uplinkOut netem.Receiver
 
 	flows map[netem.FlowKey]*fastAckFlow // downlink data flow -> state
+
+	// Loop, if set, records FastAck's control loop: the 802.11 delivery
+	// confirmation is the AP's observation, and the counterfeit ACK leaves
+	// in the same instant. FastAck removes the uplink-wireless segment but
+	// — unlike Zhuge — still waits through downlink queueing before it
+	// observes anything, which the recorded observe→feedback gap exposes.
+	Loop *obs.LoopTracker
 
 	synthesized int
 	absorbed    int
@@ -72,6 +80,11 @@ func (f *FastAck) OnDelivered(p *netem.Packet) {
 		st.ooo[seg.Seq] = seg
 	}
 	f.synthesized++
+	if f.Loop != nil {
+		now := f.s.Now()
+		f.Loop.OnObserve(now, p.Flow)
+		f.Loop.OnFeedbackOut(now, p.Flow)
+	}
 	ack := netem.NewPacket()
 	*ack = netem.Packet{
 		Flow:    p.Flow.Reverse(),

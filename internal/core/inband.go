@@ -53,6 +53,7 @@ type InbandUpdater struct {
 	dropped     int
 
 	tr           *obs.Tracer
+	lt           *obs.LoopTracker
 	cConstructed *obs.Counter
 	cDropped     *obs.Counter
 }
@@ -90,6 +91,7 @@ func (u *InbandUpdater) SetObs(o *obs.Obs) {
 		return
 	}
 	u.tr = o.Trace()
+	u.lt = o.ControlLoop()
 	u.cConstructed = o.Counter("ib.constructed")
 	u.cDropped = o.Counter("ib.dropped_client_twcc")
 }
@@ -167,6 +169,11 @@ func (u *InbandUpdater) flush(f *ibFlow) {
 	}
 	if u.tr != nil {
 		u.tr.Record(obs.Event{At: u.s.Now(), Type: obs.EvFeedback, Flow: f.downlink, Size: fbp.Size, A: int64(nRecords)})
+	}
+	// The constructed TWCC packet is the in-band feedback departure for this
+	// flow's latest observation.
+	if u.lt != nil {
+		u.lt.OnFeedbackOut(u.s.Now(), f.downlink)
 	}
 	u.uplink.Receive(fbp)
 }

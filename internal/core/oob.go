@@ -40,6 +40,7 @@ type OOBUpdater struct {
 	flows map[netem.FlowKey]*oobFlow // keyed by downlink (data) flow
 
 	tr     *obs.Tracer
+	lt     *obs.LoopTracker
 	cAcks  *obs.Counter
 	hDelay *obs.Hist
 }
@@ -123,6 +124,7 @@ func (u *OOBUpdater) SetObs(o *obs.Obs) {
 		return
 	}
 	u.tr = o.Trace()
+	u.lt = o.ControlLoop()
 	u.cAcks = o.Counter("oob.acks")
 	u.hDelay = o.Hist("oob.ack_delay")
 }
@@ -261,6 +263,11 @@ func (u *OOBUpdater) OnAckPacket(now sim.Time, downlink netem.FlowKey, p *netem.
 	}
 	if u.tr != nil {
 		u.tr.Record(obs.Event{At: now, Type: obs.EvAckDelay, Flow: downlink, Seq: p.Seq, Size: p.Size, A: int64(actualDelay)})
+	}
+	// The delayed ACK is the out-of-band feedback for this flow's latest
+	// observation; it leaves the AP at now+actualDelay.
+	if u.lt != nil {
+		u.lt.OnFeedbackOut(now+actualDelay, downlink)
 	}
 	// Always go through the scheduler, even for zero delay: a previous
 	// ACK may have a send event pending at this exact instant, and event

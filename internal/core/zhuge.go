@@ -52,6 +52,7 @@ type AP struct {
 
 	o  *obs.Obs
 	tr *obs.Tracer
+	lt *obs.LoopTracker
 }
 
 // NewAP builds a Zhuge AP around an existing wireless downlink. uplinkOut
@@ -96,6 +97,7 @@ func (ap *AP) SetObs(o *obs.Obs) {
 	}
 	ap.o = o
 	ap.tr = o.Trace()
+	ap.lt = o.ControlLoop()
 	ap.ft.SetObs(o)
 	ap.oob.SetObs(o)
 	ap.ib.SetObs(o)
@@ -140,6 +142,11 @@ func (ap *AP) receiveDownlink(p *netem.Packet) {
 		pred := ap.ft.Predict(now, p.Flow)
 		p.APArrival = now
 		p.Predicted = pred.Total
+		// Control-loop decomposition: this is the moment the AP observes the
+		// flow — every later loop segment is measured from here.
+		if ap.lt != nil {
+			ap.lt.OnObserve(now, p.Flow)
+		}
 		if mode == ModeOutOfBand {
 			ap.oob.OnDataPacket(now, p.Flow, pred)
 		}

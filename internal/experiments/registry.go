@@ -34,6 +34,7 @@ func All() []Experiment {
 		{"ext-nada", "Extension: NADA through the in-band updater", ExtNADA},
 		{"ext-selective", "Extension: selective estimation CPU optimisation", ExtSelectiveEstimation},
 		{"ext-handover", "Extension: station roaming — Zhuge state migration vs reset", ExtHandover},
+		{"control-loop", "Observability: flight-recorder control-loop decomposition", ControlLoop},
 		{"campus-sharded", "Flagship: campus topology across shard counts (invariance)", CampusSharded},
 	}
 }

@@ -1,8 +1,12 @@
 package obs
 
 import (
+	"bytes"
+	"fmt"
 	"strings"
 	"testing"
+
+	"github.com/zhuge-project/zhuge/internal/sim"
 )
 
 func TestMergeSnapshotsCombines(t *testing.T) {
@@ -56,5 +60,91 @@ func TestMergeSnapshotsRejectsCollision(t *testing.T) {
 				t.Fatalf("error %q does not name the collision", err)
 			}
 		})
+	}
+}
+
+func jsonlBytes(t *testing.T, ss *SeriesSet) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := ss.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestMergeSeriesSetsCombines(t *testing.T) {
+	a := NewSeriesSet(8)
+	a.Of("ap0.downlink.enq").Add(sim.Time(1e6), 1)
+	a.Of("shared.rate").Add(sim.Time(2e6), 5e6)
+	b := NewSeriesSet(8)
+	b.Of("ap1.downlink.enq").Add(sim.Time(1e6), 2)
+	b.Of("shared.rate").Add(sim.Time(3e6), 6e6)
+
+	m := MergeSeriesSets(a, b)
+	if m.Len() != 3 {
+		t.Fatalf("merged set has %d series, want 3 (%v)", m.Len(), m.Names())
+	}
+	// Series present in both shards merge point-by-point in time order.
+	sr := m.Of("shared.rate")
+	if sr.Len() != 2 {
+		t.Fatalf("shared series has %d points, want 2", sr.Len())
+	}
+	pts := sr.Points(nil)
+	if pts[0].At != sim.Time(2e6) || pts[1].At != sim.Time(3e6) {
+		t.Fatalf("merged points out of time order: %+v", pts)
+	}
+	// Per-shard series survive untouched.
+	if m.Of("ap0.downlink.enq").Len() != 1 || m.Of("ap1.downlink.enq").Len() != 1 {
+		t.Fatal("per-shard series lost in merge")
+	}
+}
+
+// TestMergeSeriesGroupingInvariant pins the determinism contract the
+// MergeSeriesSets doc comment promises: merging the same per-shard sets in
+// any grouping — all at once, pairwise left fold, or nested halves (the
+// shapes a 1-worker vs 8-worker campus run produces) — yields a
+// byte-identical WriteJSONL export. The shard sets deliberately share
+// series names, interleave timestamps, and include equal-timestamp points
+// with distinct values so the (At, V) tiebreak is exercised.
+func TestMergeSeriesGroupingInvariant(t *testing.T) {
+	const shards = 8
+	parts := make([]*SeriesSet, shards)
+	for i := range parts {
+		ss := NewSeriesSet(64)
+		for j := 0; j < 12; j++ {
+			// Same series name on every shard, timestamps interleaved
+			// across shards (shard i contributes t = j*8+i ms).
+			ss.Of("campus.queue.depth").Add(sim.Time(int64(j*shards+i)*1e6), float64(i*100+j))
+			// Equal timestamps across all shards, values differ: order
+			// must come from the value tiebreak, not input order.
+			ss.Of("campus.tick").Add(sim.Time(int64(j)*1e6), float64(i))
+			// And a per-shard-private series.
+			ss.Of(fmt.Sprintf("cell%d.events", i)).Add(sim.Time(int64(j)*1e6), float64(j))
+		}
+		parts[i] = ss
+	}
+
+	flat := jsonlBytes(t, MergeSeriesSets(parts...))
+
+	// Pairwise left fold: ((((s0+s1)+s2)+s3)+...).
+	fold := parts[0]
+	for _, p := range parts[1:] {
+		fold = MergeSeriesSets(fold, p)
+	}
+	if got := jsonlBytes(t, fold); got != flat {
+		t.Error("pairwise left-fold merge differs from flat merge")
+	}
+
+	// Nested halves, reversed input order within each half.
+	lo := MergeSeriesSets(parts[3], parts[2], parts[1], parts[0])
+	hi := MergeSeriesSets(parts[7], parts[6], parts[5], parts[4])
+	if got := jsonlBytes(t, MergeSeriesSets(hi, lo)); got != flat {
+		t.Error("nested reversed-order merge differs from flat merge")
+	}
+
+	// Merging a single set must be a faithful identity for the export too.
+	single := jsonlBytes(t, MergeSeriesSets(parts[0]))
+	if single != jsonlBytes(t, parts[0]) {
+		t.Error("single-set merge changed the export")
 	}
 }

@@ -11,14 +11,16 @@
 // BenchmarkObsDatapath before/after pair.
 package obs
 
-// Obs bundles the three observability components for one simulation. Any
-// field may be nil; a nil *Obs disables everything. One Obs must not be
-// shared between concurrently running simulations — the experiment harness
-// creates one per cell (see Sweep).
+// Obs bundles the observability components for one simulation. Any field
+// may be nil; a nil *Obs disables everything. One Obs must not be shared
+// between concurrently running simulations — the experiment harness creates
+// one per cell (see Sweep).
 type Obs struct {
 	Tracer  *Tracer
 	Reg     *Registry
 	PredErr *PredErr
+	Series  *SeriesSet
+	Loop    *LoopTracker
 }
 
 // Options selects which components New enables.
@@ -26,12 +28,16 @@ type Options struct {
 	Trace   bool // record packet-lifecycle events
 	Metrics bool // counters, gauges, histograms
 	PredErr bool // prediction-vs-actual accounting
+	Series  bool // virtual-time telemetry series (sampled via StartSampler)
+	Loop    bool // control-loop decomposition spans
+
+	SeriesCap int // per-series ring size; 0 = DefaultSeriesCap
 }
 
 // New returns an Obs with the selected components enabled, or nil when none
 // are.
 func New(o Options) *Obs {
-	if !o.Trace && !o.Metrics && !o.PredErr {
+	if !o.Trace && !o.Metrics && !o.PredErr && !o.Series && !o.Loop {
 		return nil
 	}
 	b := &Obs{}
@@ -43,6 +49,15 @@ func New(o Options) *Obs {
 	}
 	if o.PredErr {
 		b.PredErr = NewPredErr()
+	}
+	if o.Series {
+		b.Series = NewSeriesSet(o.SeriesCap)
+	}
+	if o.Loop {
+		b.Loop = NewLoopTracker()
+		if b.Reg != nil {
+			b.Loop.BindAgeGauge(b.Reg.Gauge("loop.feedback_age_ms"))
+		}
 	}
 	return b
 }
@@ -86,4 +101,29 @@ func (o *Obs) Errs() *PredErr {
 		return nil
 	}
 	return o.PredErr
+}
+
+// TimeSeries returns the bundle's telemetry series set, nil-safely.
+func (o *Obs) TimeSeries() *SeriesSet {
+	if o == nil {
+		return nil
+	}
+	return o.Series
+}
+
+// SeriesOf resolves a named series, nil-safely: with no series set the
+// returned series is nil and its methods are no-ops.
+func (o *Obs) SeriesOf(name string) *Series {
+	if o == nil || o.Series == nil {
+		return nil
+	}
+	return o.Series.Of(name)
+}
+
+// ControlLoop returns the bundle's control-loop tracker, nil-safely.
+func (o *Obs) ControlLoop() *LoopTracker {
+	if o == nil {
+		return nil
+	}
+	return o.Loop
 }

@@ -244,6 +244,9 @@ func TestObsDisabledZeroAlloc(t *testing.T) {
 		h  *Hist
 		tr *Tracer
 		pe *PredErr
+		lt *LoopTracker
+		ss *SeriesSet
+		sr *Series
 	)
 	f := testFlow(5001)
 	allocs := testing.AllocsPerRun(1000, func() {
@@ -256,11 +259,24 @@ func TestObsDisabledZeroAlloc(t *testing.T) {
 		_ = tr.Len()
 		pe.Observe(f, time.Millisecond, time.Millisecond)
 		pe.SetMode(f, "oob")
+		lt.OnObserve(time.Millisecond, f)
+		lt.OnFeedbackOut(time.Millisecond, f)
+		lt.OnReact(time.Millisecond, f)
+		lt.OnAir(time.Millisecond, f)
+		_, _ = lt.Matched()
+		ss.Sample(time.Millisecond, nil)
+		_ = ss.Of("x")
+		_ = ss.Len()
+		sr.Add(time.Millisecond, 1)
+		_ = sr.Len()
 		_ = o.Trace()
 		_ = o.Counter("x")
 		_ = o.Gauge("x")
 		_ = o.Hist("x")
 		_ = o.Errs()
+		_ = o.TimeSeries()
+		_ = o.SeriesOf("x")
+		_ = o.ControlLoop()
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled-path allocations = %v, want 0", allocs)

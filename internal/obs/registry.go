@@ -191,18 +191,22 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // MetricsReport is the top-level JSON document WriteMetricsJSON emits: the
-// registry snapshot plus the prediction-error table.
+// registry snapshot plus the prediction-error and control-loop tables.
 type MetricsReport struct {
 	Metrics Snapshot      `json:"metrics"`
 	PredErr []PredErrStat `json:"prediction_error,omitempty"`
+	Loop    []LoopStat    `json:"control_loop,omitempty"`
 }
 
-// WriteMetricsJSON writes the bundle's registry snapshot and prediction-
-// error rows as one indented JSON document.
+// WriteMetricsJSON writes the bundle's registry snapshot, prediction-error
+// rows and control-loop decomposition as one indented JSON document.
 func (o *Obs) WriteMetricsJSON(w io.Writer) error {
 	rep := MetricsReport{Metrics: o.regOrNil().Snapshot()}
 	if pe := o.Errs(); pe != nil {
 		rep.PredErr = pe.Rows()
+	}
+	if lt := o.ControlLoop(); lt != nil {
+		rep.Loop = lt.Rows()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

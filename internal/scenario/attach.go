@@ -48,6 +48,7 @@ type fastackAttachment struct {
 
 func (f *fastackAttachment) Attach(a *topo.AP, wanOut netem.Receiver) (netem.Receiver, netem.Receiver) {
 	fa := baseline.NewFastAck(f.p.S, wanOut)
+	fa.Loop = f.p.Spec.Obs.ControlLoop()
 	f.pa.FastAck = fa
 	a.Delivery.AddTap(fa.OnDelivered)
 	return a.Downlink, fa.UplinkIn()

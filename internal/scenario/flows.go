@@ -108,7 +108,19 @@ func (p *Path) AddRTPFlow(cfg RTPFlowConfig) *RTPFlow {
 		p.S.NewRand("enc"+flow.String()))
 	enc.OnFrame = snd.SendFrame
 	snd.Encoder = enc
-	snd.OnRate = func(now sim.Time, bps float64) { m.RateSeries.Add(now, bps) }
+	// Hoist the control-loop tracker once: the per-rate-update closure then
+	// pays one nil check, and the per-send hook is only installed at all
+	// when the tracker exists (the obs-disabled path keeps OnSend nil).
+	lt := p.Spec.Obs.ControlLoop()
+	snd.OnRate = func(now sim.Time, bps float64) {
+		m.RateSeries.Add(now, bps)
+		if lt != nil {
+			lt.OnReact(now, flow)
+		}
+	}
+	if lt != nil {
+		snd.OnSend = func(now sim.Time) { lt.OnAir(now, flow) }
+	}
 
 	if pa.Spec.Solution == SolutionZhuge && !cfg.Unoptimized {
 		pa.Zhuge.Optimize(flow, core.ModeInBand)
@@ -116,6 +128,15 @@ func (p *Path) AddRTPFlow(cfg RTPFlowConfig) *RTPFlow {
 		// arrival entries no longer prove receiver possession, so the
 		// sender must keep retransmission payloads until the horizon.
 		snd.APFeedback = true
+	} else if lt != nil {
+		// Without Zhuge the control loop closes at the client: the
+		// receiver's packet arrivals are the observations and its TWCC
+		// departures the feedback — the long loop the recorder contrasts
+		// against the AP-side instants of the optimised path.
+		rcv.SetLoopHooks(
+			func(now sim.Time) { lt.OnObserve(now, flow) },
+			func(now sim.Time) { lt.OnFeedbackOut(now, flow) },
+		)
 	}
 	p.bindFlow(flow, st)
 
@@ -266,6 +287,18 @@ func (p *Path) AddTCPVideoFlow(cfg TCPFlowConfig) *TCPVideoFlow {
 	}
 	enc := video.NewEncoder(p.S, video.EncoderConfig{FPS: cfg.FPS, StartBitrate: cfg.StartRate},
 		p.S.NewRand("enc"+flow.String()))
+	lt := p.Spec.Obs.ControlLoop()
+	if lt != nil && (cfg.Unoptimized ||
+		(pa.Spec.Solution != SolutionZhuge && pa.Spec.Solution != SolutionFastAck)) {
+		// Baseline TCP closes the control loop at the client: each ACK
+		// departure is both observation and feedback instant. Zhuge
+		// (out-of-band) and FastAck move the feedback origin to the AP and
+		// tap the recorder there instead.
+		rcv.OnAck = func(now sim.Time) {
+			lt.OnObserve(now, flow)
+			lt.OnFeedbackOut(now, flow)
+		}
+	}
 	var streamEnd uint64
 	var lastAcked uint64
 	var lastRateUpdate sim.Time
@@ -299,6 +332,12 @@ func (p *Path) AddTCPVideoFlow(cfg TCPFlowConfig) *TCPVideoFlow {
 			}
 			enc.SetTargetBitrate(target)
 			m.RateSeries.Add(now, target)
+			// The encoder adaptation is this transport's sender reaction:
+			// acked-rate feedback (whose pacing Zhuge's delayed ACKs shape)
+			// has just been folded into a new target bitrate.
+			if lt != nil {
+				lt.OnReact(now, flow)
+			}
 			lastAcked = acked
 			lastRateUpdate = now
 		}
@@ -309,6 +348,9 @@ func (p *Path) AddTCPVideoFlow(cfg TCPFlowConfig) *TCPVideoFlow {
 		f.FramesSent++
 		streamEnd += uint64(fr.Size)
 		f.frames = append(f.frames, tcpFrame{end: streamEnd, captured: fr.CapturedAt})
+		if lt != nil {
+			lt.OnAir(p.S.Now(), flow)
+		}
 		snd.Write(fr.Size)
 	}
 

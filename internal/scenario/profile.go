@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/shard"
+)
+
+// CellLoad is one cell's (or shard's) measured weight in a sharded run.
+// Events is deterministic (simulator event counts); ComputeNS/StallNS are
+// wall-clock and only present when the profiling run injected a clock.
+type CellLoad struct {
+	// Cell is the cell label (the AP name) when the profiling run used one
+	// shard per cell; otherwise the shard name covering several cells.
+	Cell string `json:"cell"`
+	// Cells lists the member cell labels when Cell names a multi-cell
+	// shard.
+	Cells     []string `json:"cells,omitempty"`
+	Events    uint64   `json:"events"`
+	Share     float64  `json:"share"` // fraction of total events
+	ComputeNS int64    `json:"compute_ns,omitempty"`
+	StallNS   int64    `json:"stall_ns,omitempty"`
+}
+
+// LoadProfile is the per-cell weight profile a sharded profiling run dumps
+// (`zhuge-sim -campus N -profile-out f.json`). The Cells rows are exactly
+// the weights a load-balanced BuildSharded grouping needs: run with one
+// shard per cell (`-shards 0`) so every row is a single cell, then feed
+// Weights() to the partitioner.
+type LoadProfile struct {
+	Workload   string     `json:"workload"`
+	Shards     int        `json:"shards"`
+	Windows    uint64     `json:"windows"`
+	Events     uint64     `json:"events"`
+	SerialNS   int64      `json:"serial_ns,omitempty"`
+	CriticalNS int64      `json:"critical_path_ns,omitempty"`
+	Cells      []CellLoad `json:"cells"`
+	// MaxMinEventRatio is heaviest/lightest row by events — the load
+	// imbalance that bounds critical-path speedup no matter how many
+	// workers run the windows.
+	MaxMinEventRatio float64 `json:"heaviest_to_lightest"`
+}
+
+// Weights returns cell label -> event weight, the input shape for a
+// weighted partitioning pre-pass. Multi-cell rows attribute the shard's
+// events to each member cell evenly (the best available split without a
+// per-cell rerun).
+func (lp *LoadProfile) Weights() map[string]uint64 {
+	w := make(map[string]uint64, len(lp.Cells))
+	for _, c := range lp.Cells {
+		if len(c.Cells) == 0 {
+			w[c.Cell] = c.Events
+			continue
+		}
+		for _, m := range c.Cells {
+			w[m] = c.Events / uint64(len(c.Cells))
+		}
+	}
+	return w
+}
+
+// WriteJSON writes the profile as one indented JSON document.
+func (lp *LoadProfile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(lp)
+}
+
+// RunProfiled is Run with load attribution: p observes every window. Build
+// p with NewProfiler and configure its Clock/Series/OnWindow before the
+// call.
+func (spd *ShardedPath) RunProfiled(d time.Duration, workers int, p *shard.Profiler) {
+	spd.Cluster.RunProfiled(d, workers, p)
+}
+
+// NewProfiler returns a load profiler bound to the path's cluster.
+func (spd *ShardedPath) NewProfiler() *shard.Profiler {
+	return shard.NewProfiler(spd.Cluster)
+}
+
+// LoadProfile folds a finished profiler into the per-cell weight document.
+// workload names the scenario (e.g. "campus-100ap").
+func (spd *ShardedPath) LoadProfile(p *shard.Profiler, workload string) *LoadProfile {
+	// Group cell labels by the shard that ran them, in cell order.
+	cellsOf := make(map[string][]string)
+	for _, c := range spd.Cells {
+		label := c.Label
+		if label == "" {
+			label = "cell0"
+		}
+		cellsOf[c.Shard.Name()] = append(cellsOf[c.Shard.Name()], label)
+	}
+	lp := &LoadProfile{
+		Workload:   workload,
+		Shards:     len(spd.Cluster.Shards()),
+		Windows:    p.Windows(),
+		SerialNS:   int64(p.Serial()),
+		CriticalNS: int64(p.Critical()),
+	}
+	var minEv, maxEv uint64
+	for i, sl := range p.Loads() {
+		row := CellLoad{
+			Cell:      sl.Shard,
+			Events:    sl.Events,
+			ComputeNS: sl.ComputeNS,
+			StallNS:   sl.StallNS,
+		}
+		members := cellsOf[sl.Shard]
+		if len(members) == 1 {
+			row.Cell = members[0]
+		} else {
+			row.Cells = members
+		}
+		lp.Events += sl.Events
+		if i == 0 || sl.Events < minEv {
+			minEv = sl.Events
+		}
+		if sl.Events > maxEv {
+			maxEv = sl.Events
+		}
+		lp.Cells = append(lp.Cells, row)
+	}
+	for i := range lp.Cells {
+		if lp.Events > 0 {
+			lp.Cells[i].Share = float64(lp.Cells[i].Events) / float64(lp.Events)
+		}
+	}
+	if minEv > 0 {
+		lp.MaxMinEventRatio = float64(maxEv) / float64(minEv)
+	}
+	return lp
+}

@@ -139,7 +139,14 @@ func BuildSharded(sp Spec, opt ShardedOptions) (*ShardedPath, error) {
 	// Cells are built in index order regardless of grouping; per-cell
 	// event order is a function of the cell alone, so the grouping stays
 	// invisible in every per-cell output.
-	assign := topo.Partition(n, opt.Shards)
+	k := opt.Shards
+	if k <= 0 {
+		// One shard per cell, as documented — the shape the load-profiling
+		// pre-pass needs for exact per-cell weights. (topo.Partition would
+		// otherwise clamp k < 1 to a single shard.)
+		k = n
+	}
+	assign := topo.Partition(n, k)
 	groups := topo.Groups(assign)
 	cluster := shard.NewCluster()
 	shards := make([]*shard.Shard, len(groups))

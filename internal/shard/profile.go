@@ -1,0 +1,158 @@
+package shard
+
+import (
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/obs"
+	"github.com/zhuge-project/zhuge/internal/parallel"
+	"github.com/zhuge-project/zhuge/internal/sim"
+)
+
+// ShardLoad is one shard's accumulated profile: how many events it fired,
+// how long it computed, and how long it sat idle at barriers waiting for
+// the window's straggler. StallNS is the per-window sum of (slowest shard's
+// compute − own compute): the straggler itself stalls zero, and a large
+// spread is exactly the load imbalance that makes critical-path scaling
+// sub-linear (BENCH_shard.json's 3.5× at 8 shards).
+type ShardLoad struct {
+	Shard     string `json:"shard"`
+	Events    uint64 `json:"events"`
+	ComputeNS int64  `json:"compute_ns,omitempty"`
+	StallNS   int64  `json:"stall_ns,omitempty"`
+}
+
+// Profiler measures per-window per-shard load while a cluster runs. Event
+// counts come from the shards' deterministic Fired() deltas; compute time
+// comes from an injected monotonic clock, because internal/shard is a
+// deterministic package (detclock) and must not read wall time itself —
+// cmd-layer callers pass one, and a nil Clock yields an events-only (fully
+// deterministic) profile.
+//
+// The profiler is driven from the cluster's barrier executor: the per-shard
+// measurements are written from the worker running that shard (distinct
+// indices, no sharing), and window accounting happens between windows on
+// the coordinating goroutine.
+type Profiler struct {
+	// Clock returns monotonic elapsed time (e.g. time.Since(start) from a
+	// cmd). Nil disables compute/stall attribution.
+	Clock func() time.Duration
+
+	// Series, when non-nil, receives per-window telemetry stamped at each
+	// window's virtual end time: shard.<name>.window_events for every shard
+	// (deterministic) and shard.<name>.window_compute_ms when Clock is set
+	// (wall time — exclude from byte-compared exports).
+	Series *obs.SeriesSet
+
+	// OnWindow, when non-nil, runs single-threaded after each window with
+	// the window's virtual end time — the hook the live stats plane uses to
+	// publish mid-run snapshots.
+	OnWindow func(end sim.Time)
+
+	c         *Cluster
+	loads     []ShardLoad
+	lastFired []uint64
+	compute   []time.Duration // scratch: this window's per-shard compute
+	delta     []uint64        // scratch: this window's per-shard events
+	windows   uint64
+	serial    time.Duration // sum over windows of sum of shard compute
+	critical  time.Duration // sum over windows of max shard compute
+}
+
+// NewProfiler returns a profiler bound to c's current shard set.
+func NewProfiler(c *Cluster) *Profiler {
+	n := len(c.shards)
+	p := &Profiler{
+		c:         c,
+		loads:     make([]ShardLoad, n),
+		lastFired: make([]uint64, n),
+		compute:   make([]time.Duration, n),
+		delta:     make([]uint64, n),
+	}
+	for i, sh := range c.shards {
+		p.loads[i].Shard = sh.name
+	}
+	return p
+}
+
+// Wrap returns a barrier executor that runs do while attributing each
+// shard's events and compute to the profiler. Pass it to RunWith.
+func (p *Profiler) Wrap(do func(n int, fn func(i int))) func(n int, fn func(i int)) {
+	return func(n int, fn func(i int)) {
+		do(n, func(i int) {
+			if p.Clock != nil {
+				t0 := p.Clock()
+				fn(i)
+				p.compute[i] = p.Clock() - t0
+			} else {
+				fn(i)
+				p.compute[i] = 0
+			}
+			fired := p.c.shards[i].s.Fired()
+			p.delta[i] = fired - p.lastFired[i]
+			p.loads[i].Events += p.delta[i]
+			p.lastFired[i] = fired
+		})
+		p.endWindow()
+	}
+}
+
+// endWindow folds this window's per-shard compute into totals and emits the
+// per-window series. Runs on the coordinating goroutine between windows.
+func (p *Profiler) endWindow() {
+	p.windows++
+	var max time.Duration
+	for _, d := range p.compute {
+		if d > max {
+			max = d
+		}
+	}
+	p.critical += max
+	// Window end in virtual time: every shard has run to the same bound, so
+	// the furthest shard clock is the window edge.
+	var end sim.Time
+	for _, sh := range p.c.shards {
+		if now := sh.s.Now(); now > end {
+			end = now
+		}
+	}
+	for i := range p.loads {
+		d := p.compute[i]
+		p.serial += d
+		p.loads[i].ComputeNS += int64(d)
+		p.loads[i].StallNS += int64(max - d)
+		if p.Series != nil {
+			p.Series.Of("shard."+p.loads[i].Shard+".window_events").Add(end, float64(p.delta[i]))
+			if p.Clock != nil {
+				p.Series.Of("shard."+p.loads[i].Shard+".window_compute_ms").
+					Add(end, float64(d)/float64(time.Millisecond))
+			}
+		}
+	}
+	if p.OnWindow != nil {
+		p.OnWindow(end)
+	}
+}
+
+// Loads returns the accumulated per-shard profile in shard registration
+// order.
+func (p *Profiler) Loads() []ShardLoad { return p.loads }
+
+// Windows returns how many windows the profiler observed.
+func (p *Profiler) Windows() uint64 { return p.windows }
+
+// Serial returns total compute summed over all shards and windows — the
+// single-threaded cost of the same work.
+func (p *Profiler) Serial() time.Duration { return p.serial }
+
+// Critical returns the critical path: the sum over windows of the slowest
+// shard's compute. Critical/Serial is the parallel efficiency ceiling the
+// partitioning imposes, independent of worker count.
+func (p *Profiler) Critical() time.Duration { return p.critical }
+
+// RunProfiled is Cluster.Run with profiling: it advances the cluster to end
+// on a worker pool while p attributes per-window load.
+func (c *Cluster) RunProfiled(end sim.Time, workers int, p *Profiler) {
+	pool := parallel.NewPool(workers)
+	defer pool.Close()
+	c.RunWith(end, p.Wrap(pool.Do))
+}

@@ -124,6 +124,10 @@ type Sender struct {
 	// OnRate, if set, observes every rate update.
 	OnRate func(now sim.Time, bps float64)
 
+	// OnSend, if set, observes every paced packet send at its actual send
+	// instant (the control-loop tracker's "new rate on air" hook).
+	OnSend func(now sim.Time)
+
 	// APFeedback records that TWCC feedback for this flow is constructed
 	// by a Zhuge AP at packet arrival, against the Fortune Teller's
 	// prediction — before the packet has crossed the queue and air link. An
@@ -302,6 +306,9 @@ func (snd *Sender) sendHead() {
 	p.SentAt = sendAt
 	p.Seq = uint64(pl.TWCCSeq)
 	snd.sentPackets++
+	if snd.OnSend != nil {
+		snd.OnSend(sendAt)
+	}
 	snd.out.Receive(p)
 	snd.paceNext()
 }
@@ -454,6 +461,11 @@ type Receiver struct {
 	// airtime in the simulator).
 	DisableTWCC bool
 
+	// onObserve/onFeedback are the control-loop recorder taps (see
+	// SetLoopHooks); nil when observability is disabled.
+	onObserve  func(now sim.Time)
+	onFeedback func(now sim.Time)
+
 	received int
 	lastRRAt sim.Time
 	rrSent   int
@@ -473,6 +485,17 @@ type missState struct {
 	since     sim.Time
 	lastNACK  sim.Time
 	requested bool
+}
+
+// SetLoopHooks installs the control-loop recorder's client-side taps:
+// observe fires at every media-packet arrival (the receiver's observation
+// of the downlink), feedback at every TWCC departure. Baseline solutions
+// close the control loop here, at the client — the long loop Zhuge
+// shortens by moving both instants to the AP (§4). Nil hooks keep the
+// datapath on its zero-overhead fast path.
+func (r *Receiver) SetLoopHooks(observe, feedback func(now sim.Time)) {
+	r.onObserve = observe
+	r.onFeedback = feedback
 }
 
 // NewReceiver builds an RTP receiver for the media flow whose feedback
@@ -517,6 +540,9 @@ func (r *Receiver) Receive(p *netem.Packet) {
 	}
 	now := r.s.Now()
 	r.received++
+	if r.onObserve != nil {
+		r.onObserve(now)
+	}
 	r.arrivals = append(r.arrivals, packet.TWCCArrival{Seq: pl.TWCCSeq, At: time.Duration(now)})
 
 	// Track RTP-seq gaps for NACK.
@@ -589,6 +615,9 @@ func (r *Receiver) sendFeedback() {
 		Size:    len(buf.B) + feedbackOverhead,
 		SentAt:  r.s.Now(),
 		Payload: buf,
+	}
+	if r.onFeedback != nil {
+		r.onFeedback(r.s.Now())
 	}
 	r.out.Receive(p)
 }

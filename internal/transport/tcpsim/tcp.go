@@ -312,6 +312,13 @@ type Receiver struct {
 	// OnDeliver, if set, fires as in-order bytes become available.
 	OnDeliver func(now sim.Time, upTo uint64)
 
+	// OnAck, if set, fires at every ACK departure. For baseline solutions
+	// this is where the congestion feedback originates — the client end of
+	// the long control loop — so the loop recorder taps it as both the
+	// observation and the feedback-departure instant (they coincide: TCP
+	// acknowledges each arrival immediately).
+	OnAck func(now sim.Time)
+
 	received int
 }
 
@@ -348,6 +355,9 @@ func (r *Receiver) Receive(p *netem.Packet) {
 		r.ooo[seg.Seq] = seg
 	}
 	// Acknowledge every arrival (duplicate ACKs signal gaps).
+	if r.OnAck != nil {
+		r.OnAck(r.s.Now())
+	}
 	ack := netem.NewPacket()
 	*ack = netem.Packet{
 		Flow:    r.flow,
