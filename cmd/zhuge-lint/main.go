@@ -1,14 +1,21 @@
 // Command zhuge-lint runs the project's custom static analyzers — the
-// compile-time enforcement of the simulator's determinism, pool-safety and
-// zero-alloc invariants. See internal/analysis and LINTING.md.
+// compile-time enforcement of the simulator's determinism, pool-safety,
+// shard-concurrency and zero-alloc invariants. See internal/analysis and
+// LINTING.md.
 //
 // Usage:
 //
-//	go run ./cmd/zhuge-lint [-c analyzer[,analyzer]] [packages]
+//	go run ./cmd/zhuge-lint [-c analyzer[,analyzer]] [-json] [-sarif file] [packages]
 //
 // With no packages it lints ./... . Exit status: 0 clean, 1 findings,
 // 2 usage or load error. Suppress individual findings with
-// //lint:ignore <analyzer> <reason> on or above the offending line.
+// //lint:ignore <analyzer> <reason> on or above the offending line; a
+// suppression that no longer matches anything is itself reported (as the
+// pseudo-analyzer "suppression") when the full suite runs.
+//
+// -json replaces the human-readable output with a JSON array; -sarif FILE
+// additionally writes a SARIF 2.1.0 log for CI annotation (written even
+// when there are findings, so the upload step always has a file).
 package main
 
 import (
@@ -22,11 +29,13 @@ import (
 
 func main() {
 	var (
-		checks = flag.String("c", "", "comma-separated analyzer subset to run (default: all)")
-		list   = flag.Bool("list", false, "list available analyzers and exit")
+		checks    = flag.String("c", "", "comma-separated analyzer subset to run (default: all)")
+		list      = flag.Bool("list", false, "list available analyzers and exit")
+		jsonOut   = flag.Bool("json", false, "emit findings as JSON on stdout instead of text")
+		sarifPath = flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: zhuge-lint [-c analyzer[,analyzer]] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: zhuge-lint [-c analyzer[,analyzer]] [-json] [-sarif file] [packages]\n\nAnalyzers:\n")
 		for _, a := range analysis.Analyzers {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
 		}
@@ -69,22 +78,46 @@ func main() {
 		os.Exit(2)
 	}
 
-	found := 0
+	// RunSuite (vs per-analyzer Run) also audits //lint:ignore comments:
+	// a stale suppression is a finding like any other.
+	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
-		for _, a := range suite {
-			diags, err := analysis.Run(a, pkg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "zhuge-lint: %v\n", err)
-				os.Exit(2)
-			}
-			for _, d := range diags {
-				fmt.Println(d.String())
-				found++
-			}
+		diags, err := analysis.RunSuite(pkg, suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zhuge-lint: %v\n", err)
+			os.Exit(2)
+		}
+		all = append(all, diags...)
+	}
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zhuge-lint: %v\n", err)
+			os.Exit(2)
+		}
+		werr := analysis.WriteSARIF(f, cwd, suite, all)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "zhuge-lint: writing SARIF: %v\n", werr)
+			os.Exit(2)
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "zhuge-lint: %d finding(s)\n", found)
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, cwd, all); err != nil {
+			fmt.Fprintf(os.Stderr, "zhuge-lint: writing JSON: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range all {
+			fmt.Println(d.String())
+		}
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "zhuge-lint: %d finding(s)\n", len(all))
 		os.Exit(1)
 	}
 }

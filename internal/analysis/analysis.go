@@ -11,7 +11,15 @@
 // data (see load.go). That keeps the linter runnable in hermetic
 // environments with nothing but the Go toolchain.
 //
-// The five analyzers and the invariants they protect:
+// Since PR 8 the framework also carries an interprocedural dataflow layer
+// (dataflow.go): a static call graph over every loaded package with
+// per-function summaries computed bottom-up over SCCs. The older analyzers
+// consult it to see through function boundaries; the shard-concurrency
+// analyzers are built directly on its reachability queries. See LINTING.md
+// ("The dataflow layer") for what the summaries capture and their known
+// imprecision.
+//
+// The analyzers and the invariants they protect:
 //
 //   - detclock: no wall-clock (time.Now/Since/Sleep/...) in deterministic
 //     packages — the simulator's virtual clock is the only time source.
@@ -30,6 +38,15 @@
 //   - obsguard: expensive observability hooks (Tracer.Record and friends)
 //     on struct fields must be dominated by a nil check on that field,
 //     preserving the pinned 0-alloc disabled path.
+//   - shardown: single-producer/single-consumer discipline for the shard
+//     layer's edge rings — pushes only through (*Edge).Send from window
+//     context, drains only from the barrier executor's Cluster methods.
+//   - barriermut: state spanning more than one shard may only be mutated
+//     from barrier context (Cluster.At callbacks), never from in-window
+//     code.
+//   - detshare: no mutable state shared across cells in deterministic
+//     packages — global writes outside init, goroutine spawns, and
+//     closures that cross a goroutine boundary while writing captures.
 //
 // Diagnostics can be suppressed with staticcheck-style comments:
 //
@@ -73,6 +90,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Prog is the whole-program dataflow view (call graph + summaries)
+	// built over every package of the same Load. Nil when the package was
+	// constructed without one; analyzers must degrade to their
+	// intraprocedural behavior in that case.
+	Prog *Program
+
 	diags *[]Diagnostic
 }
 
@@ -104,6 +127,9 @@ var Analyzers = []*Analyzer{
 	MapOrder,
 	PoolSafe,
 	ObsGuard,
+	ShardOwn,
+	BarrierMut,
+	DetShare,
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -119,6 +145,17 @@ func ByName(name string) *Analyzer {
 // Run applies one analyzer to one loaded package and returns its findings
 // with //lint:ignore suppressions already applied, sorted by position.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	diags, err := runRaw(a, pkg)
+	if err != nil {
+		return nil, err
+	}
+	diags = applySuppressions(diags, collectSuppressions(pkg), nil)
+	sortDiags(diags)
+	return diags, nil
+}
+
+// runRaw applies one analyzer with no suppression filtering.
+func runRaw(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
@@ -126,12 +163,71 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Prog:      pkg.Prog,
 		diags:     &diags,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 	}
-	diags = suppress(diags, pkg)
+	return diags, nil
+}
+
+// RunSuite applies a set of analyzers to one package and audits the
+// package's //lint:ignore / //lint:file-ignore comments against the
+// combined findings. A suppression is *stale* when every analyzer it names
+// either does not exist or was part of this run and suppressed nothing;
+// stale suppressions are reported as diagnostics under the pseudo-analyzer
+// name "suppression" (they rot the allowlists — an ignore comment that no
+// longer fires is a license for the next real violation to hide under).
+// Suppressions naming an analyzer that exists but was not in this run are
+// left alone: a partial run cannot judge them.
+func RunSuite(pkg *Package, suite []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	ran := map[string]bool{}
+	for _, a := range suite {
+		d, err := runRaw(a, pkg)
+		if err != nil {
+			return nil, err
+		}
+		raw = append(raw, d...)
+		ran[a.Name] = true
+	}
+	sups := collectSuppressions(pkg)
+	used := map[*suppressComment]map[string]bool{}
+	diags := applySuppressions(raw, sups, used)
+	for _, s := range sups {
+		stale := len(s.names) > 0
+		for _, name := range s.names {
+			if used[s][name] {
+				stale = false
+				break
+			}
+			if ByName(name) != nil && !ran[name] {
+				stale = false // not judgeable in this run
+				break
+			}
+		}
+		if stale {
+			diags = append(diags, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "suppression",
+				Message: fmt.Sprintf(
+					"stale suppression: //lint:%s %s no longer suppresses any diagnostic; delete it or narrow it (stale allowlists hide the next real violation)",
+					s.directive(), strings.Join(s.names, ",")),
+			})
+		}
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+// RunAll applies the whole suite to one package, including the stale-
+// suppression audit.
+func RunAll(pkg *Package) ([]Diagnostic, error) {
+	return RunSuite(pkg, Analyzers)
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -140,22 +236,11 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
-	})
-	return diags, nil
-}
-
-// RunAll applies the whole suite to one package.
-func RunAll(pkg *Package) ([]Diagnostic, error) {
-	var all []Diagnostic
-	for _, a := range Analyzers {
-		d, err := Run(a, pkg)
-		if err != nil {
-			return nil, err
+		if a.Column != b.Column {
+			return a.Column < b.Column
 		}
-		all = append(all, d...)
-	}
-	return all, nil
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
 }
 
 // ---- package classification ----------------------------------------------
@@ -235,69 +320,97 @@ var (
 	fileIgnoreRe = regexp.MustCompile(`^//\s*lint:file-ignore\s+(\S+)\s+\S`)
 )
 
-// suppress drops diagnostics covered by //lint:ignore (same or next line)
-// or //lint:file-ignore comments. Both forms require a non-empty reason and
-// take a comma-separated analyzer list, e.g.:
+// A suppressComment is one //lint:ignore or //lint:file-ignore comment.
+type suppressComment struct {
+	pos   token.Position
+	names []string // analyzers it names, in source order
+	file  bool     // file-ignore: covers the whole file
+}
+
+func (s *suppressComment) directive() string {
+	if s.file {
+		return "file-ignore"
+	}
+	return "ignore"
+}
+
+// collectSuppressions gathers every suppression comment in the package.
+// Both forms require a non-empty reason and take a comma-separated
+// analyzer list, e.g.:
 //
 //	//lint:ignore detclock,detrand test fixture exercising both
-func suppress(diags []Diagnostic, pkg *Package) []Diagnostic {
-	if len(diags) == 0 {
-		return diags
-	}
-	type lineKey struct {
-		file string
-		line int
-	}
-	ignored := map[lineKey]map[string]bool{}   // line -> analyzer set
-	fileIgnored := map[string]map[string]bool{} // file -> analyzer set
-	addNames := func(set map[string]bool, names string) {
+func collectSuppressions(pkg *Package) []*suppressComment {
+	var out []*suppressComment
+	add := func(pos token.Position, names string, file bool) {
+		s := &suppressComment{pos: pos, file: file}
 		for _, n := range strings.Split(names, ",") {
 			if n = strings.TrimSpace(n); n != "" {
-				set[n] = true
+				s.names = append(s.names, n)
 			}
 		}
+		out = append(out, s)
 	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if m := fileIgnoreRe.FindStringSubmatch(c.Text); m != nil {
-					pos := pkg.Fset.Position(c.Pos())
-					set := fileIgnored[pos.Filename]
-					if set == nil {
-						set = map[string]bool{}
-						fileIgnored[pos.Filename] = set
-					}
-					addNames(set, m[1])
+					add(pkg.Fset.Position(c.Pos()), m[1], true)
 				} else if m := ignoreRe.FindStringSubmatch(c.Text); m != nil {
-					pos := pkg.Fset.Position(c.Pos())
-					set := ignored[lineKey{pos.Filename, pos.Line}]
-					if set == nil {
-						set = map[string]bool{}
-						ignored[lineKey{pos.Filename, pos.Line}] = set
-					}
-					addNames(set, m[1])
+					add(pkg.Fset.Position(c.Pos()), m[1], false)
 				}
 			}
 		}
 	}
-	if len(ignored) == 0 && len(fileIgnored) == 0 {
+	return out
+}
+
+// applySuppressions drops diagnostics covered by the given suppression
+// comments. A //lint:ignore comment covers the line it sits on and the
+// line below it (the staticcheck convention: the comment precedes the
+// flagged statement); //lint:file-ignore covers its whole file. When used
+// is non-nil, every (comment, analyzer) pair that suppressed at least one
+// diagnostic is recorded in it — the stale-suppression audit's input.
+func applySuppressions(diags []Diagnostic, sups []*suppressComment, used map[*suppressComment]map[string]bool) []Diagnostic {
+	if len(diags) == 0 || len(sups) == 0 {
 		return diags
+	}
+	markUsed := func(s *suppressComment, analyzer string) {
+		if used == nil {
+			return
+		}
+		if used[s] == nil {
+			used[s] = map[string]bool{}
+		}
+		used[s][analyzer] = true
+	}
+	covers := func(s *suppressComment, d Diagnostic) bool {
+		if s.pos.Filename != d.Pos.Filename {
+			return false
+		}
+		if !s.file && s.pos.Line != d.Pos.Line && s.pos.Line != d.Pos.Line-1 {
+			return false
+		}
+		for _, n := range s.names {
+			if n == d.Analyzer {
+				return true
+			}
+		}
+		return false
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if set := fileIgnored[d.Pos.Filename]; set != nil && set[d.Analyzer] {
-			continue
+		suppressed := false
+		for _, s := range sups {
+			if covers(s, d) {
+				markUsed(s, d.Analyzer)
+				suppressed = true
+				// Keep scanning: another comment covering the same
+				// diagnostic is also legitimately "used".
+			}
 		}
-		// An ignore comment covers the line it sits on and the line
-		// below it (the staticcheck convention: the comment precedes
-		// the flagged statement).
-		if set := ignored[lineKey{d.Pos.Filename, d.Pos.Line}]; set != nil && set[d.Analyzer] {
-			continue
+		if !suppressed {
+			kept = append(kept, d)
 		}
-		if set := ignored[lineKey{d.Pos.Filename, d.Pos.Line - 1}]; set != nil && set[d.Analyzer] {
-			continue
-		}
-		kept = append(kept, d)
 	}
 	return kept
 }

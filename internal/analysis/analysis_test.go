@@ -42,14 +42,39 @@ func TestMapOrder(t *testing.T) {
 }
 
 func TestPoolSafe(t *testing.T) {
+	// All three dirs share one load, so the xpool pair exercises summaries
+	// crossing a real package boundary (core imports helper).
 	analysistest.Run(t, moduleRoot(t), analysis.PoolSafe,
 		"./internal/analysis/testdata/src/poolsafe/pool",
+		"./internal/analysis/testdata/src/poolsafe/xpool/helper",
+		"./internal/analysis/testdata/src/poolsafe/xpool/core",
 	)
 }
 
 func TestObsGuard(t *testing.T) {
 	analysistest.Run(t, moduleRoot(t), analysis.ObsGuard,
 		"./internal/analysis/testdata/src/obsguard/guard",
+	)
+}
+
+func TestShardOwn(t *testing.T) {
+	analysistest.Run(t, moduleRoot(t), analysis.ShardOwn,
+		// The mini protocol package (ring confinement, goroutine sends)...
+		"./internal/analysis/testdata/src/shardown/shard",
+		// ...and barrier reachability against the real shard/sim packages.
+		"./internal/analysis/testdata/src/shardown/scenario",
+	)
+}
+
+func TestBarrierMut(t *testing.T) {
+	analysistest.Run(t, moduleRoot(t), analysis.BarrierMut,
+		"./internal/analysis/testdata/src/barriermut/scenario",
+	)
+}
+
+func TestDetShare(t *testing.T) {
+	analysistest.Run(t, moduleRoot(t), analysis.DetShare,
+		"./internal/analysis/testdata/src/detshare/scenario",
 	)
 }
 
@@ -60,11 +85,14 @@ func TestObsGuard(t *testing.T) {
 func TestAnalyzersAreLive(t *testing.T) {
 	root := moduleRoot(t)
 	fixtures := map[string]string{
-		"detclock": "./internal/analysis/testdata/src/detclock/sim",
-		"detrand":  "./internal/analysis/testdata/src/detrand/wireless",
-		"maporder": "./internal/analysis/testdata/src/maporder/trace",
-		"poolsafe": "./internal/analysis/testdata/src/poolsafe/pool",
-		"obsguard": "./internal/analysis/testdata/src/obsguard/guard",
+		"detclock":   "./internal/analysis/testdata/src/detclock/sim",
+		"detrand":    "./internal/analysis/testdata/src/detrand/wireless",
+		"maporder":   "./internal/analysis/testdata/src/maporder/trace",
+		"poolsafe":   "./internal/analysis/testdata/src/poolsafe/pool",
+		"obsguard":   "./internal/analysis/testdata/src/obsguard/guard",
+		"shardown":   "./internal/analysis/testdata/src/shardown/shard",
+		"barriermut": "./internal/analysis/testdata/src/barriermut/scenario",
+		"detshare":   "./internal/analysis/testdata/src/detshare/scenario",
 	}
 	if len(fixtures) != len(analysis.Analyzers) {
 		t.Fatalf("fixture map covers %d analyzers, suite has %d", len(fixtures), len(analysis.Analyzers))

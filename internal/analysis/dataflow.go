@@ -1,0 +1,996 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file is the interprocedural dataflow layer under zhuge-lint: a call
+// graph over every package the loader parsed, plus per-function summaries
+// computed bottom-up over strongly connected components. The intraprocedural
+// analyzers from PR 3 stop at function boundaries — a Release that happens
+// in a callee, a map-ordered iteration laundered through a helper, a
+// simulator captured by a closure that runs on another shard's goroutine
+// are all invisible to them. The summaries make those facts visible at the
+// call site without analyzing the callee's body again.
+//
+// Design constraints, in order:
+//
+//  1. Stdlib only, like the rest of the framework. The call graph is
+//     *static*: direct function calls and concrete method calls resolved
+//     through go/types. Interface dispatch, function values stored in
+//     variables, and channel-laundered closures are unresolved edges.
+//  2. Conservative in the "no false positives" direction: an unresolved
+//     callee has a nil summary, and a nil summary asserts nothing — the
+//     consuming analyzer must treat it as "unknown", never as "safe to
+//     flag". This matches the suite's contract that a finding is a bug.
+//  3. Summaries only cover the facts the analyzers consume. They are not a
+//     general escape analysis; add fields as new analyzers need them.
+//
+// Function literals are first-class nodes: a closure registered as a
+// barrier action (Cluster.At) or scheduled on the virtual clock
+// (Simulator.Schedule) is exactly the code whose calling context the
+// shard-concurrency analyzers reason about. Each literal records its
+// lexical encloser, and each node records which of its nested literals are
+// handed to the simulator's scheduling API — those run in *window* context
+// regardless of where they were created, so barrier-context reachability
+// must not descend into them.
+
+// A FuncNode is one function in the program call graph: a declared
+// function or method (Obj non-nil) or a function literal (Lit non-nil).
+type FuncNode struct {
+	Pkg  *Package
+	Obj  *types.Func   // nil for literals
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	Body *ast.BlockStmt
+
+	// Encloser is the lexically enclosing function for literals (nil for
+	// declarations and for literals in package-level initializers).
+	Encloser *FuncNode
+
+	// InitContext marks code that runs during package initialization:
+	// func init bodies, package-level var initializers, and literals
+	// nested in either.
+	InitContext bool
+
+	// Callees are the statically resolved calls in this node's own body
+	// (nested literal bodies belong to their own nodes).
+	Callees []*FuncNode
+
+	// Lits are the function literals lexically nested directly in this
+	// node's body.
+	Lits []*FuncNode
+
+	recvObj       types.Object
+	paramObjs     []types.Object
+	scheduledLits map[*FuncNode]bool // nested lits passed to Simulator scheduling
+}
+
+// Name renders the node for diagnostics and tests: "pkgpath.Func",
+// "pkgpath.(Type).Method", or "pkgpath.func@line" for literals.
+func (n *FuncNode) Name() string {
+	if n.Obj != nil {
+		if recv := n.recvName(); recv != "" {
+			return fmt.Sprintf("%s.(%s).%s", n.Pkg.Path, recv, n.Obj.Name())
+		}
+		return fmt.Sprintf("%s.%s", n.Pkg.Path, n.Obj.Name())
+	}
+	pos := n.Pkg.Fset.Position(n.Lit.Pos())
+	return fmt.Sprintf("%s.func@%d", n.Pkg.Path, pos.Line)
+}
+
+func (n *FuncNode) recvName() string {
+	sig, ok := n.Obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// A Summary records what one function does to its parameters and its
+// environment, folded over everything it (transitively, through resolved
+// calls) executes. All facts are "may" facts on some path; absence of a
+// fact in a *computed* summary means the analyzed bodies provably never do
+// it through resolved calls — absence of a summary (nil) means unknown.
+type Summary struct {
+	// RecvReleases: the method calls Release on its receiver (a pooled
+	// type) on some path, directly or via a resolved callee.
+	RecvReleases bool
+
+	// Releases[i]: parameter i (a pooled pointer) may be released.
+	Releases []bool
+
+	// Sorts[i]: parameter i (a slice) is passed to a sort-shaped call —
+	// the fact maporder's collect-then-sort idiom needs to traverse
+	// helpers that don't have "sort" in their own name.
+	Sorts []bool
+
+	// ReachesGoroutine[i]: parameter i is referenced inside a go
+	// statement in this function, or passed onward to a parameter with
+	// that fact — the closure-crosses-a-goroutine-boundary marker
+	// detshare consumes.
+	ReachesGoroutine []bool
+
+	// EmitsOutput: the function writes to an escaping writer — fmt
+	// Print*/Fprint*, log printing, or a Write*/Encode method on a
+	// receiver that is not function-local — directly or via a resolved
+	// callee. Inside a range-over-map this leaks iteration order.
+	EmitsOutput bool
+
+	// SpawnsGoroutine: contains a go statement, directly or transitively.
+	SpawnsGoroutine bool
+}
+
+func (s *Summary) equal(o *Summary) bool {
+	if o == nil {
+		return false
+	}
+	if s.RecvReleases != o.RecvReleases || s.EmitsOutput != o.EmitsOutput || s.SpawnsGoroutine != o.SpawnsGoroutine {
+		return false
+	}
+	eq := func(a, b []bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(s.Releases, o.Releases) && eq(s.Sorts, o.Sorts) && eq(s.ReachesGoroutine, o.ReachesGoroutine)
+}
+
+// A Program is the whole-load view: every parsed package's functions, the
+// static call graph between them, and the computed summaries. Load builds
+// one Program per invocation and points every Package at it.
+type Program struct {
+	Pkgs []*Package
+
+	nodes  []*FuncNode
+	byObj  map[*types.Func]*FuncNode
+	bySym  map[string]*FuncNode // pkgpath.[Recv.]Name — see symKey
+	byDecl map[*ast.FuncDecl]*FuncNode
+	byLit  map[*ast.FuncLit]*FuncNode
+
+	summaries map[*FuncNode]*Summary
+	sccs      [][]*FuncNode // bottom-up (callees before callers)
+
+	callers map[*FuncNode][]*FuncNode
+
+	windowRoots  []*FuncNode
+	barrierRoots []*FuncNode
+
+	windowReach  map[*FuncNode]bool
+	barrierReach map[*FuncNode]bool
+	initOnlyMemo map[*FuncNode]int // 0 unknown, 1 in progress, 2 yes, 3 no
+	spanMemo     map[types.Type]int
+}
+
+// NewProgram builds the call graph and computes every summary. It is safe
+// on any package set, including single fixture packages: calls into
+// packages outside the set simply stay unresolved.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Pkgs:         pkgs,
+		byObj:        map[*types.Func]*FuncNode{},
+		bySym:        map[string]*FuncNode{},
+		byDecl:       map[*ast.FuncDecl]*FuncNode{},
+		byLit:        map[*ast.FuncLit]*FuncNode{},
+		summaries:    map[*FuncNode]*Summary{},
+		callers:      map[*FuncNode][]*FuncNode{},
+		initOnlyMemo: map[*FuncNode]int{},
+		spanMemo:     map[types.Type]int{},
+	}
+	for _, pkg := range pkgs {
+		p.collectNodes(pkg)
+	}
+	for _, n := range p.nodes {
+		p.scanCalls(n)
+	}
+	for _, n := range p.nodes {
+		for _, c := range n.Callees {
+			p.callers[c] = append(p.callers[c], n)
+		}
+	}
+	p.computeSCCs()
+	p.computeSummaries()
+	return p
+}
+
+// DeclNode returns the node for a function declaration, or nil.
+func (p *Program) DeclNode(d *ast.FuncDecl) *FuncNode { return p.byDecl[d] }
+
+// LitNode returns the node for a function literal, or nil.
+func (p *Program) LitNode(l *ast.FuncLit) *FuncNode { return p.byLit[l] }
+
+// symKey renders a declared function's program-wide identity:
+// "pkgpath.Name" or "pkgpath.Recv.Name". A caller package that imports a
+// loaded package sees the importer's *types.Func, a distinct object from
+// the one the source check produced — the symbol key bridges the two.
+func symKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	key := fn.Pkg().Path() + "."
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named, ok := derefNamed(sig.Recv().Type()); ok {
+			key += named.Obj().Name() + "."
+		}
+	}
+	return key + fn.Name()
+}
+
+// nodeFor resolves a function object to its in-program node, falling back
+// from object identity to the symbol key for cross-package references
+// (the importer materializes its own objects from export data).
+func (p *Program) nodeFor(fn *types.Func) *FuncNode {
+	if n := p.byObj[fn]; n != nil {
+		return n
+	}
+	if k := symKey(fn); k != "" {
+		return p.bySym[k]
+	}
+	return nil
+}
+
+// NodeOf returns the node for a declared function object, or nil when the
+// function's body is outside the loaded program (export-data-only deps).
+func (p *Program) NodeOf(fn *types.Func) *FuncNode {
+	if p == nil || fn == nil {
+		return nil
+	}
+	return p.nodeFor(fn)
+}
+
+// SummaryOf returns the computed summary for a node, or nil for unknown
+// (nil node, or a node outside this program).
+func (p *Program) SummaryOf(n *FuncNode) *Summary {
+	if p == nil || n == nil {
+		return nil
+	}
+	return p.summaries[n]
+}
+
+// FuncNamed finds a declared function node by package path and name
+// ("Helper" or "Type.Method"). Test hook.
+func (p *Program) FuncNamed(pkgPath, name string) *FuncNode {
+	recv, fn := "", name
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		recv, fn = name[:i], name[i+1:]
+	}
+	for _, n := range p.nodes {
+		if n.Obj == nil || n.Pkg.Path != pkgPath || n.Obj.Name() != fn {
+			continue
+		}
+		if n.recvName() == recv {
+			return n
+		}
+	}
+	return nil
+}
+
+// SCCs returns the strongly connected components of the call graph in
+// bottom-up order (every resolved callee's component no later than its
+// caller's). Test hook for the ordering and fixpoint guarantees.
+func (p *Program) SCCs() [][]*FuncNode { return p.sccs }
+
+// ---- node collection ------------------------------------------------------
+
+func (p *Program) collectNodes(pkg *Package) {
+	newNode := func(n *FuncNode) *FuncNode {
+		p.nodes = append(p.nodes, n)
+		if n.Obj != nil {
+			p.byObj[n.Obj] = n
+			p.bySym[symKey(n.Obj)] = n
+		}
+		if n.Decl != nil {
+			p.byDecl[n.Decl] = n
+		}
+		if n.Lit != nil {
+			p.byLit[n.Lit] = n
+		}
+		return n
+	}
+	var attachLits func(parent *FuncNode, root ast.Node, initCtx bool)
+	attachLits = func(parent *FuncNode, root ast.Node, initCtx bool) {
+		ast.Inspect(root, func(m ast.Node) bool {
+			lit, ok := m.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			node := newNode(&FuncNode{
+				Pkg: pkg, Lit: lit, Body: lit.Body,
+				Encloser: parent, InitContext: initCtx,
+			})
+			node.paramObjs = fieldObjs(pkg, lit.Type.Params)
+			if parent != nil {
+				parent.Lits = append(parent.Lits, node)
+			}
+			attachLits(node, lit.Body, initCtx)
+			return false
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[d.Name].(*types.Func)
+				isInit := d.Recv == nil && d.Name.Name == "init"
+				node := newNode(&FuncNode{
+					Pkg: pkg, Obj: obj, Decl: d, Body: d.Body, InitContext: isInit,
+				})
+				if d.Recv != nil && len(d.Recv.List) > 0 && len(d.Recv.List[0].Names) > 0 {
+					node.recvObj = pkg.Info.Defs[d.Recv.List[0].Names[0]]
+				}
+				node.paramObjs = fieldObjs(pkg, d.Type.Params)
+				attachLits(node, d.Body, isInit)
+			case *ast.GenDecl:
+				// Package-level var initializers run at init time; any
+				// literal inside is init context with no encloser.
+				attachLits(nil, d, true)
+			}
+		}
+	}
+}
+
+func fieldObjs(pkg *Package, fl *ast.FieldList) []types.Object {
+	if fl == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			out = append(out, nil) // unnamed parameter still occupies an index
+			continue
+		}
+		for _, name := range f.Names {
+			out = append(out, pkg.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+// ---- call resolution ------------------------------------------------------
+
+// StaticCallee resolves a call expression to the concrete function object
+// it invokes: a package function, a concrete method, or nil for interface
+// dispatch, function values, builtins, and conversions. Works without a
+// Program — it only needs type information.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if types.IsInterface(sig.Recv().Type()) {
+					return nil // dynamic dispatch
+				}
+			}
+			return fn
+		}
+	}
+	return nil
+}
+
+// ResolveCall is StaticCallee plus the in-program node for the resolved
+// function — nil node when its body was not loaded (export-data-only
+// dependency) or the call is an immediately invoked literal (which has a
+// node but no *types.Func). Exported so analyzers share one resolution
+// semantics with the summary engine.
+func (p *Program) ResolveCall(info *types.Info, call *ast.CallExpr) (*types.Func, *FuncNode) {
+	if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+		return nil, p.byLit[lit]
+	}
+	fn := StaticCallee(info, call)
+	if fn == nil {
+		return nil, nil
+	}
+	return fn, p.nodeFor(fn)
+}
+
+// argNode resolves a call argument that is itself a function — a literal
+// or a named function/method value — to its node.
+func (p *Program) argNode(info *types.Info, e ast.Expr) *FuncNode {
+	switch a := unparen(e).(type) {
+	case *ast.FuncLit:
+		return p.byLit[a]
+	case *ast.Ident:
+		if fn, ok := info.Uses[a].(*types.Func); ok {
+			return p.nodeFor(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[a.Sel].(*types.Func); ok {
+			return p.nodeFor(fn)
+		}
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// inspectOwn walks a node's body without descending into nested function
+// literals — their statements belong to their own nodes.
+func inspectOwn(n *FuncNode, fn func(ast.Node) bool) {
+	ast.Inspect(n.Body, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok && lit != n.Lit {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// simScheduleMethods are the (*sim.Simulator) entry points whose function
+// argument runs in window context on that simulator's executor.
+var simScheduleMethods = map[string]bool{
+	"At": true, "After": true, "Schedule": true, "ScheduleAfter": true,
+}
+
+func (p *Program) scanCalls(n *FuncNode) {
+	n.scheduledLits = map[*FuncNode]bool{}
+	inspectOwn(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, cn := p.ResolveCall(n.Pkg.Info, call)
+		if cn != nil {
+			n.Callees = append(n.Callees, cn)
+		}
+		if fn == nil {
+			return true
+		}
+		switch {
+		case funcIsMethodOn(fn, "sim", "Simulator") && simScheduleMethods[fn.Name()]:
+			// The callback argument is the last one for At/After/
+			// Schedule/ScheduleAfter alike.
+			if len(call.Args) > 0 {
+				if an := p.argNode(n.Pkg.Info, call.Args[len(call.Args)-1]); an != nil {
+					p.windowRoots = append(p.windowRoots, an)
+					if an.Lit != nil {
+						n.scheduledLits[an] = true
+					}
+				}
+			}
+		case funcIsMethodOn(fn, "shard", "Cluster") && fn.Name() == "At":
+			if len(call.Args) == 2 {
+				if an := p.argNode(n.Pkg.Info, call.Args[1]); an != nil {
+					p.barrierRoots = append(p.barrierRoots, an)
+				}
+			}
+		}
+		return true
+	})
+	// Datapath Receive handlers run in window context by construction:
+	// they are invoked by links, queues and demuxes while a shard's
+	// simulator executes a window.
+	if n.Decl != nil && n.Decl.Recv != nil && n.Decl.Name.Name == "Receive" &&
+		len(n.paramObjs) == 1 && n.paramObjs[0] != nil {
+		if typeIsNamedPtr(n.paramObjs[0].Type(), "netem", "Packet") {
+			p.windowRoots = append(p.windowRoots, n)
+		}
+	}
+}
+
+// funcIsMethodOn reports whether fn is a method whose receiver (after
+// deref) is the named type in a package with the given name. Matching is
+// by package *name*, not path, so fixtures under testdata mimic real
+// packages — the same convention pooledTypes uses.
+func funcIsMethodOn(fn *types.Func, pkgName, typeName string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return typeIsNamedPtr(sig.Recv().Type(), pkgName, typeName) ||
+		typeIsNamed(sig.Recv().Type(), pkgName, typeName)
+}
+
+func typeIsNamedPtr(t types.Type, pkgName, typeName string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return typeIsNamed(ptr.Elem(), pkgName, typeName)
+}
+
+func typeIsNamed(t types.Type, pkgName, typeName string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Name() == pkgName && obj.Name() == typeName
+}
+
+// ---- SCCs (Tarjan) --------------------------------------------------------
+
+func (p *Program) computeSCCs() {
+	index := map[*FuncNode]int{}
+	low := map[*FuncNode]int{}
+	onStack := map[*FuncNode]bool{}
+	var stack []*FuncNode
+	next := 0
+
+	var strongconnect func(n *FuncNode)
+	strongconnect = func(n *FuncNode) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, c := range n.Callees {
+			if _, seen := index[c]; !seen {
+				strongconnect(c)
+				if low[c] < low[n] {
+					low[n] = low[c]
+				}
+			} else if onStack[c] && index[c] < low[n] {
+				low[n] = index[c]
+			}
+		}
+		if low[n] == index[n] {
+			var scc []*FuncNode
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == n {
+					break
+				}
+			}
+			// Tarjan emits components in reverse topological order of the
+			// condensation — i.e. callees' components complete before the
+			// components that call them, which is exactly the bottom-up
+			// order summary computation needs.
+			p.sccs = append(p.sccs, scc)
+		}
+	}
+	for _, n := range p.nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+}
+
+// ---- summaries ------------------------------------------------------------
+
+func (p *Program) computeSummaries() {
+	for _, scc := range p.sccs {
+		// Within a component, iterate to a fixpoint: facts only ever turn
+		// on, so the loop terminates after at most (members × facts)
+		// rounds; mutual recursion converges here.
+		for {
+			changed := false
+			for _, n := range scc {
+				ns := p.computeSummary(n)
+				if !ns.equal(p.summaries[n]) {
+					p.summaries[n] = ns
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+}
+
+// paramIndex locates an object among a node's receiver and parameters:
+// (-1, true) for the receiver, (i, false) for parameter i, (-2, false)
+// when it is neither.
+func (n *FuncNode) paramIndex(obj types.Object) (int, bool) {
+	if obj == nil {
+		return -2, false
+	}
+	if n.recvObj != nil && obj == n.recvObj {
+		return -1, true
+	}
+	for i, po := range n.paramObjs {
+		if po != nil && obj == po {
+			return i, false
+		}
+	}
+	return -2, false
+}
+
+func (p *Program) computeSummary(n *FuncNode) *Summary {
+	s := &Summary{
+		Releases:         make([]bool, len(n.paramObjs)),
+		Sorts:            make([]bool, len(n.paramObjs)),
+		ReachesGoroutine: make([]bool, len(n.paramObjs)),
+	}
+	info := n.Pkg.Info
+	markRelease := func(obj types.Object) {
+		if i, isRecv := n.paramIndex(obj); isRecv {
+			s.RecvReleases = true
+		} else if i >= 0 {
+			s.Releases[i] = true
+		}
+	}
+	argObj := func(e ast.Expr) types.Object {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		return info.Uses[id]
+	}
+	inspectOwn(n, func(m ast.Node) bool {
+		switch st := m.(type) {
+		case *ast.GoStmt:
+			s.SpawnsGoroutine = true
+			// Anything of ours referenced under the go statement —
+			// including captures inside a spawned literal — crosses the
+			// goroutine boundary.
+			ast.Inspect(st, func(g ast.Node) bool {
+				id, ok := g.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if i, _ := n.paramIndex(info.Uses[id]); i >= 0 {
+					s.ReachesGoroutine[i] = true
+				}
+				return true
+			})
+			return true
+		case *ast.CallExpr:
+			fn, cn := p.ResolveCall(n.Pkg.Info, st)
+			// Direct facts.
+			if fn != nil && fn.Name() == "Release" && len(st.Args) == 0 {
+				if sel, ok := unparen(st.Fun).(*ast.SelectorExpr); ok {
+					if t := info.TypeOf(sel.X); t != nil && isPooledPtr(t) {
+						markRelease(argObj(sel.X))
+					}
+				}
+			}
+			if emitsDirectly(n, st) {
+				s.EmitsOutput = true
+			}
+			if strings.Contains(strings.ToLower(calleeName(st)), "sort") {
+				for _, a := range st.Args {
+					if i, _ := n.paramIndex(argObj(a)); i >= 0 {
+						s.Sorts[i] = true
+					}
+				}
+			}
+			// Facts through resolved callees with computed summaries.
+			cs := p.summaries[cn]
+			if cs == nil {
+				return true
+			}
+			if cs.EmitsOutput {
+				s.EmitsOutput = true
+			}
+			if cs.SpawnsGoroutine {
+				s.SpawnsGoroutine = true
+			}
+			if cn != nil && cs.RecvReleases {
+				if sel, ok := unparen(st.Fun).(*ast.SelectorExpr); ok {
+					markRelease(argObj(sel.X))
+				}
+			}
+			for ai, a := range st.Args {
+				i, isRecv := n.paramIndex(argObj(a))
+				if isRecv {
+					i = -1
+				}
+				if i == -2 || ai >= len(cn.paramObjs) {
+					continue
+				}
+				set := func(fact []bool, mine *[]bool, recvFact *bool) {
+					if ai < len(fact) && fact[ai] {
+						if i >= 0 {
+							(*mine)[i] = true
+						} else if recvFact != nil {
+							*recvFact = true
+						}
+					}
+				}
+				set(cs.Releases, &s.Releases, &s.RecvReleases)
+				set(cs.Sorts, &s.Sorts, nil)
+				set(cs.ReachesGoroutine, &s.ReachesGoroutine, nil)
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// emitsDirectly reports whether the call writes to an escaping output sink:
+// fmt/log printing (Sprint* excluded — it escapes only if its result does,
+// which other rules track), or a Write*/Encode method whose receiver is
+// not a local of this very function. A strings.Builder local that is
+// returned as a value does not leak iteration order by itself.
+func emitsDirectly(n *FuncNode, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	info := n.Pkg.Info
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			switch fn.Name() {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return true
+			}
+		case "log":
+			switch fn.Name() {
+			case "Print", "Printf", "Println", "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				return true
+			}
+		}
+	}
+	if selinfo, ok := info.Selections[sel]; ok && selinfo.Kind() == types.MethodVal && writerMethods[sel.Sel.Name] {
+		// Receiver root: a var declared inside this node's own body (and
+		// not a parameter) is function-local; anything else — parameter,
+		// capture, field, global — escapes.
+		root := sel.X
+		for {
+			if s, ok := unparen(root).(*ast.SelectorExpr); ok {
+				root = s.X
+				continue
+			}
+			break
+		}
+		id, ok := unparen(root).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if i, _ := n.paramIndex(obj); i >= 0 || i == -1 {
+			return true // parameter or receiver: caller-owned sink
+		}
+		if obj.Pos() >= n.Body.Pos() && obj.Pos() < n.Body.End() {
+			return false // function-local sink
+		}
+		return true
+	}
+	return false
+}
+
+// ---- reachability ---------------------------------------------------------
+
+// WindowReachable returns the set of nodes that can execute in window
+// context: closures and function values handed to the simulator's
+// scheduling API, datapath Receive handlers, and everything they
+// transitively call through resolved edges (including lexically nested
+// literals, which run no later than their encloser's context).
+func (p *Program) WindowReachable() map[*FuncNode]bool {
+	if p.windowReach == nil {
+		p.windowReach = p.closure(p.windowRoots, false)
+	}
+	return p.windowReach
+}
+
+// BarrierReachable returns the set of nodes that can execute in barrier
+// context: Cluster.At callbacks and everything they transitively call —
+// except literals those callbacks hand to the simulator's scheduling API,
+// which run later, in window context.
+func (p *Program) BarrierReachable() map[*FuncNode]bool {
+	if p.barrierReach == nil {
+		p.barrierReach = p.closure(p.barrierRoots, true)
+	}
+	return p.barrierReach
+}
+
+func (p *Program) closure(roots []*FuncNode, skipScheduledLits bool) map[*FuncNode]bool {
+	seen := map[*FuncNode]bool{}
+	stack := append([]*FuncNode(nil), roots...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == nil || seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, n.Callees...)
+		for _, l := range n.Lits {
+			if skipScheduledLits && n.scheduledLits[l] {
+				continue
+			}
+			stack = append(stack, l)
+		}
+	}
+	return seen
+}
+
+// InitOnly reports whether a node can only ever run during package
+// initialization: func init bodies, package-level var initializers, their
+// nested literals, and unexported plain functions all of whose in-program
+// callers are themselves init-only. Methods and exported functions are
+// never init-only (interface dispatch and external callers are invisible
+// to the static graph). Cycles resolve conservatively to false.
+func (p *Program) InitOnly(n *FuncNode) bool {
+	if p == nil || n == nil {
+		return false
+	}
+	switch p.initOnlyMemo[n] {
+	case 1: // in progress: a call cycle — conservative
+		return false
+	case 2:
+		return true
+	case 3:
+		return false
+	}
+	p.initOnlyMemo[n] = 1
+	res := p.initOnly(n)
+	if res {
+		p.initOnlyMemo[n] = 2
+	} else {
+		p.initOnlyMemo[n] = 3
+	}
+	return res
+}
+
+func (p *Program) initOnly(n *FuncNode) bool {
+	if n.InitContext {
+		return true
+	}
+	if n.Lit != nil {
+		// A literal runs in (at most) its encloser's context as far as
+		// this static view can tell.
+		return n.Encloser != nil && p.InitOnly(n.Encloser)
+	}
+	if n.Decl.Recv != nil || ast.IsExported(n.Decl.Name.Name) {
+		return false
+	}
+	callers := p.callers[n]
+	if len(callers) == 0 {
+		return false
+	}
+	for _, c := range callers {
+		if !p.InitOnly(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- spanning types (barriermut) ------------------------------------------
+
+// shardReach classifies how far a type can reach into the shard layer.
+const (
+	reachNone    = iota
+	reachShard   // holds (a pointer to) one Shard or Edge
+	reachCluster // holds a Cluster, or a collection of shard-reaching values
+)
+
+// SpansShards reports whether a named struct type (outside package shard
+// itself) can reach state on more than one shard: it holds a Cluster, a
+// collection whose elements reach shards, or two or more distinct
+// shard-reaching fields. Such "spanning" types are exactly the ones whose
+// mutating methods must be confined to barrier context — in-window code on
+// one shard touching them races every other shard.
+func (p *Program) SpansShards(t types.Type) bool {
+	named, ok := derefNamed(t)
+	if !ok {
+		return false
+	}
+	if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Name() == "shard" {
+		return false // the protocol's own types; shardown governs them
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	reaching := 0
+	for i := 0; i < st.NumFields(); i++ {
+		switch p.fieldReach(st.Field(i).Type(), 0) {
+		case reachCluster:
+			return true
+		case reachShard:
+			reaching++
+		}
+	}
+	return reaching >= 2
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+// fieldReach computes a type's shard reach with bounded depth and
+// memoization; cycles and deep nests resolve to reachNone (conservative
+// for the analyzer's no-false-positives direction).
+func (p *Program) fieldReach(t types.Type, depth int) int {
+	if depth > 6 {
+		return reachNone
+	}
+	if r, ok := p.spanMemo[t]; ok {
+		return r
+	}
+	p.spanMemo[t] = reachNone // cycle guard
+	r := p.fieldReachUncached(t, depth)
+	p.spanMemo[t] = r
+	return r
+}
+
+func (p *Program) fieldReachUncached(t types.Type, depth int) int {
+	switch x := t.(type) {
+	case *types.Pointer:
+		return p.fieldReach(x.Elem(), depth+1)
+	case *types.Slice:
+		if p.fieldReach(x.Elem(), depth+1) != reachNone {
+			return reachCluster // a collection of shard-reaching values spans
+		}
+		return reachNone
+	case *types.Array:
+		if p.fieldReach(x.Elem(), depth+1) != reachNone {
+			return reachCluster
+		}
+		return reachNone
+	case *types.Map:
+		if p.fieldReach(x.Elem(), depth+1) != reachNone || p.fieldReach(x.Key(), depth+1) != reachNone {
+			return reachCluster
+		}
+		return reachNone
+	case *types.Chan:
+		if p.fieldReach(x.Elem(), depth+1) != reachNone {
+			return reachCluster
+		}
+		return reachNone
+	case *types.Named:
+		obj := x.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Name() == "shard" {
+			switch obj.Name() {
+			case "Cluster":
+				return reachCluster
+			case "Shard", "Edge":
+				return reachShard
+			}
+		}
+		if st, ok := x.Underlying().(*types.Struct); ok {
+			best := reachNone
+			count := 0
+			for i := 0; i < st.NumFields(); i++ {
+				switch p.fieldReach(st.Field(i).Type(), depth+1) {
+				case reachCluster:
+					return reachCluster
+				case reachShard:
+					count++
+					best = reachShard
+				}
+			}
+			if count >= 2 {
+				return reachCluster
+			}
+			return best
+		}
+		return reachNone
+	default:
+		return reachNone
+	}
+}

@@ -21,6 +21,15 @@ import (
 //     unless some later call in the same function whose name contains
 //     "sort" takes that slice — the collect-keys-then-sort idiom.
 //
+// Since PR 8 both sides see through helpers via the dataflow layer's
+// summaries: a call inside the loop to a function that (transitively)
+// writes output — fmt/log printing or Write*/Encode on a non-local
+// receiver — is flagged like an inline print (pattern 1 laundered through
+// a helper), and a later call to a helper that sorts its parameter
+// satisfies pattern 3 even when the helper's name says nothing about
+// sorting (dedupe(keys) that sorts internally). Without a Program the
+// analyzer degrades to the name-based behavior above.
+//
 // Order-independent uses — copying into another map, numeric aggregation —
 // are not flagged. Scope: deterministic packages plus obs (MapOrderPkg),
 // whose JSONL/Chrome-trace/metrics writers are where order reaches golden
@@ -77,7 +86,19 @@ func checkMapRangeBody(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		switch s := n.(type) {
 		case *ast.CallExpr:
-			checkOutputCall(pass, s)
+			if checkOutputCall(pass, s) {
+				return true
+			}
+			// Output laundered through a helper: the callee's summary
+			// says it (transitively) writes to an escaping writer.
+			if pass.Prog != nil {
+				_, cn := pass.Prog.ResolveCall(pass.TypesInfo, s)
+				if cs := pass.Prog.SummaryOf(cn); cs != nil && cs.EmitsOutput {
+					pass.Reportf(s.Pos(),
+						"call to %s inside range over map writes output (via its callees) in randomized map order; iterate sorted keys instead",
+						calleeName(s))
+				}
+			}
 		case *ast.AssignStmt:
 			// x = append(x, ...) / x := append(y, ...)
 			for i, rhs := range s.Rhs {
@@ -107,18 +128,19 @@ func checkMapRangeBody(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
 	})
 }
 
-// checkOutputCall flags direct output calls inside the loop body.
-func checkOutputCall(pass *Pass, call *ast.CallExpr) {
+// checkOutputCall flags direct output calls inside the loop body and
+// reports whether it flagged one.
+func checkOutputCall(pass *Pass, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return
+		return false
 	}
 	name := sel.Sel.Name
 	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
 		if fn.Pkg().Path() == "fmt" && fmtPrintFuncs[name] {
 			pass.Reportf(call.Pos(),
 				"fmt.%s inside range over map emits output in randomized map order; iterate sorted keys instead", name)
-			return
+			return true
 		}
 	}
 	// Method calls on writers/encoders: selection-based (has a receiver).
@@ -126,7 +148,9 @@ func checkOutputCall(pass *Pass, call *ast.CallExpr) {
 		pass.Reportf(call.Pos(),
 			"%s.%s inside range over map writes output in randomized map order; iterate sorted keys instead",
 			render(sel.X), name)
+		return true
 	}
+	return false
 }
 
 func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
@@ -150,13 +174,26 @@ func declaredWithin(pass *Pass, e ast.Expr, rs *ast.RangeStmt) bool {
 }
 
 // sortedLater reports whether, after the range statement, the enclosing
-// function calls something sort-shaped (callee name containing "sort",
-// case-insensitively: sort.Slice, sort.Strings, slices.Sort, a local
-// sortStrings helper, ...) with the append target among its arguments.
+// function calls something sort-shaped with the append target among its
+// arguments. Sort-shaped means either the callee's name contains "sort"
+// (case-insensitively: sort.Slice, sort.Strings, slices.Sort, a local
+// sortStrings helper, ...) or — with a Program — the callee's summary
+// proves the parameter receiving the target is sorted inside.
 func sortedLater(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, target ast.Expr) bool {
 	targetKey := exprKey(pass, target)
 	if targetKey == "" {
 		return false
+	}
+	argHasTarget := func(arg ast.Expr) bool {
+		hit := false
+		ast.Inspect(arg, func(m ast.Node) bool {
+			if e, ok := m.(ast.Expr); ok && exprKey(pass, e) == targetKey {
+				hit = true
+				return false
+			}
+			return true
+		})
+		return hit
 	}
 	found := false
 	ast.Inspect(fnBody, func(n ast.Node) bool {
@@ -167,21 +204,23 @@ func sortedLater(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, target as
 		if !ok || call.Pos() < rs.End() {
 			return true
 		}
-		if !strings.Contains(strings.ToLower(calleeName(call)), "sort") {
-			return true
-		}
-		for _, arg := range call.Args {
-			hit := false
-			ast.Inspect(arg, func(m ast.Node) bool {
-				if e, ok := m.(ast.Expr); ok && exprKey(pass, e) == targetKey {
-					hit = true
+		if strings.Contains(strings.ToLower(calleeName(call)), "sort") {
+			for _, arg := range call.Args {
+				if argHasTarget(arg) {
+					found = true
 					return false
 				}
-				return true
-			})
-			if hit {
-				found = true
-				return false
+			}
+		}
+		if pass.Prog != nil {
+			_, cn := pass.Prog.ResolveCall(pass.TypesInfo, call)
+			if cs := pass.Prog.SummaryOf(cn); cs != nil {
+				for ai, arg := range call.Args {
+					if ai < len(cs.Sorts) && cs.Sorts[ai] && argHasTarget(arg) {
+						found = true
+						return false
+					}
+				}
 			}
 		}
 		return true

@@ -32,9 +32,14 @@ import (
 //
 // A call on a struct field (x.f.Record(...)) must be dominated by a nil
 // check of that exact field: either an enclosing `if x.f != nil { ... }`
-// or an early return (`if x.f == nil { return }`). Calls on local
-// variables are exempt — the established idiom hoists the field into a
-// checked local (`if pe := l.o.Errs(); pe != nil && ... { pe.Observe(...) }`).
+// or an early return (`if x.f == nil { return }`). A local that is a pure
+// single-assignment alias of such a field (`t := s.tracer`) is checked the
+// same way — the guard may be on the local (`if t != nil`) or on the field
+// path it aliases; before PR 8 this was a blind spot that let
+// `t := s.tracer; t.Record(...)` bypass the analyzer entirely. Other
+// locals remain exempt — the established idiom hoists through a call
+// (`if pe := l.o.Errs(); pe != nil && ... { pe.Observe(...) }`), whose
+// result the analyzer cannot alias-track.
 // The cheap nil-safe instruments (Counter.Inc, Gauge.Set, Hist.Observe)
 // are deliberately not checked: their arguments cost nothing to evaluate.
 //
@@ -71,10 +76,12 @@ func runObsGuard(pass *Pass) error {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
+					g.aliases = collectObsAliases(pass, fn.Body)
 					g.walkStmts(fn.Body.List, map[string]bool{})
 				}
 				return false
 			case *ast.FuncLit:
+				g.aliases = collectObsAliases(pass, fn.Body)
 				g.walkStmts(fn.Body.List, map[string]bool{})
 				return false
 			}
@@ -86,56 +93,160 @@ func runObsGuard(pass *Pass) error {
 
 type guardState struct {
 	pass *Pass
+	// aliases maps a single-assignment local bound from a guarded-type
+	// field selector (t := s.tracer) to the rendered field path it
+	// aliases. Scoped to the top-level function currently being walked
+	// (nested literals included).
+	aliases map[types.Object]string
 }
 
-// obsHookReceiver returns the rendered receiver path and method name if
-// call is one of the guarded obs hook methods invoked on a struct field;
-// otherwise "".
-func (g *guardState) obsHookReceiver(call *ast.CallExpr) (string, string) {
+// collectObsAliases scans a function body (including nested literals) for
+// locals that are pure aliases of a guarded obs instrument field: assigned
+// exactly once in the whole function, from a plain field selector whose
+// type is one of the guarded obs pointer types. Locals assigned more than
+// once, or from anything but a field selector (method results, composite
+// expressions), are not aliases and stay under the hoist-idiom exemption.
+func collectObsAliases(pass *Pass, body *ast.BlockStmt) map[types.Object]string {
+	candidates := map[types.Object]string{}
+	counts := map[types.Object]int{}
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		counts[obj]++
+		sel, ok := rhs.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if fs, ok := pass.TypesInfo.Selections[sel]; !ok || fs.Kind() != types.FieldVal {
+			return
+		}
+		if !guardedObsType(obj.Type()) {
+			return
+		}
+		if path := render(sel); path != "" {
+			candidates[obj] = path
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					record(st.Lhs[i], st.Rhs[i])
+				}
+			} else {
+				// Multi-value assignment: count writes, no aliasing.
+				for _, l := range st.Lhs {
+					record(l, nil)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				for i := range st.Names {
+					record(st.Names[i], st.Values[i])
+				}
+			} else {
+				for _, name := range st.Names {
+					record(name, nil)
+				}
+			}
+		}
+		return true
+	})
+	for obj := range candidates {
+		if counts[obj] != 1 {
+			delete(candidates, obj)
+		}
+	}
+	return candidates
+}
+
+// guardedObsType reports whether t is a pointer to one of the obs types in
+// guardedMethods.
+func guardedObsType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "obs" {
+		return false
+	}
+	_, guarded := guardedMethods[obj.Name()]
+	return guarded
+}
+
+// obsHookReceiver returns the guard keys and method name if call is one of
+// the guarded obs hook methods invoked on a struct field or on a
+// single-assignment local alias of one. The call is properly guarded when
+// *any* returned key has a dominating nil check: for a field receiver the
+// key is its rendered path; for an alias local both the local's name and
+// the aliased field path are acceptable. Returns nil keys for exempt
+// receivers.
+func (g *guardState) obsHookReceiver(call *ast.CallExpr) ([]string, string) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return "", ""
+		return nil, ""
 	}
 	selinfo, ok := g.pass.TypesInfo.Selections[sel]
 	if !ok || selinfo.Kind() != types.MethodVal {
-		return "", ""
+		return nil, ""
 	}
 	recvType := selinfo.Recv()
 	ptr, ok := recvType.(*types.Pointer)
 	if !ok {
-		return "", ""
+		return nil, ""
 	}
 	named, ok := ptr.Elem().(*types.Named)
 	if !ok {
-		return "", ""
+		return nil, ""
 	}
 	obj := named.Obj()
 	if obj.Pkg() == nil || obj.Pkg().Name() != "obs" {
-		return "", ""
+		return nil, ""
 	}
 	methods, ok := guardedMethods[obj.Name()]
 	if !ok || !methods[sel.Sel.Name] {
-		return "", ""
+		return nil, ""
 	}
-	// The receiver must itself be a field selector (x.f); calls on plain
-	// locals follow the hoist-into-checked-local idiom and are exempt.
+	// A plain identifier receiver: guarded when it is a known alias of an
+	// instrument field (t := s.tracer); other locals follow the
+	// hoist-into-checked-local idiom and are exempt.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if aObj := g.pass.TypesInfo.Uses[id]; aObj != nil {
+			if path, isAlias := g.aliases[aObj]; isAlias {
+				return []string{id.Name, path}, sel.Sel.Name
+			}
+		}
+		return nil, ""
+	}
 	recvSel, ok := sel.X.(*ast.SelectorExpr)
 	if !ok {
-		return "", ""
+		return nil, ""
 	}
 	if fs, ok := g.pass.TypesInfo.Selections[recvSel]; !ok || fs.Kind() != types.FieldVal {
 		// Package-qualified identifiers (pkg.Var) have no Selection;
 		// treat package-level obs instruments as fields too — they are
 		// shared state that must be guarded the same way.
 		if _, isPkg := g.pass.TypesInfo.Uses[recvSel.Sel]; !isPkg {
-			return "", ""
+			return nil, ""
 		}
 	}
 	r := render(sel.X)
 	if r == "" {
-		return "", ""
+		return nil, ""
 	}
-	return r, sel.Sel.Name
+	return []string{r}, sel.Sel.Name
 }
 
 // nilCheckTargets splits a condition into &&-conjuncts and returns the
@@ -234,13 +345,18 @@ func (g *guardState) checkExpr(n ast.Node, guarded map[string]bool) {
 		if !ok {
 			return true
 		}
-		recv, method := g.obsHookReceiver(call)
-		if recv == "" || guarded[recv] {
+		keys, method := g.obsHookReceiver(call)
+		if len(keys) == 0 {
 			return true
+		}
+		for _, k := range keys {
+			if guarded[k] {
+				return true
+			}
 		}
 		g.pass.Reportf(call.Pos(),
 			"obs hook %s.%s is not dominated by a nil check on %s; its arguments are evaluated even when observability is disabled, breaking the pinned 0-alloc path (TestObsDisabledZeroAlloc, CI \"Observability disabled-path is allocation-free\")",
-			recv, method, recv)
+			keys[0], method, keys[0])
 		return true
 	})
 }

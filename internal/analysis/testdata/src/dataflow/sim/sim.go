@@ -1,0 +1,60 @@
+// Package sim is the dataflow-layer fixture: small functions whose
+// summaries (release, output, sort, goroutine facts) and SCC structure the
+// engine tests assert directly. No analyzer runs over it.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+)
+
+// c1 -> c2 -> c3: a release chain; bottom-up SCC order must place c3's
+// component before c2's before c1's.
+func c1(p *netem.Packet) { c2(p) }
+func c2(p *netem.Packet) { c3(p) }
+func c3(p *netem.Packet) { p.Release() }
+
+// relA <-> relB: a recursive release pair; the fixpoint must converge with
+// Releases[0] on both.
+func relA(p *netem.Packet, n int) {
+	if n == 0 {
+		p.Release()
+		return
+	}
+	relB(p, n-1)
+}
+
+func relB(p *netem.Packet, n int) { relA(p, n) }
+
+// emit / emitVia: direct and transitive output.
+func emit(w io.Writer, k string)    { fmt.Fprintln(w, k) }
+func emitVia(w io.Writer, k string) { emit(w, k) }
+
+// renderLocal writes only to a function-local Builder: not output.
+func renderLocal(k string) string {
+	var b strings.Builder
+	b.WriteString(k)
+	return b.String()
+}
+
+// dedupe / dedupeVia: direct and transitive sorting of parameter 0.
+func dedupe(keys []string) []string {
+	sort.Strings(keys)
+	return keys
+}
+
+func dedupeVia(keys []string) []string { return dedupe(keys) }
+
+// runOn moves its argument across a goroutine boundary.
+func runOn(fn func()) {
+	done := make(chan struct{})
+	go func() {
+		fn()
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,80 @@
+// helpers.go exercises the PR 8 interprocedural half of maporder: output
+// laundered through a helper is flagged via the helper's summary, and a
+// helper that sorts its argument internally satisfies the
+// collect-then-sort idiom even though its name says nothing about sorting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// emit writes one line: its summary carries EmitsOutput.
+func emit(w io.Writer, k string) {
+	fmt.Fprintln(w, k)
+}
+
+// emitVia launders the write one level deeper; summaries compose.
+func emitVia(w io.Writer, k string) {
+	emit(w, k)
+}
+
+func launderedPrint(w io.Writer, m map[string]int) {
+	for k := range m {
+		emit(w, k) // want `call to emit inside range over map writes output`
+	}
+}
+
+func launderedPrintDeep(w io.Writer, m map[string]int) {
+	for k := range m {
+		emitVia(w, k) // want `call to emitVia inside range over map writes output`
+	}
+}
+
+// renderLocal writes only to a function-local Builder — no escaping
+// output, so calling it per-iteration is order-safe.
+func renderLocal(k string) string {
+	var b strings.Builder
+	b.WriteString(k)
+	return b.String()
+}
+
+func localBuilderHelperClean(m map[string]int) int {
+	n := 0
+	for k := range m {
+		n += len(renderLocal(k))
+	}
+	return n
+}
+
+// dedupe sorts internally; its name gives no hint, so only the summary's
+// Sorts fact makes the accumulate below legal.
+func dedupe(keys []string) []string {
+	sort.Strings(keys)
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || keys[i-1] != k {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func collectThenDedupe(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for _, k := range dedupe(keys) {
+		fmt.Fprintln(w, k)
+	}
+}
+
+func suppressedLaundered(w io.Writer, m map[string]int) {
+	for k := range m {
+		//lint:ignore maporder fixture exercises suppressing the laundered-output report
+		emit(w, k)
+	}
+}

@@ -1,0 +1,53 @@
+// alias.go exercises the PR 8 fix for the local-alias blind spot: a local
+// assigned exactly once from a guarded obs field is checked like the field
+// itself — hoisting `t := s.tracer` no longer launders an unguarded hook.
+package guard
+
+import (
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/netem"
+	"github.com/zhuge-project/zhuge/internal/obs"
+)
+
+func (l *link) aliasUnguarded(now time.Duration, f netem.FlowKey) {
+	t := l.tr
+	t.Record(obs.Event{At: now, Flow: f}) // want `obs hook t\.Record is not dominated by a nil check on t`
+}
+
+func (l *link) aliasGuardedOnLocal(now time.Duration, f netem.FlowKey) {
+	t := l.tr
+	if t != nil {
+		t.Record(obs.Event{At: now, Flow: f})
+	}
+}
+
+// aliasGuardedOnField: the guard may equally dominate via the aliased
+// field's own path — either key satisfies the check.
+func (l *link) aliasGuardedOnField(now time.Duration, f netem.FlowKey) {
+	t := l.tr
+	if l.tr != nil {
+		t.Record(obs.Event{At: now, Flow: f})
+	}
+}
+
+// aliasReassigned is exempt: two assignments mean the local is no longer a
+// pure alias, and the analyzer cannot tell which value it holds.
+func (l *link) aliasReassigned(now time.Duration, f netem.FlowKey, other *obs.Tracer) {
+	t := l.tr
+	t = other
+	t.Record(obs.Event{At: now, Flow: f})
+}
+
+// aliasFromCall is exempt: the local comes from a call, not a field read,
+// so the pre-PR-8 hoisted-local rule still applies.
+func (l *link) aliasFromCall(now time.Duration, f netem.FlowKey, o *obs.Obs) {
+	pe := o.Errs()
+	pe.Observe(f, now, now)
+}
+
+func (l *link) aliasSuppressed(now time.Duration, f netem.FlowKey) {
+	t := l.tr
+	//lint:ignore obsguard fixture exercises suppressing the alias report
+	t.Record(obs.Event{At: now, Flow: f})
+}

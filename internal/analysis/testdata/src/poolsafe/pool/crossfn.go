@@ -1,0 +1,109 @@
+// crossfn.go exercises the PR 8 interprocedural half of poolsafe: a pooled
+// pointer passed to a callee whose summary proves it may be released is
+// treated as released at the call site. Before the dataflow layer, every
+// case in this file silently passed.
+package pool
+
+import (
+	"github.com/zhuge-project/zhuge/internal/netem"
+)
+
+// consume takes ownership: its summary carries Releases[0].
+func consume(p *netem.Packet) {
+	p.Release()
+}
+
+// consumeDeep releases two calls down; summaries compose bottom-up.
+func consumeDeep(p *netem.Packet) {
+	consume(p)
+}
+
+// maybeConsume releases on one path only; the summary is a may-fact.
+func maybeConsume(p *netem.Packet, drop bool) {
+	if drop {
+		p.Release()
+	}
+}
+
+// inspect only reads: no release fact, callers stay clean.
+func inspect(p *netem.Packet) int {
+	return p.Size
+}
+
+func crossFnUseAfterRelease() int {
+	p := netem.NewPacket()
+	consume(p)
+	return p.Size // want `use of p after Release`
+}
+
+func crossFnDeepUseAfterRelease() {
+	p := netem.NewPacket()
+	consumeDeep(p)
+	p.Seq = 7 // want `use of p after Release`
+}
+
+func crossFnDoubleRelease() {
+	p := netem.NewPacket()
+	consume(p)
+	p.Release() // want `double Release of p`
+}
+
+func crossFnMayRelease(drop bool) int {
+	p := netem.NewPacket()
+	maybeConsume(p, drop)
+	return p.Size // want `use of p after Release`
+}
+
+// relA/relB: mutual recursion must reach the Releases fixpoint, not loop
+// or settle at the optimistic bottom.
+func relA(p *netem.Packet, n int) {
+	if n == 0 {
+		p.Release()
+		return
+	}
+	relB(p, n-1)
+}
+
+func relB(p *netem.Packet, n int) {
+	relA(p, n)
+}
+
+func crossFnRecursiveRelease() {
+	p := netem.NewPacket()
+	relB(p, 3)
+	_ = p.Size // want `use of p after Release`
+}
+
+// crossFnReadOnlyClean: a read-only callee does not poison the pointer.
+func crossFnReadOnlyClean() int {
+	p := netem.NewPacket()
+	n := inspect(p)
+	n += p.Size
+	p.Release()
+	return n
+}
+
+// crossFnRepop: reassignment after a consuming call rebinds the name,
+// exactly like reassignment after an inline Release.
+func crossFnRepop(pkts []*netem.Packet) int {
+	p := netem.NewPacket()
+	consume(p)
+	p = pkts[0]
+	return p.Size
+}
+
+// crossFnUnresolvedClean: a function value is an unresolved callee; no
+// summary means no release fact (conservative — the runtime gates back
+// this case up).
+func crossFnUnresolvedClean(sink func(*netem.Packet)) int {
+	p := netem.NewPacket()
+	sink(p)
+	return p.Size
+}
+
+func crossFnSuppressed() int {
+	p := netem.NewPacket()
+	consume(p)
+	//lint:ignore poolsafe fixture exercises suppression of the interprocedural report
+	return p.Size
+}

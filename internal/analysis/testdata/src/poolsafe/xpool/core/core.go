@@ -1,0 +1,30 @@
+// Package core is the caller side of the cross-package poolsafe fixture:
+// use-after-Release where the Release happens in another package. This is
+// exactly the case the pre-PR-8 intraprocedural analyzer provably missed —
+// TestPoolSafeCrossPackageNeedsProgram strips the Program and asserts the
+// findings disappear.
+package core
+
+import (
+	"github.com/zhuge-project/zhuge/internal/analysis/testdata/src/poolsafe/xpool/helper"
+	"github.com/zhuge-project/zhuge/internal/netem"
+)
+
+func crossPkgUseAfterRelease() int {
+	p := netem.NewPacket()
+	helper.Consume(p)
+	return p.Size // want `use of p after Release`
+}
+
+func crossPkgDoubleRelease() {
+	p := netem.NewPacket()
+	helper.Consume(p)
+	p.Release() // want `double Release of p`
+}
+
+func crossPkgClean() int {
+	p := netem.NewPacket()
+	n := helper.Inspect(p)
+	p.Release()
+	return n
+}

@@ -1,0 +1,19 @@
+// Package helper is the callee side of the cross-package poolsafe fixture:
+// it releases the packets handed to it, and that fact must travel through
+// the export boundary via the shared Program (both fixture packages are
+// loaded in one analysistest run).
+package helper
+
+import (
+	"github.com/zhuge-project/zhuge/internal/netem"
+)
+
+// Consume takes ownership of p and recycles it.
+func Consume(p *netem.Packet) {
+	p.Release()
+}
+
+// Inspect only reads.
+func Inspect(p *netem.Packet) int {
+	return p.Size
+}

@@ -1,0 +1,73 @@
+// Package shard is a shardown fixture mirroring the real edge-ring
+// protocol: its package name is "shard" and its ring/Edge/Cluster types
+// match the real ones by name, so the analyzer's confinement rules apply
+// exactly as they do in internal/shard. push belongs to (*Edge).Send;
+// drain and pending belong to *Cluster methods; anything else races the
+// SPSC fast path.
+package shard
+
+// Parcel mirrors the cross-shard envelope.
+type Parcel struct{ Seq int }
+
+// ring mirrors the real SPSC ring by name; the implementation here is a
+// plain slice — the analyzer cares about call sites, not internals.
+type ring struct{ buf []Parcel }
+
+func (r *ring) push(p Parcel) { r.buf = append(r.buf, p) }
+
+func (r *ring) drain(fn func(Parcel)) {
+	for _, p := range r.buf {
+		fn(p)
+	}
+	r.buf = r.buf[:0]
+}
+
+func (r *ring) pending() int { return len(r.buf) }
+
+// Edge owns the producer side: push from Send is the only legal producer.
+type Edge struct{ r ring }
+
+func (e *Edge) Send(p Parcel) { e.r.push(p) }
+
+// Cluster owns the consumer side.
+type Cluster struct{ edges []*Edge }
+
+func (c *Cluster) drainEdges(fn func(Parcel)) {
+	for _, e := range c.edges {
+		e.r.drain(fn)
+	}
+}
+
+func (c *Cluster) backlog() int {
+	n := 0
+	for _, e := range c.edges {
+		n += e.r.pending()
+	}
+	return n
+}
+
+// rogueProduce bypasses Send: a second producer on an SPSC ring.
+func rogueProduce(e *Edge, p Parcel) {
+	e.r.push(p) // want `ring\.push outside \(\*Edge\)\.Send`
+}
+
+// Flush is on *Edge, but draining is the barrier executor's job.
+func (e *Edge) Flush(fn func(Parcel)) {
+	e.r.drain(fn) // want `ring\.drain outside a \*Cluster method`
+}
+
+// Backlog peeks the consumer index from the producer side.
+func (e *Edge) Backlog() int {
+	return e.r.pending() // want `ring\.pending outside a \*Cluster method`
+}
+
+// goroutineSend: even the blessed Send entry point must not run on a
+// spawned goroutine.
+func goroutineSend(e *Edge, p Parcel) {
+	go e.Send(p) // want `Edge\.Send from a spawned goroutine`
+}
+
+func suppressedPush(e *Edge, p Parcel) {
+	//lint:ignore shardown fixture exercises suppressing the confinement report
+	e.r.push(p)
+}

@@ -1,0 +1,34 @@
+// Package sim is the stale-suppression-audit fixture: one suppression that
+// genuinely covers a finding (kept silent), one that names a live analyzer
+// but covers nothing (stale), one naming an analyzer that does not exist
+// (always stale), and one naming an analyzer the partial-suite test leaves
+// out of the run (judgeable only by the full suite).
+package sim
+
+import "time"
+
+// usedSuppression: detclock fires on the line below, the comment eats it,
+// and the audit must leave the comment alone.
+func usedSuppression() time.Time {
+	//lint:ignore detclock fixture: a used suppression the audit must keep
+	return time.Now()
+}
+
+// staleKnown: nothing on the next line trips detclock any more.
+func staleKnown() int {
+	//lint:ignore detclock fixture: nothing here reads the clock
+	return 42
+}
+
+// staleUnknown: the named analyzer does not exist.
+func staleUnknown() int {
+	//lint:ignore nosuchcheck fixture: unknown analyzer names are always stale
+	return 7
+}
+
+// notJudgeablePartially: detrand exists but suppresses nothing here; a run
+// that includes detrand reports it stale, a detclock-only run must not.
+func notJudgeablePartially() int {
+	//lint:ignore detrand fixture: judgeable only when detrand actually runs
+	return 1
+}

@@ -232,6 +232,8 @@ func CellsRun() int64 { return cellsRun.Load() }
 
 // countCell records one executed cell; experiments that run a single
 // simulation outside runCells call it directly.
+//
+//lint:ignore detshare commutative process-wide counter, read only by CellsRun after the worker pool joins; it never shapes experiment output
 func countCell() { cellsRun.Add(1) }
 
 // runCells is the concurrency boundary of every sweep-shaped experiment: it
