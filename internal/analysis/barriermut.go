@@ -32,11 +32,11 @@ import (
 //     qualifies; a single-shard cell wrapper does not);
 //  2. direct field writes through a spanning-typed value;
 //  3. calls to the cluster control plane from in-window code:
-//     (*shard.Cluster).At / Run / RunWith / AddShard / Connect and
-//     (*shard.Shard).Sim — wiring and barrier registration are build-time
-//     or barrier-time operations, and grabbing another shard's simulator
-//     mid-window is exactly the cross-shard mutation hatch this analyzer
-//     exists to close.
+//     (*shard.Cluster).At / Run / RunWith / AddShard / AddCell / Connect /
+//     Migrate and (*shard.Cell).Sim — wiring, barrier registration and
+//     cell migration are build-time or barrier-time operations, and
+//     grabbing another cell's simulator mid-window is exactly the
+//     cross-shard mutation hatch this analyzer exists to close.
 //
 // Package shard itself is exempt (it *implements* the protocol), and
 // without a Program (nil Prog) the analyzer reports nothing — the
@@ -52,7 +52,7 @@ var BarrierMut = &Analyzer{
 // build-time or barrier-executor operations.
 var clusterControlMethods = map[string]bool{
 	"At": true, "Run": true, "RunWith": true, "RunProfiled": true,
-	"AddShard": true, "Connect": true,
+	"AddShard": true, "AddCell": true, "Connect": true, "Migrate": true,
 }
 
 func runBarrierMut(pass *Pass) error {
@@ -100,9 +100,9 @@ func checkWindowCall(pass *Pass, call *ast.CallExpr) {
 				"(*shard.Cluster).%s from in-window code: cluster wiring and barrier registration belong to build time or barrier actions; while a window runs, every shard is advancing concurrently", fn.Name())
 			return
 		}
-		if funcIsMethodOn(fn, "shard", "Shard") && fn.Name() == "Sim" {
+		if funcIsMethodOn(fn, "shard", "Cell") && fn.Name() == "Sim" {
 			pass.Reportf(call.Pos(),
-				"(*shard.Shard).Sim from in-window code: reaching another shard's simulator mid-window mutates state that shard's executor owns; do it in a Cluster.At barrier action")
+				"(*shard.Cell).Sim from in-window code: reaching another cell's simulator mid-window mutates state its resident shard's executor owns; do it in a Cluster.At barrier action")
 			return
 		}
 	}

@@ -968,7 +968,7 @@ func (p *Program) fieldReachUncached(t types.Type, depth int) int {
 			switch obj.Name() {
 			case "Cluster":
 				return reachCluster
-			case "Shard", "Edge":
+			case "Shard", "Edge", "Cell":
 				return reachShard
 			}
 		}

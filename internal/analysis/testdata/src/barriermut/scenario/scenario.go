@@ -11,10 +11,11 @@ import (
 	"github.com/zhuge-project/zhuge/internal/sim"
 )
 
-// Cell wraps a single shard: one shard-reaching field, so it does not span.
+// Cell wraps a single cluster cell: one shard-reaching field, so it does
+// not span.
 type Cell struct {
-	Shard *shard.Shard
-	Seen  int
+	Cell *shard.Cell
+	Seen int
 }
 
 // Path spans more than one shard: the cluster plus all its cells.
@@ -33,20 +34,23 @@ func (p *Path) Rebalance() { p.Epoch++ } // want `write to a field of Path from 
 func buildCluster(ss []*sim.Simulator) *Path {
 	c := shard.NewCluster()
 	p := &Path{Cluster: c}
-	for _, s := range ss {
-		sh := c.AddShard("cell", s)
-		p.Cells = append(p.Cells, &Cell{Shard: sh})
+	for i, s := range ss {
+		sh := c.AddShard("shard")
+		cl := c.AddCell("cell", s, sh)
+		_ = i
+		p.Cells = append(p.Cells, &Cell{Cell: cl})
 	}
 	p.Epoch = 1
 	return p
 }
 
 // scheduleHandover is the legal mutation path: barrier actions run between
-// windows, when no shard is advancing.
-func scheduleHandover(p *Path, at sim.Time) {
+// windows, when no shard is advancing. Cell migration lives here too.
+func scheduleHandover(p *Path, at sim.Time, to *shard.Shard) {
 	p.Cluster.At(at, func() {
 		p.Rebalance()
 		p.Epoch++
+		p.Cluster.Migrate(p.Cells[0].Cell, to)
 	})
 }
 
@@ -84,15 +88,23 @@ func badWindowClusterAt(s *sim.Simulator, c *shard.Cluster) {
 	})
 }
 
+// badWindowMigrate re-homes a cell mid-window: migration is a barrier-only
+// control-plane operation (it moves ring and heap ownership).
+func badWindowMigrate(s *sim.Simulator, c *shard.Cluster, cl *shard.Cell, to *shard.Shard) {
+	s.Schedule(0, func() {
+		c.Migrate(cl, to) // want `\(\*shard\.Cluster\)\.Migrate from in-window code`
+	})
+}
+
 // crossCellHook is a datapath Receive handler — in-window by definition —
-// that grabs another shard's simulator.
+// that grabs another cell's simulator.
 type crossCellHook struct {
-	other *shard.Shard
+	other *shard.Cell
 	n     int
 }
 
 func (h *crossCellHook) Receive(p *netem.Packet) {
-	_ = h.other.Sim() // want `\(\*shard\.Shard\)\.Sim from in-window code`
+	_ = h.other.Sim() // want `\(\*shard\.Cell\)\.Sim from in-window code`
 	h.n++
 }
 

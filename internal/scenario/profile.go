@@ -43,10 +43,10 @@ type LoadProfile struct {
 	MaxMinEventRatio float64 `json:"heaviest_to_lightest"`
 }
 
-// Weights returns cell label -> event weight, the input shape for a
-// weighted partitioning pre-pass. Multi-cell rows attribute the shard's
-// events to each member cell evenly (the best available split without a
-// per-cell rerun).
+// Weights returns cell label -> event weight, the input shape for
+// WeightedPlacement. Multi-cell rows (from profiles written before exact
+// per-cell attribution, or hand-edited ones) attribute the shard's events
+// to each member cell evenly.
 func (lp *LoadProfile) Weights() map[string]uint64 {
 	w := make(map[string]uint64, len(lp.Cells))
 	for _, c := range lp.Cells {
@@ -68,11 +68,57 @@ func (lp *LoadProfile) WriteJSON(w io.Writer) error {
 	return enc.Encode(lp)
 }
 
+// ReadLoadProfile parses a profile previously written with WriteJSON — the
+// `zhuge-sim -profile-in` path that feeds a committed profile straight into
+// WeightedPlacement without a pre-pass.
+func ReadLoadProfile(r io.Reader) (*LoadProfile, error) {
+	var lp LoadProfile
+	if err := json.NewDecoder(r).Decode(&lp); err != nil {
+		return nil, err
+	}
+	return &lp, nil
+}
+
 // RunProfiled is Run with load attribution: p observes every window. Build
 // p with NewProfiler and configure its Clock/Series/OnWindow before the
-// call.
+// call. When the build enabled the dynamic rebalancer it is attached to p
+// here, so profiled and plain runs rebalance identically.
 func (spd *ShardedPath) RunProfiled(d time.Duration, workers int, p *shard.Profiler) {
+	if spd.Rebalancer != nil {
+		p.AttachRebalancer(spd.Rebalancer)
+	}
 	spd.Cluster.RunProfiled(d, workers, p)
+}
+
+// ProfileWeights runs the profile-guided placement pre-pass: build sp at
+// one shard per cell, advance it to d, and return every cell's exact event
+// count keyed by label. The profile is events-only (no clock), so the
+// weights are a pure function of (sp, d) — the same Spec profiled anywhere
+// yields the same placement. Profile the horizon you intend to run: campus
+// per-cell event rates are NOT stationary — stations roam between cells, so
+// a cell idle in the first quarter can carry a tenth of the full-run load —
+// and weights from a short prefix produce placements worse than round-robin.
+// The pre-pass runs one shard per cell with no clock, so even the full
+// horizon costs roughly one serial run.
+//
+// sp is consumed (BuildSharded mutates AP names in place); pass a freshly
+// generated Spec, not one you intend to build again.
+func ProfileWeights(sp Spec, cutDelay, d time.Duration, workers int) (map[string]uint64, error) {
+	spd, err := BuildSharded(sp, ShardedOptions{Shards: 0, CutDelay: cutDelay})
+	if err != nil {
+		return nil, err
+	}
+	p := spd.NewProfiler()
+	spd.RunProfiled(d, workers, p)
+	w := make(map[string]uint64, len(spd.Cells))
+	for i, ev := range p.CellEvents() {
+		label := spd.Cells[i].Label
+		if label == "" {
+			label = "cell0"
+		}
+		w[label] = ev
+	}
+	return w, nil
 }
 
 // NewProfiler returns a load profiler bound to the path's cluster.
@@ -81,17 +127,12 @@ func (spd *ShardedPath) NewProfiler() *shard.Profiler {
 }
 
 // LoadProfile folds a finished profiler into the per-cell weight document.
-// workload names the scenario (e.g. "campus-100ap").
+// workload names the scenario (e.g. "campus-100ap"). Rows are exact per
+// cell at any shard count — the profiler attributes event deltas cell by
+// cell, so grouping (and even mid-run migration) no longer blurs the
+// weights. ComputeNS/StallNS stay per-shard measurements; they are attached
+// to a cell's row only when the cell finished the run alone on its shard.
 func (spd *ShardedPath) LoadProfile(p *shard.Profiler, workload string) *LoadProfile {
-	// Group cell labels by the shard that ran them, in cell order.
-	cellsOf := make(map[string][]string)
-	for _, c := range spd.Cells {
-		label := c.Label
-		if label == "" {
-			label = "cell0"
-		}
-		cellsOf[c.Shard.Name()] = append(cellsOf[c.Shard.Name()], label)
-	}
 	lp := &LoadProfile{
 		Workload:   workload,
 		Shards:     len(spd.Cluster.Shards()),
@@ -99,26 +140,25 @@ func (spd *ShardedPath) LoadProfile(p *shard.Profiler, workload string) *LoadPro
 		SerialNS:   int64(p.Serial()),
 		CriticalNS: int64(p.Critical()),
 	}
+	loads := p.Loads()
 	var minEv, maxEv uint64
-	for i, sl := range p.Loads() {
-		row := CellLoad{
-			Cell:      sl.Shard,
-			Events:    sl.Events,
-			ComputeNS: sl.ComputeNS,
-			StallNS:   sl.StallNS,
+	for i, ev := range p.CellEvents() {
+		c := spd.Cells[i]
+		label := c.Label
+		if label == "" {
+			label = "cell0"
 		}
-		members := cellsOf[sl.Shard]
-		if len(members) == 1 {
-			row.Cell = members[0]
-		} else {
-			row.Cells = members
+		row := CellLoad{Cell: label, Events: ev}
+		if sh := c.Shard(); len(sh.Cells()) == 1 {
+			row.ComputeNS = loads[shardIndex(spd, sh)].ComputeNS
+			row.StallNS = loads[shardIndex(spd, sh)].StallNS
 		}
-		lp.Events += sl.Events
-		if i == 0 || sl.Events < minEv {
-			minEv = sl.Events
+		lp.Events += ev
+		if i == 0 || ev < minEv {
+			minEv = ev
 		}
-		if sl.Events > maxEv {
-			maxEv = sl.Events
+		if ev > maxEv {
+			maxEv = ev
 		}
 		lp.Cells = append(lp.Cells, row)
 	}
@@ -131,4 +171,14 @@ func (spd *ShardedPath) LoadProfile(p *shard.Profiler, workload string) *LoadPro
 		lp.MaxMinEventRatio = float64(maxEv) / float64(minEv)
 	}
 	return lp
+}
+
+// shardIndex finds a shard's registration index in the cluster.
+func shardIndex(spd *ShardedPath, sh *shard.Shard) int {
+	for i, x := range spd.Cluster.Shards() {
+		if x == sh {
+			return i
+		}
+	}
+	panic("scenario: shard not registered with this cluster")
 }

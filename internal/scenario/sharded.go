@@ -12,6 +12,56 @@ import (
 	"github.com/zhuge-project/zhuge/internal/topo"
 )
 
+// Placement decides which shard each cell of a sharded build lands on.
+// Implementations must be pure functions of their inputs (plus any weights
+// they were constructed with): the byte-identity gate rebuilds topologies
+// expecting identical decompositions, and CI diffs runs across placements.
+// Placement only affects wall-clock speed, never outputs — see the package
+// shard doc for the invisibility argument.
+type Placement interface {
+	// Name identifies the strategy in tables and CLI flags.
+	Name() string
+	// Assign maps cell i (named cells[i]) to a shard in [0, k); k arrives
+	// pre-clamped to [1, len(cells)]. Every shard index up to the maximum
+	// returned must be used (the builder materialises max+1 shards).
+	Assign(cells []string, k int) []int
+}
+
+// PlacementRoundRobin is the historical default: topo.Partition's
+// count-balanced contiguous split. Neighbouring APs — the likeliest
+// handover partners — share a shard, minimising cut traffic, but per-cell
+// load skew lands unmitigated on whichever shard drew the busy block.
+type PlacementRoundRobin struct{}
+
+// Name implements Placement.
+func (PlacementRoundRobin) Name() string { return "roundrobin" }
+
+// Assign implements Placement.
+func (PlacementRoundRobin) Assign(cells []string, k int) []int {
+	return topo.Partition(len(cells), k)
+}
+
+// WeightedPlacement packs cells onto shards by measured load with
+// topo.PartitionLPT: heaviest cell first, each onto the lightest shard.
+// Weights come from a profiling pre-pass (ProfileWeights) or a committed
+// LoadProfile (Weights()); cells missing from the map weigh 1, so a stale
+// profile degrades toward count-balancing instead of failing.
+type WeightedPlacement struct {
+	Weights map[string]uint64
+}
+
+// Name implements Placement.
+func (WeightedPlacement) Name() string { return "weighted" }
+
+// Assign implements Placement.
+func (wp WeightedPlacement) Assign(cells []string, k int) []int {
+	w := make([]uint64, len(cells))
+	for i, name := range cells {
+		w[i] = wp.Weights[name]
+	}
+	return topo.PartitionLPT(w, cells, k)
+}
+
 // ShardedOptions configures BuildSharded.
 type ShardedOptions struct {
 	// Shards is the number of parallel event heaps the topology's cells
@@ -19,6 +69,19 @@ type ShardedOptions struct {
 	// shard per cell. The grouping only affects wall-clock speed: outputs
 	// are byte-identical for every value.
 	Shards int
+
+	// Placement picks the cell-to-shard grouping; nil means
+	// PlacementRoundRobin, the count-balanced contiguous split.
+	Placement Placement
+
+	// Rebalance enables the dynamic rebalancer: per-window cell loads are
+	// watched during the run and whole cells migrate between shards at
+	// barriers when the imbalance exceeds RebalanceConfig's hysteresis.
+	// Like Placement it can only change wall-clock speed, never outputs.
+	Rebalance bool
+
+	// RebalanceConfig tunes the rebalancer; the zero value means defaults.
+	RebalanceConfig shard.RebalanceConfig
 
 	// CutDelay is the one-way backhaul delay of every inter-cell edge —
 	// the trombone path a roamed station's traffic crosses, and the
@@ -37,13 +100,19 @@ type ShardedOptions struct {
 
 // ShardedCell is one cell of a sharded build: a complete single-AP Path —
 // its AP, the stations homed there, their flows and server endpoints —
-// assembled on the shard-local simulator the partitioner assigned it to.
+// assembled on its own cell-local simulator and registered with the
+// cluster as a migratable shard.Cell.
 type ShardedCell struct {
 	Index int
 	Label string
 	Path  *Path
-	Shard *shard.Shard
+	Cell  *shard.Cell
 }
+
+// Shard returns the shard the cell currently resides on. Under the dynamic
+// rebalancer residency can change at barriers; the value is only stable
+// read from barrier context or after the run.
+func (c *ShardedCell) Shard() *shard.Shard { return c.Cell.Shard() }
 
 // ShardedPath is a Spec decomposed into per-AP cells running under a
 // shard.Cluster. The decomposition is fixed by the Spec alone — one cell
@@ -62,6 +131,13 @@ type ShardedPath struct {
 	Opts    ShardedOptions
 	Cluster *shard.Cluster
 	Cells   []*ShardedCell
+
+	// Placement names the strategy that produced the grouping.
+	Placement string
+
+	// Rebalancer is non-nil when Opts.Rebalance was set; after a run its
+	// Moves() record the cell migrations executed.
+	Rebalancer *shard.Rebalancer
 
 	byAP  map[string]*ShardedCell
 	edges map[[2]int]*shard.Edge  // (from cell, to cell) -> cut edge
@@ -135,26 +211,48 @@ func BuildSharded(sp Spec, opt ShardedOptions) (*ShardedPath, error) {
 		cellFlows[ci] = append(cellFlows[ci], fs)
 	}
 
-	// Group cells onto shards and build each cell on its shard's clock.
+	// Group cells onto shards and build each cell on its own simulator.
 	// Cells are built in index order regardless of grouping; per-cell
 	// event order is a function of the cell alone, so the grouping stays
 	// invisible in every per-cell output.
 	k := opt.Shards
 	if k <= 0 {
 		// One shard per cell, as documented — the shape the load-profiling
-		// pre-pass needs for exact per-cell weights. (topo.Partition would
-		// otherwise clamp k < 1 to a single shard.)
+		// pre-pass needs for exact per-cell weights. (The partitioners
+		// would otherwise clamp k < 1 to a single shard.)
 		k = n
 	}
-	assign := topo.Partition(n, k)
-	groups := topo.Groups(assign)
+	if k > n {
+		k = n
+	}
+	pl := opt.Placement
+	if pl == nil {
+		pl = PlacementRoundRobin{}
+	}
+	cellNames := make([]string, n)
+	for i := range sp.APs {
+		cellNames[i] = sp.APs[i].Name
+	}
+	assign := pl.Assign(cellNames, k)
+	if len(assign) != n {
+		panic(fmt.Sprintf("scenario: placement %q assigned %d of %d cells", pl.Name(), len(assign), n))
+	}
+	shardCount := 0
+	for i, g := range assign {
+		if g < 0 || g >= k {
+			panic(fmt.Sprintf("scenario: placement %q put cell %d on shard %d (k=%d)", pl.Name(), i, g, k))
+		}
+		if g+1 > shardCount {
+			shardCount = g + 1
+		}
+	}
 	cluster := shard.NewCluster()
-	shards := make([]*shard.Shard, len(groups))
-	for gi := range groups {
-		shards[gi] = cluster.AddShard(fmt.Sprintf("shard%d", gi), sim.New(sp.Seed))
+	shards := make([]*shard.Shard, shardCount)
+	for gi := range shards {
+		shards[gi] = cluster.AddShard(fmt.Sprintf("shard%d", gi))
 	}
 	spd := &ShardedPath{
-		Spec: sp, Opts: opt, Cluster: cluster,
+		Spec: sp, Opts: opt, Cluster: cluster, Placement: pl.Name(),
 		byAP:  make(map[string]*ShardedCell, n),
 		edges: make(map[[2]int]*shard.Edge),
 		home:  make(map[string]*ShardedCell),
@@ -167,7 +265,7 @@ func BuildSharded(sp Spec, opt ShardedOptions) (*ShardedPath, error) {
 		}
 		cs := Spec{
 			Seed: sp.Seed, WANRTT: sp.WANRTT,
-			Sim: shards[assign[i]].Sim(), Cell: i, CellLabel: label,
+			Sim: sim.New(sp.Seed), Cell: i, CellLabel: label,
 			APs:      []APSpec{sp.APs[i]},
 			Stations: cellStations[i],
 			Flows:    cellFlows[i],
@@ -175,9 +273,15 @@ func BuildSharded(sp Spec, opt ShardedOptions) (*ShardedPath, error) {
 		if opt.Obs != nil {
 			cs.Obs = opt.Obs(label)
 		}
-		cell := &ShardedCell{Index: i, Label: label, Path: cs.Build(), Shard: shards[assign[i]]}
+		cell := &ShardedCell{
+			Index: i, Label: label, Path: cs.Build(),
+			Cell: cluster.AddCell(sp.APs[i].Name, cs.Sim, shards[assign[i]]),
+		}
 		spd.Cells = append(spd.Cells, cell)
 		spd.byAP[sp.APs[i].Name] = cell
+	}
+	if opt.Rebalance {
+		spd.Rebalancer = shard.NewRebalancer(cluster, opt.RebalanceConfig)
 	}
 	for sta, ci := range cellOfSta {
 		spd.home[sta] = spd.Cells[ci]
@@ -217,7 +321,7 @@ func BuildSharded(sp Spec, opt ShardedOptions) (*ShardedPath, error) {
 	})
 	for _, pr := range sorted {
 		name := fmt.Sprintf("cut.%s->%s", sp.APs[pr[0]].Name, sp.APs[pr[1]].Name)
-		e, err := cluster.Connect(name, shards[assign[pr[0]]], shards[assign[pr[1]]], opt.CutDelay)
+		e, err := cluster.Connect(name, spd.Cells[pr[0]].Cell, spd.Cells[pr[1]].Cell, opt.CutDelay)
 		if err != nil {
 			return nil, err
 		}
@@ -246,8 +350,16 @@ func (spd *ShardedPath) Cell(ap string) *ShardedCell {
 
 // Run advances the whole topology to virtual time d on a pool of workers.
 // workers <= 1 is the sequential reference; any value produces the same
-// outputs.
+// outputs. When the build enabled the dynamic rebalancer, Run drives it
+// from an internal events-only profiler — fully deterministic, so the
+// byte-identity contract extends to rebalanced runs.
 func (spd *ShardedPath) Run(d time.Duration, workers int) {
+	if spd.Rebalancer != nil {
+		p := spd.NewProfiler()
+		p.AttachRebalancer(spd.Rebalancer)
+		spd.Cluster.RunProfiled(d, workers, p)
+		return
+	}
 	spd.Cluster.Run(d, workers)
 }
 

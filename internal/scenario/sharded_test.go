@@ -2,11 +2,15 @@ package scenario
 
 import (
 	"fmt"
+	"os"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/obs"
+	"github.com/zhuge-project/zhuge/internal/shard"
 	"github.com/zhuge-project/zhuge/internal/sim"
 	"github.com/zhuge-project/zhuge/internal/trace"
 )
@@ -212,5 +216,148 @@ func TestShardedObsLabelsUnique(t *testing.T) {
 		if !strings.HasPrefix(name, "ap0") {
 			t.Fatalf("counter %q is not cell-prefixed", name)
 		}
+	}
+}
+
+// buildAndRunCampusOpts is buildAndRunCampus with caller-controlled
+// placement and rebalancing.
+func buildAndRunCampusOpts(t *testing.T, opt ShardedOptions, workers int, d time.Duration) *ShardedPath {
+	t.Helper()
+	if opt.CutDelay == 0 {
+		opt.CutDelay = CampusCutDelay
+	}
+	spd, err := BuildSharded(Campus(1, testCampus()), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spd.Run(d, workers)
+	return spd
+}
+
+// TestPlacementIsInvisible extends the byte-identity gate to every
+// placement mode: weighted (profile-guided LPT) and dynamic (rebalancer
+// migrating cells mid-run) must reproduce the roundrobin single-shard
+// fingerprint exactly.
+func TestPlacementIsInvisible(t *testing.T) {
+	d := 2 * time.Second
+	want := buildAndRunCampus(t, 1, 1, d).Fingerprint()
+
+	// Exact weights from an events-only pre-pass over a reduced horizon.
+	weights, err := ProfileWeights(Campus(1, testCampus()), CampusCutDelay, d/4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weights) != 6 {
+		t.Fatalf("pre-pass profiled %d cells, want 6", len(weights))
+	}
+
+	cases := []struct {
+		name string
+		opt  ShardedOptions
+	}{
+		{"weighted-3", ShardedOptions{Shards: 3, Placement: WeightedPlacement{Weights: weights}}},
+		{"weighted-6", ShardedOptions{Shards: 6, Placement: WeightedPlacement{Weights: weights}}},
+		{"dynamic-2", ShardedOptions{Shards: 2, Rebalance: true,
+			// Aggressive thresholds so migrations actually fire within the
+			// short test horizon.
+			RebalanceConfig: shard.RebalanceConfig{Ratio: 1.05, Patience: 2, Cooldown: 8, HalfLife: 8}}},
+		{"weighted-dynamic-3", ShardedOptions{Shards: 3, Placement: WeightedPlacement{Weights: weights},
+			Rebalance:       true,
+			RebalanceConfig: shard.RebalanceConfig{Ratio: 1.05, Patience: 2, Cooldown: 8, HalfLife: 8}}},
+	}
+	migrated := false
+	for _, tc := range cases {
+		spd := buildAndRunCampusOpts(t, tc.opt, 4, d)
+		if got := spd.Fingerprint(); got != want {
+			t.Fatalf("%s diverged from the roundrobin single-shard reference:\n--- want\n%s\n--- got\n%s",
+				tc.name, want, got)
+		}
+		if spd.Rebalancer != nil && spd.Rebalancer.Migrations() > 0 {
+			migrated = true
+		}
+	}
+	if !migrated {
+		t.Fatal("no dynamic case executed a migration; the gate did not exercise mid-run cell movement")
+	}
+}
+
+// TestWeightedPlacementDiffersAndBalances: on the committed campus profile
+// the LPT grouping must (a) differ from the contiguous count-balanced split
+// and (b) carry a strictly smaller maximum shard weight.
+func TestWeightedPlacementDiffersAndBalances(t *testing.T) {
+	f, err := os.Open("../../PROFILE_campus.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lp, err := ReadLoadProfile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := lp.Weights()
+	if len(weights) < 8 {
+		t.Fatalf("committed profile has %d cells, want the 16-AP campus", len(weights))
+	}
+	names := make([]string, 0, len(weights))
+	for n := range weights {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	const k = 4
+	wAssign := (WeightedPlacement{Weights: weights}).Assign(names, k)
+	rAssign := (PlacementRoundRobin{}).Assign(names, k)
+	maxShard := func(assign []int) uint64 {
+		var load [k]uint64
+		for i, g := range assign {
+			load[g] += weights[names[i]]
+		}
+		var max uint64
+		for _, l := range load {
+			if l > max {
+				max = l
+			}
+		}
+		return max
+	}
+	same := true
+	for i := range wAssign {
+		if wAssign[i] != rAssign[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("weighted placement equals the contiguous split on the skewed committed profile")
+	}
+	if mw, mr := maxShard(wAssign), maxShard(rAssign); mw >= mr {
+		t.Fatalf("weighted max shard weight %d not below contiguous %d", mw, mr)
+	}
+	// Determinism: repeated assignment is identical.
+	again := (WeightedPlacement{Weights: weights}).Assign(names, k)
+	for i := range wAssign {
+		if wAssign[i] != again[i] {
+			t.Fatalf("weighted placement not deterministic at cell %d", i)
+		}
+	}
+}
+
+// TestRebalanceScheduleDeterministic pins the dynamic mode end to end: the
+// events-only rebalancer must execute the identical migration schedule at
+// 1 and 4 workers on the campus workload.
+func TestRebalanceScheduleDeterministic(t *testing.T) {
+	run := func(workers int) []shard.Move {
+		spd := buildAndRunCampusOpts(t, ShardedOptions{
+			Shards: 2, Rebalance: true,
+			RebalanceConfig: shard.RebalanceConfig{Ratio: 1.05, Patience: 2, Cooldown: 8, HalfLife: 8},
+		}, workers, 2*time.Second)
+		return spd.Rebalancer.Moves()
+	}
+	m1, m4 := run(1), run(4)
+	if len(m1) == 0 {
+		t.Fatal("aggressive config executed no migrations on the campus workload")
+	}
+	if !reflect.DeepEqual(m1, m4) {
+		t.Fatalf("migration schedules differ across worker counts:\n1 worker:  %+v\n4 workers: %+v", m1, m4)
 	}
 }

@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/zhuge-project/zhuge/internal/netem"
@@ -10,30 +11,57 @@ import (
 	"github.com/zhuge-project/zhuge/internal/sim"
 )
 
-// Shard is one parallel unit: a simulator advancing a subgraph of the
-// topology under the cluster's window protocol.
-type Shard struct {
+// Cell is the unit of decomposition and of migration: a self-contained
+// subgraph advancing on its own sim.Simulator, resident on exactly one
+// shard at a time. Because every cell owns its own event heap, moving a
+// cell between shards is a pointer move at a barrier — no event surgery,
+// no state copy — and the cell's event stream (and therefore its output)
+// is byte-identical wherever it runs.
+type Cell struct {
 	name string
 	s    *sim.Simulator
+	sh   *Shard // current residence; changes only between windows
+}
+
+// Name returns the cell's unique name within its cluster.
+func (cl *Cell) Name() string { return cl.name }
+
+// Sim returns the cell-local simulator. Build the cell's topology on it;
+// do not call Run/RunUntil yourself — the cluster owns the clock.
+func (cl *Cell) Sim() *sim.Simulator { return cl.s }
+
+// Shard returns the shard the cell currently resides on.
+func (cl *Cell) Shard() *Shard { return cl.sh }
+
+// Shard is one parallel unit: a worker slot that advances the simulators
+// of its resident cells under the cluster's window protocol. Residency is
+// a scheduling choice — it decides which core runs a cell's events, never
+// what those events do — so cells may migrate between shards at barriers
+// without touching outputs.
+type Shard struct {
+	name  string
+	idx   int // registration index; loads and executors key off it
+	cells []*Cell
 }
 
 // Name returns the shard's unique name within its cluster.
 func (sh *Shard) Name() string { return sh.name }
 
-// Sim returns the shard-local simulator. Build cell topologies on it; do
-// not call Run/RunUntil yourself — the cluster owns the clock.
-func (sh *Shard) Sim() *sim.Simulator { return sh.s }
+// Cells returns the cells currently resident on the shard, in arrival
+// order (read-only).
+func (sh *Shard) Cells() []*Cell { return sh.cells }
 
-// Edge is a directed cut link between two shards with a fixed positive
+// Edge is a directed cut link between two cells with a fixed positive
 // delay — the lookahead that licenses parallel windows. All sends on one
-// edge must originate from a single cell (one deterministic event stream),
-// so the inbox FIFO order is a function of that cell alone and shard count
-// stays invisible.
+// edge must originate from its source cell (one deterministic event
+// stream), so the inbox FIFO order is a function of that cell alone and
+// both shard count and cell placement stay invisible. Edges bind cells,
+// not shards: when a cell migrates, its edges follow it implicitly.
 type Edge struct {
 	name  string
 	delay sim.Time
-	src   *Shard
-	dst   *Shard
+	src   *Cell
+	dst   *Cell
 	inbox ring
 }
 
@@ -44,7 +72,7 @@ func (e *Edge) Name() string { return e.name }
 func (e *Edge) Delay() time.Duration { return e.delay }
 
 // Send hands a packet across the cut: it will be delivered to dst on the
-// destination shard at the source shard's now plus the edge delay. The
+// destination cell at the source cell's now plus the edge delay. The
 // caller gives up ownership of p — the packet must not be touched or
 // Released after Send; the destination's delivery path releases it.
 func (e *Edge) Send(p *netem.Packet, dst netem.Receiver) {
@@ -65,41 +93,75 @@ type action struct {
 // registered barrier actions at their exact virtual times.
 type Cluster struct {
 	shards  []*Shard
+	cells   []*Cell
 	byName  map[string]bool
+	cellSet map[string]bool
 	edges   []*Edge
 	edgeSet map[string]bool
 	look    sim.Time // min edge delay; valid when len(edges) > 0
 	actions []action
 	nextAct int
 	windows uint64
+
+	// active counts shard executors currently inside a window. Migrate
+	// asserts it is zero: ownership transfer is legal only at barriers,
+	// when no shard goroutine is running. (The shardown/barriermut
+	// analyzers prove the same property statically; this is the runtime
+	// backstop.)
+	active atomic.Int32
 }
 
 // NewCluster returns an empty cluster.
 func NewCluster() *Cluster {
-	return &Cluster{byName: make(map[string]bool), edgeSet: make(map[string]bool)}
+	return &Cluster{
+		byName:  make(map[string]bool),
+		cellSet: make(map[string]bool),
+		edgeSet: make(map[string]bool),
+	}
 }
 
-// AddShard registers a simulator as a shard. Duplicate names are a
+// AddShard registers a parallel execution slot. Duplicate names are a
 // build-time bug and panic, matching the topology graph's convention.
-func (c *Cluster) AddShard(name string, s *sim.Simulator) *Shard {
+func (c *Cluster) AddShard(name string) *Shard {
 	if c.byName[name] {
 		panic(fmt.Sprintf("shard: duplicate shard %q", name))
 	}
 	c.byName[name] = true
-	sh := &Shard{name: name, s: s}
+	sh := &Shard{name: name, idx: len(c.shards)}
 	c.shards = append(c.shards, sh)
 	return sh
+}
+
+// AddCell registers a cell: a simulator that will advance under the
+// cluster's window protocol, initially resident on shard on. Cells are
+// ordered by registration; that order — never residency — is what
+// deterministic consumers (the profiler, the load profile) key off.
+func (c *Cluster) AddCell(name string, s *sim.Simulator, on *Shard) *Cell {
+	if c.cellSet[name] {
+		panic(fmt.Sprintf("shard: duplicate cell %q", name))
+	}
+	if on == nil {
+		panic(fmt.Sprintf("shard: cell %q needs a home shard", name))
+	}
+	c.cellSet[name] = true
+	cl := &Cell{name: name, s: s, sh: on}
+	c.cells = append(c.cells, cl)
+	on.cells = append(on.cells, cl)
+	return cl
 }
 
 // Shards returns the shards in registration order (read-only).
 func (c *Cluster) Shards() []*Shard { return c.shards }
 
-// Connect creates a directed edge from one shard to another with the given
+// Cells returns the cells in registration order (read-only).
+func (c *Cluster) Cells() []*Cell { return c.cells }
+
+// Connect creates a directed edge from one cell to another with the given
 // delay. A non-positive delay is rejected: it would mean zero lookahead —
-// a cross-shard message could arrive in the very instant it was sent, and
+// a cross-cell message could arrive in the very instant it was sent, and
 // no window wider than a single event could ever be granted. Model such
 // couplings inside one cell instead.
-func (c *Cluster) Connect(name string, from, to *Shard, delay time.Duration) (*Edge, error) {
+func (c *Cluster) Connect(name string, from, to *Cell, delay time.Duration) (*Edge, error) {
 	if delay <= 0 {
 		return nil, fmt.Errorf(
 			"shard: edge %q (%s -> %s) has delay %v: cut edges need a positive delay, "+
@@ -118,6 +180,33 @@ func (c *Cluster) Connect(name string, from, to *Shard, delay time.Duration) (*E
 	return e, nil
 }
 
+// Migrate moves a cell to another shard. It is legal only at a barrier —
+// between windows, when no shard executor is running — because it
+// transfers two ownerships at once: the cell's event heap (executed by the
+// destination shard's worker from the next window on) and the producer
+// side of every edge rooted at the cell (the SPSC inbox rings' producer is
+// "whichever worker runs the owning shard's window", so re-homing the cell
+// re-homes the rings with it). Inside the barrier both sides are parked:
+// the transfer is a pointer move and outputs cannot observe it — residency
+// only decides which core runs the cell's (unchanged) event stream.
+func (c *Cluster) Migrate(cell *Cell, to *Shard) {
+	if c.active.Load() != 0 {
+		panic(fmt.Sprintf("shard: Migrate(%q) while a window is executing: cell migration is barrier-only", cell.name))
+	}
+	from := cell.sh
+	if from == to {
+		return
+	}
+	for i, x := range from.cells {
+		if x == cell {
+			from.cells = append(from.cells[:i], from.cells[i+1:]...)
+			break
+		}
+	}
+	to.cells = append(to.cells, cell)
+	cell.sh = to
+}
+
 // Lookahead returns the cluster's window bound: the minimum edge delay,
 // or false when there are no edges (windows are then bounded only by
 // barrier actions and the horizon).
@@ -128,17 +217,17 @@ func (c *Cluster) Lookahead() (time.Duration, bool) {
 // At registers a barrier action at virtual time t. Actions run
 // single-threaded between windows, in (time, registration) order, before
 // any shard executes events at t; unlike ordinary events they may touch
-// state across shards (a cross-shard handover migrates flow state here).
-// Register actions before Run.
+// state across shards (a cross-shard handover migrates flow state here,
+// and Migrate re-homes whole cells here). Register actions before Run.
 func (c *Cluster) At(t sim.Time, fn func()) {
 	c.actions = append(c.actions, action{at: t, seq: len(c.actions), fn: fn})
 }
 
-// Fired returns the cumulative event count across all shards.
+// Fired returns the cumulative event count across all cells.
 func (c *Cluster) Fired() uint64 {
 	var n uint64
-	for _, sh := range c.shards {
-		n += sh.s.Fired()
+	for _, cl := range c.cells {
+		n += cl.s.Fired()
 	}
 	return n
 }
@@ -177,10 +266,10 @@ func (c *Cluster) RunWith(end sim.Time, do func(n int, fn func(i int))) {
 		if haveAct && actAt < w {
 			w = actAt
 		}
-		// Every cross-shard arrival is >= minNext + minimum edge delay
+		// Every cross-cell arrival is >= minNext + minimum edge delay
 		// >= w, so executing [now, w) on all shards concurrently can
 		// never deliver into a shard's past.
-		do(len(c.shards), func(i int) { c.shards[i].s.RunBefore(w) })
+		do(len(c.shards), func(i int) { c.runShard(i, w, false) })
 		c.drainEdges()
 		c.runActions(w)
 		c.windows++
@@ -189,16 +278,31 @@ func (c *Cluster) RunWith(end sim.Time, do func(n int, fn func(i int))) {
 	// belong to the run (RunUntil semantics); the window has zero width,
 	// so cross-shard influence at equal time is impossible and the
 	// parallel pass stays safe.
-	do(len(c.shards), func(i int) { c.shards[i].s.RunUntil(end) })
+	do(len(c.shards), func(i int) { c.runShard(i, end, true) })
 	c.drainEdges()
 }
 
-// minNext returns the earliest pending event time across all shards.
+// runShard advances every cell resident on shard i to the window bound.
+// The residency list is stable for the whole window (Migrate is barrier-
+// only), so iterating it from the worker goroutine is race-free.
+func (c *Cluster) runShard(i int, w sim.Time, inclusive bool) {
+	c.active.Add(1)
+	defer c.active.Add(-1)
+	for _, cl := range c.shards[i].cells {
+		if inclusive {
+			cl.s.RunUntil(w)
+		} else {
+			cl.s.RunBefore(w)
+		}
+	}
+}
+
+// minNext returns the earliest pending event time across all cells.
 func (c *Cluster) minNext() (sim.Time, bool) {
 	var min sim.Time
 	found := false
-	for _, sh := range c.shards {
-		if at, ok := sh.s.NextEventTime(); ok && (!found || at < min) {
+	for _, cl := range c.cells {
+		if at, ok := cl.s.NextEventTime(); ok && (!found || at < min) {
 			min, found = at, true
 		}
 	}
@@ -214,7 +318,7 @@ func (c *Cluster) nextAction() (sim.Time, bool) {
 }
 
 // drainEdges empties every edge inbox in global name order, scheduling the
-// arrivals on the destination shards. Runs only at barriers, after the
+// arrivals on the destination cells. Runs only at barriers, after the
 // worker pool has joined.
 func (c *Cluster) drainEdges() {
 	for _, e := range c.edges {

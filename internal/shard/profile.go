@@ -13,7 +13,8 @@ import (
 // the window's straggler. StallNS is the per-window sum of (slowest shard's
 // compute − own compute): the straggler itself stalls zero, and a large
 // spread is exactly the load imbalance that makes critical-path scaling
-// sub-linear (BENCH_shard.json's 3.5× at 8 shards).
+// sub-linear (BENCH_shard.json's 3.5× at 8 shards under count-balanced
+// placement).
 type ShardLoad struct {
 	Shard     string `json:"shard"`
 	Events    uint64 `json:"events"`
@@ -22,16 +23,17 @@ type ShardLoad struct {
 }
 
 // Profiler measures per-window per-shard load while a cluster runs. Event
-// counts come from the shards' deterministic Fired() deltas; compute time
+// counts come from the cells' deterministic Fired() deltas — tracked per
+// cell, so attribution follows a cell across migrations — and compute time
 // comes from an injected monotonic clock, because internal/shard is a
 // deterministic package (detclock) and must not read wall time itself —
 // cmd-layer callers pass one, and a nil Clock yields an events-only (fully
 // deterministic) profile.
 //
 // The profiler is driven from the cluster's barrier executor: the per-shard
-// measurements are written from the worker running that shard (distinct
-// indices, no sharing), and window accounting happens between windows on
-// the coordinating goroutine.
+// compute brackets are written from the worker running that shard (distinct
+// indices, no sharing), and all event accounting happens between windows on
+// the coordinating goroutine, where residency is stable.
 type Profiler struct {
 	// Clock returns monotonic elapsed time (e.g. time.Since(start) from a
 	// cmd). Nil disables compute/stall attribution.
@@ -48,25 +50,33 @@ type Profiler struct {
 	// publish mid-run snapshots.
 	OnWindow func(end sim.Time)
 
-	c         *Cluster
-	loads     []ShardLoad
-	lastFired []uint64
-	compute   []time.Duration // scratch: this window's per-shard compute
-	delta     []uint64        // scratch: this window's per-shard events
-	windows   uint64
-	serial    time.Duration // sum over windows of sum of shard compute
-	critical  time.Duration // sum over windows of max shard compute
+	// Rebal, when non-nil, observes every window and may migrate cells at
+	// the barrier (see Rebalancer). Attach with AttachRebalancer.
+	Rebal *Rebalancer
+
+	c          *Cluster
+	loads      []ShardLoad
+	cellFired  []uint64 // per cell (cluster order): cumulative Fired at last barrier
+	cellEvents []uint64 // per cell: total events attributed so far
+	cellDelta  []uint64 // scratch: this window's per-cell events
+	shardDelta []uint64 // scratch: this window's per-shard events
+	compute    []time.Duration // scratch: this window's per-shard compute
+	windows    uint64
+	serial     time.Duration // sum over windows of sum of shard compute
+	critical   time.Duration // sum over windows of max shard compute
 }
 
-// NewProfiler returns a profiler bound to c's current shard set.
+// NewProfiler returns a profiler bound to c's current shard and cell sets.
 func NewProfiler(c *Cluster) *Profiler {
-	n := len(c.shards)
+	n, m := len(c.shards), len(c.cells)
 	p := &Profiler{
-		c:         c,
-		loads:     make([]ShardLoad, n),
-		lastFired: make([]uint64, n),
-		compute:   make([]time.Duration, n),
-		delta:     make([]uint64, n),
+		c:          c,
+		loads:      make([]ShardLoad, n),
+		compute:    make([]time.Duration, n),
+		shardDelta: make([]uint64, n),
+		cellFired:  make([]uint64, m),
+		cellEvents: make([]uint64, m),
+		cellDelta:  make([]uint64, m),
 	}
 	for i, sh := range c.shards {
 		p.loads[i].Shard = sh.name
@@ -75,7 +85,8 @@ func NewProfiler(c *Cluster) *Profiler {
 }
 
 // Wrap returns a barrier executor that runs do while attributing each
-// shard's events and compute to the profiler. Pass it to RunWith.
+// shard's compute — and, between windows, each cell's events — to the
+// profiler. Pass it to RunWith.
 func (p *Profiler) Wrap(do func(n int, fn func(i int))) func(n int, fn func(i int)) {
 	return func(n int, fn func(i int)) {
 		do(n, func(i int) {
@@ -87,17 +98,14 @@ func (p *Profiler) Wrap(do func(n int, fn func(i int))) func(n int, fn func(i in
 				fn(i)
 				p.compute[i] = 0
 			}
-			fired := p.c.shards[i].s.Fired()
-			p.delta[i] = fired - p.lastFired[i]
-			p.loads[i].Events += p.delta[i]
-			p.lastFired[i] = fired
 		})
 		p.endWindow()
 	}
 }
 
-// endWindow folds this window's per-shard compute into totals and emits the
-// per-window series. Runs on the coordinating goroutine between windows.
+// endWindow folds this window's per-cell events and per-shard compute into
+// totals, emits the per-window series, and gives the rebalancer its
+// barrier-time look. Runs on the coordinating goroutine between windows.
 func (p *Profiler) endWindow() {
 	p.windows++
 	var max time.Duration
@@ -107,26 +115,44 @@ func (p *Profiler) endWindow() {
 		}
 	}
 	p.critical += max
-	// Window end in virtual time: every shard has run to the same bound, so
-	// the furthest shard clock is the window edge.
+	// Per-cell event deltas, attributed to the shard each cell resided on
+	// during the window (residency is stable in-window; Migrate runs after
+	// this accounting).
+	for i := range p.shardDelta {
+		p.shardDelta[i] = 0
+	}
+	for ci, cl := range p.c.cells {
+		fired := cl.s.Fired()
+		d := fired - p.cellFired[ci]
+		p.cellFired[ci] = fired
+		p.cellDelta[ci] = d
+		p.cellEvents[ci] += d
+		p.shardDelta[cl.sh.idx] += d
+	}
+	// Window end in virtual time: every cell has run to the same bound, so
+	// the furthest cell clock is the window edge.
 	var end sim.Time
-	for _, sh := range p.c.shards {
-		if now := sh.s.Now(); now > end {
+	for _, cl := range p.c.cells {
+		if now := cl.s.Now(); now > end {
 			end = now
 		}
 	}
 	for i := range p.loads {
 		d := p.compute[i]
 		p.serial += d
+		p.loads[i].Events += p.shardDelta[i]
 		p.loads[i].ComputeNS += int64(d)
 		p.loads[i].StallNS += int64(max - d)
 		if p.Series != nil {
-			p.Series.Of("shard."+p.loads[i].Shard+".window_events").Add(end, float64(p.delta[i]))
+			p.Series.Of("shard."+p.loads[i].Shard+".window_events").Add(end, float64(p.shardDelta[i]))
 			if p.Clock != nil {
 				p.Series.Of("shard."+p.loads[i].Shard+".window_compute_ms").
 					Add(end, float64(d)/float64(time.Millisecond))
 			}
 		}
+	}
+	if p.Rebal != nil {
+		p.Rebal.observe(p, end)
 	}
 	if p.OnWindow != nil {
 		p.OnWindow(end)
@@ -134,8 +160,15 @@ func (p *Profiler) endWindow() {
 }
 
 // Loads returns the accumulated per-shard profile in shard registration
-// order.
+// order. Under migration a shard's row covers whatever cells resided on it
+// window by window.
 func (p *Profiler) Loads() []ShardLoad { return p.loads }
+
+// CellEvents returns the exact cumulative event count of every cell, in
+// cluster cell registration order. Unlike Loads it is independent of both
+// grouping and migration, which makes it the canonical weight input for
+// profile-guided placement at any shard count.
+func (p *Profiler) CellEvents() []uint64 { return p.cellEvents }
 
 // Windows returns how many windows the profiler observed.
 func (p *Profiler) Windows() uint64 { return p.windows }
@@ -146,7 +179,7 @@ func (p *Profiler) Serial() time.Duration { return p.serial }
 
 // Critical returns the critical path: the sum over windows of the slowest
 // shard's compute. Critical/Serial is the parallel efficiency ceiling the
-// partitioning imposes, independent of worker count.
+// placement imposes, independent of worker count.
 func (p *Profiler) Critical() time.Duration { return p.critical }
 
 // RunProfiled is Cluster.Run with profiling: it advances the cluster to end

@@ -10,14 +10,14 @@ import (
 	"github.com/zhuge-project/zhuge/internal/sim"
 )
 
-// profiledCluster builds a deliberately imbalanced two-shard cluster: shard
-// "heavy" fires 30 events, shard "light" fires 5, spread over 30ms so the
+// profiledCluster builds a deliberately imbalanced two-shard cluster: cell
+// "heavy" fires 30 events, cell "light" fires 5, spread over 30ms so the
 // run spans several conservative windows.
-func profiledCluster(t *testing.T) (*Cluster, *Shard, *Shard) {
+func profiledCluster(t *testing.T) (*Cluster, *Cell, *Cell) {
 	t.Helper()
 	c := NewCluster()
-	heavy := c.AddShard("heavy", sim.New(1))
-	light := c.AddShard("light", sim.New(2))
+	heavy := c.AddCell("heavy", sim.New(1), c.AddShard("heavy"))
+	light := c.AddCell("light", sim.New(2), c.AddShard("light"))
 	if _, err := c.Connect("h->l", heavy, light, 5*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
@@ -43,11 +43,17 @@ func TestProfilerAttributesEventsPerShard(t *testing.T) {
 		t.Fatalf("loads %+v, want [heavy light] in registration order", loads)
 	}
 	if loads[0].Events != heavy.Sim().Fired() || loads[1].Events != light.Sim().Fired() {
-		t.Fatalf("profiled events %d/%d, want the shards' own Fired() %d/%d",
+		t.Fatalf("profiled events %d/%d, want the cells' own Fired() %d/%d",
 			loads[0].Events, loads[1].Events, heavy.Sim().Fired(), light.Sim().Fired())
 	}
 	if loads[0].Events <= loads[1].Events {
 		t.Fatalf("imbalance lost: heavy=%d light=%d", loads[0].Events, loads[1].Events)
+	}
+	// Per-cell attribution must agree with the per-shard totals (one cell
+	// per shard here) and with the cells' own counters.
+	ce := p.CellEvents()
+	if len(ce) != 2 || ce[0] != heavy.Sim().Fired() || ce[1] != light.Sim().Fired() {
+		t.Fatalf("CellEvents %v, want [%d %d]", ce, heavy.Sim().Fired(), light.Sim().Fired())
 	}
 	// The profiler sees every barrier execution: the cluster's granted
 	// windows plus the zero-width horizon epilogue (events stamped exactly
@@ -183,5 +189,32 @@ func TestProfilerStallIsImbalance(t *testing.T) {
 	}
 	if p.Serial() != time.Duration(w)*4*time.Millisecond {
 		t.Fatalf("serial %v, want %v", p.Serial(), time.Duration(w)*4*time.Millisecond)
+	}
+}
+
+// TestProfilerFollowsMigration pins per-shard attribution under migration:
+// after a cell moves, its window deltas accrue to the destination shard's
+// load row, while CellEvents keeps exact per-cell totals.
+func TestProfilerFollowsMigration(t *testing.T) {
+	c, heavy, _ := profiledCluster(t)
+	dst := c.Shards()[1]
+	p := NewProfiler(c)
+	// Move the heavy cell onto the light shard halfway through.
+	c.At(sim.Time(15*time.Millisecond), func() { c.Migrate(heavy, dst) })
+	c.RunProfiled(sim.Time(30*time.Millisecond), 2, p)
+
+	loads := p.Loads()
+	total := loads[0].Events + loads[1].Events
+	if total != c.Fired() {
+		t.Fatalf("per-shard events %d, want every fired event (%d) attributed", total, c.Fired())
+	}
+	// Pre-move windows land on shard "heavy", post-move on "light": both
+	// rows must have seen traffic.
+	if loads[0].Events == 0 || loads[1].Events <= 5 {
+		t.Fatalf("attribution did not follow the migration: %+v", loads)
+	}
+	ce := p.CellEvents()
+	if ce[0] != heavy.Sim().Fired() {
+		t.Fatalf("CellEvents[heavy] = %d, want %d regardless of residency", ce[0], heavy.Sim().Fired())
 	}
 }

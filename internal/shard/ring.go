@@ -15,65 +15,70 @@ type Parcel struct {
 	Dst netem.Receiver
 }
 
-// ringCap is the bounded inbox capacity per edge (must be a power of two).
+// ringCap is the initial inbox capacity per edge (must be a power of two).
 // A window's worth of traffic on one cut edge rarely exceeds a handful of
-// packets; anything beyond the ring spills to the overflow slice.
+// packets; a burst beyond the current capacity grows the buffer in place.
 const ringCap = 256
 
-// ring is a single-producer single-consumer bounded queue of parcels with
-// an unbounded overflow spill. The producer is the source cell's events
-// (one goroutine per window); the consumer is the coordinator at the
-// barrier. head and tail are atomics so in-window pushes are cleanly
-// published, but the design leans on the barrier: the consumer only drains
-// between windows, after the worker pool's WaitGroup has established
-// happens-before with every producer.
+// ring is a single-producer single-consumer queue of parcels. The producer
+// is the source cell's events (one goroutine per window); the consumer is
+// the coordinator at the barrier. head and tail are monotonic atomics so
+// in-window pushes are cleanly published, but the design leans on the
+// barrier: the consumer only drains between windows, after the worker
+// pool's WaitGroup has established happens-before with every producer.
 //
-// Overflow keeps FIFO order with a sticky flag: once a push spills, every
-// later push in the same window spills too (even if ring slots free up —
-// they don't, the consumer is parked), so drain order is ring first,
-// overflow second, both in push order.
+// Capacity grows geometrically inside push when a window's burst exceeds
+// it. Growth is safe precisely because the ring is SPSC with a parked
+// consumer: during a window only the producer touches buf, so it may
+// replace the slice; the barrier's happens-before edge publishes the new
+// header to the consumer before the next drain. Capacity stays a power of
+// two so position i lives at buf[i % len(buf)] before and after growth.
 type ring struct {
-	buf  [ringCap]Parcel
+	buf  []Parcel      // power-of-two length; nil until first push
 	head atomic.Uint64 // next slot to pop (consumer-owned)
 	tail atomic.Uint64 // next slot to push (producer-owned)
-
-	overflowing bool
-	overflow    []Parcel
 }
 
-// push enqueues a parcel. Producer side only.
+// push enqueues a parcel, growing the buffer when full. Producer side only.
 func (r *ring) push(p Parcel) {
-	if !r.overflowing {
-		t := r.tail.Load()
-		if t-r.head.Load() < ringCap {
-			r.buf[t%ringCap] = p
-			r.tail.Store(t + 1)
-			return
-		}
-		r.overflowing = true
+	t := r.tail.Load()
+	if n := uint64(len(r.buf)); t-r.head.Load() == n {
+		r.grow()
 	}
-	r.overflow = append(r.overflow, p)
+	r.buf[t%uint64(len(r.buf))] = p
+	r.tail.Store(t + 1)
 }
 
-// drain pops every queued parcel in FIFO order into fn and resets the
-// overflow state. Consumer side only, at a barrier.
+// grow doubles the buffer (or allocates the initial one), re-laying live
+// parcels so absolute position i stays at buf[i % len(buf)]. Producer side
+// only, with the consumer parked at the barrier.
+func (r *ring) grow() {
+	if r.buf == nil {
+		r.buf = make([]Parcel, ringCap)
+		return
+	}
+	old := r.buf
+	next := make([]Parcel, 2*len(old))
+	h, t := r.head.Load(), r.tail.Load()
+	for i := h; i < t; i++ {
+		next[i%uint64(len(next))] = old[i%uint64(len(old))]
+	}
+	r.buf = next
+}
+
+// drain pops every queued parcel in FIFO order into fn. Consumer side
+// only, at a barrier.
 func (r *ring) drain(fn func(Parcel)) {
 	h, t := r.head.Load(), r.tail.Load()
 	for ; h < t; h++ {
-		i := h % ringCap
+		i := h % uint64(len(r.buf))
 		fn(r.buf[i])
 		r.buf[i] = Parcel{}
 	}
 	r.head.Store(h)
-	for i, p := range r.overflow {
-		fn(p)
-		r.overflow[i] = Parcel{}
-	}
-	r.overflow = r.overflow[:0]
-	r.overflowing = false
 }
 
 // pending reports how many parcels are queued. Consumer side only.
 func (r *ring) pending() int {
-	return int(r.tail.Load()-r.head.Load()) + len(r.overflow)
+	return int(r.tail.Load() - r.head.Load())
 }

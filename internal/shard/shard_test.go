@@ -10,14 +10,17 @@ import (
 	"github.com/zhuge-project/zhuge/internal/sim"
 )
 
-func TestRingFIFOAndOverflow(t *testing.T) {
+func TestRingFIFOAndGrowth(t *testing.T) {
 	var r ring
-	const n = ringCap + 100 // force the overflow spill
+	const n = 4*ringCap + 100 // force several geometric growth steps
 	for i := 0; i < n; i++ {
 		r.push(Parcel{At: sim.Time(i)})
 	}
 	if got := r.pending(); got != n {
 		t.Fatalf("pending = %d, want %d", got, n)
+	}
+	if len(r.buf) < n || len(r.buf)&(len(r.buf)-1) != 0 {
+		t.Fatalf("buf grew to %d, want a power of two >= %d", len(r.buf), n)
 	}
 	var got []sim.Time
 	r.drain(func(p Parcel) { got = append(got, p.At) })
@@ -26,13 +29,13 @@ func TestRingFIFOAndOverflow(t *testing.T) {
 	}
 	for i, at := range got {
 		if at != sim.Time(i) {
-			t.Fatalf("parcel %d has At %d: FIFO order broken across the spill", i, at)
+			t.Fatalf("parcel %d has At %d: FIFO order broken across growth", i, at)
 		}
 	}
-	if r.pending() != 0 || r.overflowing {
+	if r.pending() != 0 {
 		t.Fatal("drain did not reset the ring")
 	}
-	// The ring must be reusable after a drain.
+	// The ring must be reusable after a drain, at its grown capacity.
 	r.push(Parcel{At: 42})
 	r.drain(func(p Parcel) {
 		if p.At != 42 {
@@ -41,10 +44,60 @@ func TestRingFIFOAndOverflow(t *testing.T) {
 	})
 }
 
+// TestRingGrowthMidstream grows while head is far from zero, so the
+// re-laying in grow has to translate wrapped positions correctly.
+func TestRingGrowthMidstream(t *testing.T) {
+	var r ring
+	next := 0
+	popped := 0
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			r.push(Parcel{At: sim.Time(next)})
+			next++
+		}
+	}
+	drainAll := func() {
+		r.drain(func(p Parcel) {
+			if p.At != sim.Time(popped) {
+				t.Fatalf("popped At %d, want %d", p.At, popped)
+			}
+			popped++
+		})
+	}
+	push(ringCap - 3) // nearly fill
+	drainAll()        // head == tail == ringCap-3: wrapped state
+	push(3 * ringCap) // burst forces growth with nonzero head
+	drainAll()
+	if popped != next {
+		t.Fatalf("popped %d of %d parcels", popped, next)
+	}
+}
+
+// cellPair builds a two-shard cluster with one cell on each and a pair of
+// cut edges, the canonical fixture for protocol tests.
+func cellPair(t *testing.T) (c *Cluster, a, b *Cell, ab, ba *Edge) {
+	t.Helper()
+	c = NewCluster()
+	sa := c.AddShard("sa")
+	sb := c.AddShard("sb")
+	a = c.AddCell("a", sim.New(1), sa)
+	b = c.AddCell("b", sim.New(2), sb)
+	var err error
+	ab, err = c.Connect("a->b", a, b, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err = c.Connect("b->a", b, a, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, a, b, ab, ba
+}
+
 func TestZeroLookaheadRejected(t *testing.T) {
 	c := NewCluster()
-	a := c.AddShard("a", sim.New(1))
-	b := c.AddShard("b", sim.New(2))
+	a := c.AddCell("a", sim.New(1), c.AddShard("sa"))
+	b := c.AddCell("b", sim.New(2), c.AddShard("sb"))
 	for _, d := range []time.Duration{0, -time.Millisecond} {
 		if _, err := c.Connect("cut", a, b, d); err == nil {
 			t.Fatalf("Connect with delay %v succeeded, want error", d)
@@ -60,22 +113,12 @@ func TestZeroLookaheadRejected(t *testing.T) {
 	}
 }
 
-// exchange builds two shards ping-ponging packets over a pair of edges and
-// returns the delivery log. Used both for protocol checks and for the
-// worker-count determinism gate.
+// exchange builds two single-cell shards ping-ponging packets over a pair
+// of edges and returns the delivery log. Used both for protocol checks and
+// for the worker-count determinism gate.
 func exchange(t *testing.T, workers int) []string {
 	t.Helper()
-	c := NewCluster()
-	a := c.AddShard("a", sim.New(1))
-	b := c.AddShard("b", sim.New(2))
-	ab, err := c.Connect("a->b", a, b, 5*time.Millisecond)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ba, err := c.Connect("b->a", b, a, 3*time.Millisecond)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c, a, b, ab, ba := cellPair(t)
 
 	var log []string
 	// b echoes every arrival straight back; a records the round trip.
@@ -167,4 +210,108 @@ func TestWorkerCountInvisible(t *testing.T) {
 			t.Fatalf("line %d differs:\n  1 worker:  %q\n  4 workers: %q", i, seq[i], par[i])
 		}
 	}
+}
+
+// TestEdgeBurstBeyondInitialCap drives far more than ringCap parcels down
+// one edge inside a single window; every one must arrive, in order.
+func TestEdgeBurstBeyondInitialCap(t *testing.T) {
+	c, a, b, ab, _ := cellPair(t)
+	_ = b
+	const n = ringCap + 300
+	var got []uint64
+	bIn := netem.ReceiverFunc(func(p *netem.Packet) {
+		got = append(got, p.Seq)
+		p.Release()
+	})
+	// All sends at t=1ms: one event, n pushes, all inside one window.
+	a.Sim().Schedule(time.Millisecond, func() {
+		for i := 0; i < n; i++ {
+			p := netem.NewPacket()
+			p.Seq = uint64(i)
+			ab.Send(p, bIn)
+		}
+	})
+	c.Run(20*time.Millisecond, 2)
+	if len(got) != n {
+		t.Fatalf("delivered %d parcels, want %d", len(got), n)
+	}
+	for i, seq := range got {
+		if seq != uint64(i) {
+			t.Fatalf("parcel %d has seq %d: burst order broken", i, seq)
+		}
+	}
+}
+
+// TestMigrateMovesCellAtBarrier pins the migration mechanics: a cell moved
+// at a barrier keeps firing its events (on the new shard), residency lists
+// update, and the delivery log is byte-identical to the unmigrated run.
+func TestMigrateMovesCellAtBarrier(t *testing.T) {
+	run := func(migrate bool) ([]string, uint64) {
+		c, a, b, ab, _ := cellPair(t)
+		var log []string
+		bIn := netem.ReceiverFunc(func(p *netem.Packet) {
+			log = append(log, fmt.Sprintf("b got %d at %v", p.Seq, b.Sim().Now()))
+			p.Release()
+		})
+		for i := 0; i < 10; i++ {
+			seq := uint64(i)
+			a.Sim().Schedule(time.Duration(i)*2*time.Millisecond, func() {
+				p := netem.NewPacket()
+				p.Seq = seq
+				ab.Send(p, bIn)
+			})
+		}
+		if migrate {
+			sb := c.Shards()[1]
+			c.At(9*time.Millisecond, func() { c.Migrate(a, sb) })
+		}
+		c.Run(40*time.Millisecond, 2)
+		return log, c.Fired()
+	}
+	plain, firedPlain := run(false)
+	moved, firedMoved := run(true)
+	if len(plain) != 10 || len(moved) != 10 {
+		t.Fatalf("deliveries %d/%d, want 10/10", len(plain), len(moved))
+	}
+	for i := range plain {
+		if plain[i] != moved[i] {
+			t.Fatalf("line %d differs under migration:\n  plain: %q\n  moved: %q", i, plain[i], moved[i])
+		}
+	}
+	if firedPlain != firedMoved {
+		t.Fatalf("event counts differ under migration: %d vs %d", firedPlain, firedMoved)
+	}
+}
+
+func TestMigrateUpdatesResidency(t *testing.T) {
+	c, a, _, _, _ := cellPair(t)
+	sa, sb := c.Shards()[0], c.Shards()[1]
+	if a.Shard() != sa || len(sa.Cells()) != 1 || len(sb.Cells()) != 1 {
+		t.Fatal("initial residency wrong")
+	}
+	c.Migrate(a, sb)
+	if a.Shard() != sb {
+		t.Fatalf("cell a resides on %q, want sb", a.Shard().Name())
+	}
+	if len(sa.Cells()) != 0 || len(sb.Cells()) != 2 {
+		t.Fatalf("residency lists sa=%d sb=%d, want 0/2", len(sa.Cells()), len(sb.Cells()))
+	}
+	c.Migrate(a, sb) // no-op
+	if len(sb.Cells()) != 2 {
+		t.Fatal("self-migration duplicated the cell")
+	}
+}
+
+func TestMigrateInWindowPanics(t *testing.T) {
+	c, a, _, _, _ := cellPair(t)
+	sb := c.Shards()[1]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Migrate from in-window code did not panic")
+		}
+	}()
+	// A scheduled event runs inside a window: migrating there must trip
+	// the runtime backstop (the shardown analyzer is the static gate).
+	a.Sim().Schedule(time.Millisecond, func() { c.Migrate(a, sb) })
+	c.Run(10*time.Millisecond, 1)
 }
