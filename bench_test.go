@@ -538,6 +538,21 @@ func BenchmarkExtHandover(b *testing.B) {
 	})
 }
 
+// --- Chaos matrix: phased fault-injection throughput ----------------------
+
+// BenchmarkChaosMatrix runs the golden chaos subset (every solution under
+// one representative fault per disturbance shape, stabilise→inject→recover
+// each) once per iteration and reports matrix throughput in cells/sec —
+// the BENCH_chaos.json figure.
+func BenchmarkChaosMatrix(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(experiments.ChaosMatrix(benchCfg).Rows)
+	}
+	b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "cells/sec")
+	b.ReportMetric(float64(rows), "cells")
+}
+
 // --- Sharded parallel DES: campus workload across shard counts -----------
 
 // timedShardedRun drives the cluster with a timing executor: per window it

@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment ID to run, or 'all'")
+		exp     = flag.String("exp", "", "comma-separated experiment IDs to run, or 'all'")
 		scale   = flag.Float64("scale", 1.0, "duration scale factor")
 		seed    = flag.Int64("seed", 1, "root random seed")
 		workers = flag.Int("j", runtime.NumCPU(), "worker count for parallel cells (1 = sequential)")
@@ -41,6 +42,9 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		format  = flag.String("format", "table", "output format: table|csv")
 		outDir  = flag.String("o", "", "write each table to <dir>/<id>.<ext> instead of stdout")
+
+		matrix      = flag.Bool("matrix", false, "run the full chaos scenario matrix (every solution×fault cell)")
+		cellsFilter = flag.String("cells", "", "with -matrix: comma-separated substrings filtering cell IDs (e.g. 'rtp/,loss-50%')")
 
 		metricsOut = flag.String("metrics", "", "write per-cell metrics/prediction-error snapshots (JSON) to this file")
 		traceDir   = flag.String("trace", "", "write per-cell Chrome packet traces into this directory (use with small -scale)")
@@ -57,12 +61,12 @@ func main() {
 		}()
 	}
 
-	if *list || *exp == "" {
+	if *list || (*exp == "" && !*matrix) {
 		fmt.Println("available experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-22s %s\n", e.ID, e.Brief)
 		}
-		if *exp == "" && !*list {
+		if *exp == "" && !*matrix && !*list {
 			os.Exit(2)
 		}
 		return
@@ -73,6 +77,12 @@ func main() {
 		cfg.Obs = obs.NewSweep(*traceDir)
 	}
 
+	if *matrix {
+		runMatrix(cfg, *cellsFilter, *format, *outDir)
+		writeSweep(cfg.Obs, *metricsOut)
+		return
+	}
+
 	if *exp == "all" {
 		prog := startProgress(*statsAddr, len(experiments.All()))
 		runAll(cfg, *format, *outDir, prog)
@@ -80,22 +90,54 @@ func main() {
 		writeSweep(cfg.Obs, *metricsOut)
 		return
 	}
-	e := experiments.ByID(*exp)
-	if e == nil {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+
+	// One or more comma-separated experiment IDs, run in the order given.
+	var exps []*experiments.Experiment
+	for _, id := range strings.Split(*exp, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		e := experiments.ByID(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+			os.Exit(2)
+		}
+		exps = append(exps, e)
+	}
+	if len(exps) == 0 {
+		fmt.Fprintln(os.Stderr, "no experiment IDs given; use -list")
 		os.Exit(2)
 	}
-	prog := startProgress(*statsAddr, 1)
+	prog := startProgress(*statsAddr, len(exps))
+	for _, e := range exps {
+		start := time.Now()
+		table := e.Run(cfg)
+		prog.completed(e.ID)
+		if err := emit(table, *format, *outDir, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "zhuge-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	prog.close()
+	writeSweep(cfg.Obs, *metricsOut)
+}
+
+// runMatrix executes the chaos scenario matrix (optionally filtered) and
+// reports cells/sec — the BENCH_chaos.json throughput figure.
+func runMatrix(cfg experiments.Config, filter, format, outDir string) {
 	start := time.Now()
-	table := e.Run(cfg)
-	prog.completed(e.ID)
-	if err := emit(table, *format, *outDir, os.Stdout); err != nil {
+	table := experiments.MatrixTable(cfg, filter)
+	if err := emit(table, format, outDir, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "zhuge-bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-	prog.close()
-	writeSweep(cfg.Obs, *metricsOut)
+	elapsed := time.Since(start)
+	n := len(table.Rows)
+	fmt.Printf("matrix done: %d cells, %d workers, %v total (%.2f cells/sec)\n",
+		n, parallel.Workers(cfg.Workers), elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds())
 }
 
 // benchProgress publishes live sweep progress over the stats plane while

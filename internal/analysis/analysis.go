@@ -270,6 +270,7 @@ var deterministicSegments = map[string]bool{
 	"trace":       true,
 	"experiments": true,
 	"scenario":    true,
+	"chaos":       true,
 	"shard":       true,
 	"topo":        true,
 	"baseline":    true,

@@ -24,6 +24,8 @@ func TestDetClock(t *testing.T) {
 		"./internal/analysis/testdata/src/detclock/sim",
 		// The allowlist boundary: same code, liveap package, zero findings.
 		"./internal/analysis/testdata/src/detclock/liveap",
+		// The chaos segment classifies as deterministic too.
+		"./internal/analysis/testdata/src/detclock/chaos",
 	)
 }
 
@@ -32,12 +34,16 @@ func TestDetRand(t *testing.T) {
 		"./internal/analysis/testdata/src/detrand/wireless",
 		// The blessed-helper boundary: LabeledRand clean, rogue flagged.
 		"./internal/analysis/testdata/src/detrand/sim",
+		// Injector loss draws: injected *rand.Rand legal, global flagged.
+		"./internal/analysis/testdata/src/detrand/chaos",
 	)
 }
 
 func TestMapOrder(t *testing.T) {
 	analysistest.Run(t, moduleRoot(t), analysis.MapOrder,
 		"./internal/analysis/testdata/src/maporder/trace",
+		// Matrix cell maps must not feed rows in range order.
+		"./internal/analysis/testdata/src/maporder/chaos",
 	)
 }
 
@@ -145,6 +151,7 @@ func TestDeterministicPkgClassification(t *testing.T) {
 		{"github.com/zhuge-project/zhuge/internal/trace", true},
 		{"github.com/zhuge-project/zhuge/internal/experiments", true},
 		{"github.com/zhuge-project/zhuge/internal/scenario", true},
+		{"github.com/zhuge-project/zhuge/internal/chaos", true},
 		{"github.com/zhuge-project/zhuge/internal/shard", true},
 
 		{"github.com/zhuge-project/zhuge/internal/liveap", false},

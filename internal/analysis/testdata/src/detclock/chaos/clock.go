@@ -1,0 +1,21 @@
+// Package chaos is a detclock fixture: fault injectors schedule on
+// virtual time, so the segment classifies as deterministic and wall-clock
+// reads inside it must be flagged.
+package chaos
+
+import "time"
+
+// injectAt shows the legal shape: phase boundaries are pure Duration
+// arithmetic on virtual time.
+func injectAt(stabilise, inject time.Duration) time.Duration {
+	return stabilise + inject
+}
+
+func wallClockedInjector() time.Duration {
+	start := time.Now()      // want `time\.Now is wall-clock`
+	return time.Since(start) // want `time\.Since is wall-clock`
+}
+
+func sleepingRecovery() {
+	time.Sleep(time.Second) // want `time\.Sleep is wall-clock`
+}

@@ -1,0 +1,21 @@
+// Package chaos is a detrand fixture: step-loss draws must come from a
+// labeled *rand.Rand handed in by the scenario, never the process-global
+// source — a global draw would couple every cell's loss pattern to run
+// order.
+package chaos
+
+import "math/rand"
+
+// lossDrawOK is the blessed pattern: the stream arrived pre-seeded from
+// sim.NewRand("chaos.loss").
+func lossDrawOK(rng *rand.Rand, prob float64) bool {
+	return rng.Float64() < prob
+}
+
+func globalLossDraw(prob float64) bool {
+	return rand.Float64() < prob // want `rand\.Float64 draws from the process-global source`
+}
+
+func adHocSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `raw rand\.NewSource seeds bypass the labeled-seed scheme`
+}

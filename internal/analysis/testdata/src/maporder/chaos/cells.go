@@ -1,0 +1,36 @@
+// Package chaos is a maporder fixture: the matrix registry enumerates
+// cells as data, so iteration feeding table rows must come from slices —
+// ranging a map straight into output would scramble row order per run.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func printCellsDuringRange(w io.Writer, cells map[string]float64) {
+	for id, dip := range cells {
+		fmt.Fprintf(w, "%s %.2f\n", id, dip) // want `fmt\.Fprintf inside range over map`
+	}
+}
+
+func collectCellIDs(cells map[string]float64) []string {
+	var ids []string
+	for id := range cells {
+		ids = append(ids, id) // want `append to ids inside range over map`
+	}
+	return ids
+}
+
+// sortedCellsOK is the blessed idiom: collect, sort, then emit.
+func sortedCellsOK(w io.Writer, cells map[string]float64) {
+	ids := make([]string, 0, len(cells))
+	for id := range cells {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(w, "%s %.2f\n", id, cells[id])
+	}
+}

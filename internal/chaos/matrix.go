@@ -1,0 +1,226 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/scenario"
+)
+
+// SolutionSpec is one comparison point of the evaluation: a transport, the
+// AP-side solution, and the knob the paper varies alongside it (the qdisc
+// for RTP, the sender CCA for TCP). These lists are the canonical data the
+// figure tables and the chaos matrix both enumerate.
+type SolutionSpec struct {
+	Name      string // table label, e.g. "Gcc+Zhuge"
+	Transport string // "rtp" or "tcp"
+	Sol       scenario.Solution
+	Qdisc     string // rtp: AP queue discipline ("fifo", "codel")
+	CCA       string // tcp: sender rate controller ("copa", "abc")
+}
+
+// RTPSolutions are the RTP/RTCP comparison points of Figures 11/13/14/22.
+var RTPSolutions = []SolutionSpec{
+	{Name: "Gcc+FIFO", Transport: "rtp", Sol: scenario.SolutionNone, Qdisc: "fifo"},
+	{Name: "Gcc+CoDel", Transport: "rtp", Sol: scenario.SolutionNone, Qdisc: "codel"},
+	{Name: "Gcc+Zhuge", Transport: "rtp", Sol: scenario.SolutionZhuge, Qdisc: "fifo"},
+}
+
+// TCPSolutions are the TCP comparison points of Figures 12/15 and Table 3.
+var TCPSolutions = []SolutionSpec{
+	{Name: "Copa", Transport: "tcp", Sol: scenario.SolutionNone, CCA: "copa"},
+	{Name: "Copa+FastAck", Transport: "tcp", Sol: scenario.SolutionFastAck, CCA: "copa"},
+	{Name: "ABC", Transport: "tcp", Sol: scenario.SolutionABC, CCA: "abc"},
+	{Name: "Copa+Zhuge", Transport: "tcp", Sol: scenario.SolutionZhuge, CCA: "copa"},
+}
+
+// Solutions returns every comparison point, RTP first.
+func Solutions() []SolutionSpec {
+	out := make([]SolutionSpec, 0, len(RTPSolutions)+len(TCPSolutions))
+	out = append(out, RTPSolutions...)
+	out = append(out, TCPSolutions...)
+	return out
+}
+
+// Fault is one catalogue entry: a family plus its parameter. Param's
+// meaning is family-specific (loss fraction, extra-delay ms, interferer
+// count, collapse factor, storm size, drop factor, flow count).
+type Fault struct {
+	Family string
+	Label  string
+	Param  float64
+	Dur    time.Duration // spike only: how long the spike lasts
+}
+
+// Injector builds the runnable injector for a phased fault.
+func (f Fault) Injector() Injector {
+	switch f.Family {
+	case "loss":
+		return StepLoss{Frac: f.Param}
+	case "spike":
+		return LatencySpike{Extra: time.Duration(f.Param) * time.Millisecond, Dur: f.Dur}
+	case "burst":
+		return InterfererBurst{N: int(f.Param)}
+	case "collapse":
+		return RateCollapse{Factor: f.Param}
+	case "roamstorm":
+		return RoamStorm{N: int(f.Param)}
+	case "reboot":
+		return APReboot{}
+	}
+	panic(fmt.Sprintf("chaos: fault family %q has no injector", f.Family))
+}
+
+// PhasedFaults is the fault catalogue of the chaos matrix: every entry is
+// armed for the inject window of a stabilise→inject→recover run.
+func PhasedFaults() []Fault {
+	var fs []Fault
+	for _, p := range []float64{2, 10, 25, 50, 100} {
+		fs = append(fs, Fault{Family: "loss", Label: fmt.Sprintf("loss-%g%%", p), Param: p / 100})
+	}
+	for _, d := range []time.Duration{100 * time.Millisecond, time.Second, 5 * time.Second} {
+		fs = append(fs, Fault{Family: "spike", Label: "spike-" + d.String(), Param: 200, Dur: d})
+	}
+	for _, n := range []int{10, 40} {
+		fs = append(fs, Fault{Family: "burst", Label: fmt.Sprintf("burst-%d", n), Param: float64(n)})
+	}
+	for _, f := range []float64{4, 16} {
+		fs = append(fs, Fault{Family: "collapse", Label: fmt.Sprintf("collapse-%gx", f), Param: f})
+	}
+	for _, n := range []int{8, 32} {
+		fs = append(fs, Fault{Family: "roamstorm", Label: fmt.Sprintf("storm-%d", n), Param: float64(n)})
+	}
+	fs = append(fs, Fault{Family: "reboot", Label: "reboot"})
+	return fs
+}
+
+// DropFactors are the bandwidth-reduction factors of Figures 4/14/15.
+var DropFactors = []float64{2, 5, 10, 20, 50}
+
+// CompetitionCounts are the CUBIC competitor counts of Figure 16.
+var CompetitionCounts = []int{0, 10, 20, 30, 40}
+
+// InterferenceCounts are the contending-station counts of Figure 17.
+var InterferenceCounts = []int{0, 5, 10, 20, 30, 40}
+
+// FigureFaults enumerates a legacy single-fault sweep (the microbenchmark
+// figures) as matrix data.
+func FigureFaults(family string) []Fault {
+	var fs []Fault
+	switch family {
+	case "abw-drop":
+		for _, k := range DropFactors {
+			fs = append(fs, Fault{Family: family, Label: fmt.Sprintf("drop-%.0fx", k), Param: k})
+		}
+	case "competition":
+		for _, n := range CompetitionCounts {
+			fs = append(fs, Fault{Family: family, Label: fmt.Sprintf("flows-%d", n), Param: float64(n)})
+		}
+	case "interference":
+		for _, n := range InterferenceCounts {
+			fs = append(fs, Fault{Family: family, Label: fmt.Sprintf("intf-%d", n), Param: float64(n)})
+		}
+	default:
+		panic(fmt.Sprintf("chaos: unknown figure family %q", family))
+	}
+	return fs
+}
+
+// Cell is one matrix entry: a solution under a fault.
+type Cell struct {
+	Sol   SolutionSpec
+	Fault Fault
+}
+
+// ID names the cell for filters and logs, e.g. "rtp/Gcc+Zhuge/loss-50%".
+func (c Cell) ID() string {
+	return c.Sol.Transport + "/" + c.Sol.Name + "/" + c.Fault.Label
+}
+
+// Supported reports whether the combination can run: FastAck APs cannot be
+// handover endpoints, so the roam-shaped faults skip them.
+func (c Cell) Supported() bool {
+	if c.Sol.Sol == scenario.SolutionFastAck {
+		switch c.Fault.Family {
+		case "roamstorm", "reboot":
+			return false
+		}
+	}
+	return true
+}
+
+// enumerate builds solutions × faults in deterministic order (solutions
+// outer, faults inner), dropping unsupported combinations.
+func enumerate(sols []SolutionSpec, faults []Fault) []Cell {
+	var cells []Cell
+	for _, s := range sols {
+		for _, f := range faults {
+			c := Cell{Sol: s, Fault: f}
+			if c.Supported() {
+				cells = append(cells, c)
+			}
+		}
+	}
+	return cells
+}
+
+// Cells enumerates the full phased chaos matrix: every solution of both
+// transports under every catalogue fault.
+func Cells() []Cell {
+	return enumerate(Solutions(), PhasedFaults())
+}
+
+// FigureCells enumerates a legacy microbenchmark figure as matrix cells
+// (same solution-outer, parameter-inner order the hand-written loops had).
+func FigureCells(family, transport string) []Cell {
+	sols := RTPSolutions
+	if transport == "tcp" {
+		sols = TCPSolutions
+	}
+	return enumerate(sols, FigureFaults(family))
+}
+
+// GoldenCells is the pinned representative subset the golden-gated
+// chaos-matrix experiment runs: one fault per disturbance shape, every
+// solution.
+func GoldenCells() []Cell {
+	keep := map[string]bool{
+		"loss-50%": true, "spike-1s": true, "collapse-16x": true, "storm-8": true,
+	}
+	var faults []Fault
+	for _, f := range PhasedFaults() {
+		if keep[f.Label] {
+			faults = append(faults, f)
+		}
+	}
+	return enumerate(Solutions(), faults)
+}
+
+// FilterCells keeps cells whose ID contains any of the comma-separated
+// substrings of filter; an empty filter keeps everything.
+func FilterCells(cells []Cell, filter string) []Cell {
+	if filter == "" {
+		return cells
+	}
+	var pats []string
+	for _, p := range strings.Split(filter, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			pats = append(pats, p)
+		}
+	}
+	if len(pats) == 0 {
+		return cells
+	}
+	var out []Cell
+	for _, c := range cells {
+		id := c.ID()
+		for _, p := range pats {
+			if strings.Contains(id, p) {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}

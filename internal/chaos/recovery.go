@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"sort"
+	"time"
+
+	"github.com/zhuge-project/zhuge/internal/metrics"
+)
+
+// Recovery summarises how a rate series absorbed one fault window.
+type Recovery struct {
+	// Baseline is the mean rate over the window before the fault (up to
+	// 10 s, clamped to the stabilise phase).
+	Baseline float64
+	// DipDepth is the fractional drop of the series minimum after the
+	// fault starts, relative to Baseline: 0 = no dip, 1 = full collapse.
+	DipDepth float64
+	// Recross is the time from the fault clearing to the first re-cross
+	// of Baseline after the post-fault dip (RecrossAfter semantics).
+	Recross time.Duration
+}
+
+// MeasureRecovery computes the phase-relative recovery figure of a rate
+// series: baseline before the fault, the deepest dip after it starts, and
+// the re-cross time after it clears.
+func MeasureRecovery(rs *metrics.Series, ph Phases) Recovery {
+	start, until := ph.InjectStart(), ph.End()
+	win := 10 * time.Second
+	if win > ph.Stabilise {
+		win = ph.Stabilise
+	}
+	var sum float64
+	var n int
+	for _, pt := range rs.Points {
+		if pt.At >= start-win && pt.At < start {
+			sum += pt.Value
+			n++
+		}
+	}
+	var r Recovery
+	if n == 0 {
+		return r
+	}
+	r.Baseline = sum / float64(n)
+	low := r.Baseline
+	for _, pt := range rs.Points {
+		if pt.At <= start || pt.At >= until {
+			continue
+		}
+		if pt.Value < low {
+			low = pt.Value
+		}
+	}
+	if r.Baseline > 0 && low < r.Baseline {
+		r.DipDepth = 1 - low/r.Baseline
+	}
+	// Time-to-recross counts from the fault clearing, against the
+	// pre-fault baseline (the mean during injection would be depressed by
+	// the fault itself).
+	r.Recross = recrossGoal(rs, r.Baseline, ph.InjectEnd(), until)
+	return r
+}
+
+// MeanRecross averages, over the scheduled events, the time the series
+// needs to climb back to its pre-event mean. Each event is measured until
+// the next one (or the end of the run).
+func MeanRecross(rs *metrics.Series, events []time.Duration, end time.Duration) time.Duration {
+	var total time.Duration
+	for i, h := range events {
+		until := end
+		if i+1 < len(events) {
+			until = events[i+1]
+		}
+		total += RecrossAfter(rs, h, until)
+	}
+	return total / time.Duration(len(events))
+}
+
+// RecrossAfter measures one event: the target is the mean value over the
+// 10 seconds before it, and recovery runs from the event to the first
+// re-cross of that target after the post-event dip (the first sample below
+// target). A controller oscillating in steady state re-crosses within one
+// sawtooth period, so undisturbed events score small; an event that stalls
+// the controller scores the full stall.
+func RecrossAfter(rs *metrics.Series, h, until time.Duration) time.Duration {
+	var sum float64
+	var n int
+	for _, pt := range rs.Points {
+		if pt.At >= h-10*time.Second && pt.At < h {
+			sum += pt.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return recrossGoal(rs, sum/float64(n), h, until)
+}
+
+// recrossGoal measures from `from` to the first re-cross of goal after the
+// post-event dip (the first sample below goal).
+func recrossGoal(rs *metrics.Series, goal float64, from, until time.Duration) time.Duration {
+	dipped := false
+	for _, pt := range rs.Points {
+		if pt.At <= from {
+			continue
+		}
+		if pt.At >= until {
+			break
+		}
+		if !dipped {
+			dipped = pt.Value < goal
+			continue
+		}
+		if pt.Value >= goal {
+			return pt.At - from
+		}
+	}
+	if dipped {
+		return until - from // never recovered inside the window
+	}
+	return 0
+}
+
+// WindowQuantile returns the exact q-quantile of the series values falling
+// in [from, to), or 0 when the window is empty.
+func WindowQuantile(s *metrics.Series, from, to time.Duration, q float64) float64 {
+	var vals []float64
+	for _, pt := range s.Points {
+		if pt.At >= from && pt.At < to {
+			vals = append(vals, pt.Value)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	if q <= 0 {
+		return vals[0]
+	}
+	if q >= 1 {
+		return vals[len(vals)-1]
+	}
+	pos := q * float64(len(vals)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 < len(vals) {
+		return vals[i] + frac*(vals[i+1]-vals[i])
+	}
+	return vals[i]
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestChaosMatrixDeterminism extends the -j contract to the full-matrix
+// path (-matrix/-cells): a filtered slice of the chaos grid renders
+// byte-identically at 1 and 8 workers.
+func TestChaosMatrixDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	seq := MatrixTable(Config{Seed: 1, Scale: 0.02, Workers: 1}, "loss-50%").String()
+	par := MatrixTable(Config{Seed: 1, Scale: 0.02, Workers: 8}, "loss-50%").String()
+	if seq != par {
+		t.Fatalf("matrix output differs between -j 1 and -j 8:\n--- j=1 ---\n%s\n--- j=8 ---\n%s", seq, par)
+	}
+}
+
+// TestRegistrySingleTable pins the single-table refactor: All and ByID
+// read the same registry, IDs are unique, and both the literal and the
+// matrix-generated entries resolve.
+func TestRegistrySingleTable(t *testing.T) {
+	all := All()
+	seen := make(map[string]bool, len(all))
+	for _, e := range all {
+		if e.ID == "" || e.Brief == "" || e.Run == nil {
+			t.Fatalf("incomplete registry entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+		got := ByID(e.ID)
+		if got == nil || got.ID != e.ID {
+			t.Fatalf("ByID(%q) does not round-trip", e.ID)
+		}
+	}
+	for _, id := range []string{"fig14", "fig17", "chaos-matrix"} {
+		if !seen[id] {
+			t.Fatalf("registry missing %q", id)
+		}
+	}
+	if ByID("no-such-experiment") != nil {
+		t.Fatal("ByID returned an entry for an unknown ID")
+	}
+	// Mutating the copy returned by All must not corrupt the registry.
+	all[0].ID = "mutated"
+	if ByID("mutated") != nil {
+		t.Fatal("All() returned a live view of the registry")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/zhuge-project/zhuge/internal/chaos"
 	"github.com/zhuge-project/zhuge/internal/core"
 	"github.com/zhuge-project/zhuge/internal/metrics"
 	"github.com/zhuge-project/zhuge/internal/netem"
@@ -15,8 +16,9 @@ import (
 	"github.com/zhuge-project/zhuge/internal/wireless"
 )
 
-// dropKs are the bandwidth-reduction factors swept in Figures 4/14/15.
-var dropKs = []float64{2, 5, 10, 20, 50}
+// dropKs are the bandwidth-reduction factors swept in Figures 4/14/15; the
+// canonical list lives with the chaos matrix's fault catalogue.
+var dropKs = chaos.DropFactors
 
 const (
 	dropWarmup = 15 * time.Second

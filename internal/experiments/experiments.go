@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/zhuge-project/zhuge/internal/chaos"
 	"github.com/zhuge-project/zhuge/internal/metrics"
 	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/parallel"
@@ -187,32 +188,40 @@ func standardTraces(cfg Config, dur time.Duration) []*trace.Trace {
 	return trace.StandardSet(dur, cfg.Seed)
 }
 
-// rtpSolutions are the RTP/RTCP comparison points of Figures 11/13/14/22.
+// solutionSpec is the package-local view of one RTP comparison point; the
+// canonical list lives in internal/chaos (the matrix enumerates it too).
 type solutionSpec struct {
 	name  string
 	sol   scenario.Solution
 	qdisc string
 }
 
-var rtpSolutions = []solutionSpec{
-	{"Gcc+FIFO", scenario.SolutionNone, "fifo"},
-	{"Gcc+CoDel", scenario.SolutionNone, "codel"},
-	{"Gcc+Zhuge", scenario.SolutionZhuge, "fifo"},
-}
+// rtpSolutions are the RTP/RTCP comparison points of Figures 11/13/14/22,
+// derived from the chaos matrix's canonical solution data.
+var rtpSolutions = func() []solutionSpec {
+	out := make([]solutionSpec, 0, len(chaos.RTPSolutions))
+	for _, s := range chaos.RTPSolutions {
+		out = append(out, solutionSpec{s.Name, s.Sol, s.Qdisc})
+	}
+	return out
+}()
 
-// tcpSolutions are the TCP comparison points of Figures 12/15 and Table 3.
+// tcpSolutionSpec is the package-local view of one TCP comparison point.
 type tcpSolutionSpec struct {
 	name string
 	sol  scenario.Solution
 	cca  string
 }
 
-var tcpSolutions = []tcpSolutionSpec{
-	{"Copa", scenario.SolutionNone, "copa"},
-	{"Copa+FastAck", scenario.SolutionFastAck, "copa"},
-	{"ABC", scenario.SolutionABC, "abc"},
-	{"Copa+Zhuge", scenario.SolutionZhuge, "copa"},
-}
+// tcpSolutions are the TCP comparison points of Figures 12/15 and Table 3,
+// derived from the chaos matrix's canonical solution data.
+var tcpSolutions = func() []tcpSolutionSpec {
+	out := make([]tcpSolutionSpec, 0, len(chaos.TCPSolutions))
+	for _, s := range chaos.TCPSolutions {
+		out = append(out, tcpSolutionSpec{s.Name, s.Sol, s.CCA})
+	}
+	return out
+}()
 
 // newRNG derives a deterministic RNG for experiment-internal randomness.
 func newRNG(cfg Config, label string) *rand.Rand {

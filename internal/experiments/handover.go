@@ -3,6 +3,7 @@ package experiments
 import (
 	"time"
 
+	"github.com/zhuge-project/zhuge/internal/chaos"
 	"github.com/zhuge-project/zhuge/internal/metrics"
 	"github.com/zhuge-project/zhuge/internal/obs"
 	"github.com/zhuge-project/zhuge/internal/scenario"
@@ -89,64 +90,10 @@ func ExtHandover(cfg Config) *Table {
 			c.proto, c.sol.String(), c.policy,
 			pct(m.RTT.FractionAbove(rttThreshold)),
 			pct(frameDelay.FractionAbove(frameThreshold)),
-			secs(meanRecovery(&m.RateSeries, roams, dur)),
+			// The dip-then-recross machinery lives in internal/chaos now;
+			// the phased fault matrix reuses it for every fault family.
+			secs(chaos.MeanRecross(&m.RateSeries, roams, dur)),
 		}}
 	})
 	return t
-}
-
-// meanRecovery averages, over the scheduled roams, the time the sender's
-// target-rate series needs to climb back to its pre-roam mean. Each roam
-// is measured until the next one (or the end of the run).
-func meanRecovery(rs *metrics.Series, roams []time.Duration, end time.Duration) time.Duration {
-	var total time.Duration
-	for i, h := range roams {
-		until := end
-		if i+1 < len(roams) {
-			until = roams[i+1]
-		}
-		total += recoveryAfter(rs, h, until)
-	}
-	return total / time.Duration(len(roams))
-}
-
-// recoveryAfter measures one roam: the target is the mean rate over the
-// 10 seconds before it, and recovery runs from the roam to the first
-// re-cross of that target after the post-roam dip (the first sample below
-// target). A controller oscillating in steady state re-crosses within one
-// sawtooth period, so undisturbed roams score small; a roam that stalls
-// the controller scores the full stall.
-func recoveryAfter(rs *metrics.Series, h, until time.Duration) time.Duration {
-	var sum float64
-	var n int
-	for _, pt := range rs.Points {
-		if pt.At >= h-10*time.Second && pt.At < h {
-			sum += pt.Value
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	goal := sum / float64(n)
-	dipped := false
-	for _, pt := range rs.Points {
-		if pt.At <= h {
-			continue
-		}
-		if pt.At >= until {
-			break
-		}
-		if !dipped {
-			dipped = pt.Value < goal
-			continue
-		}
-		if pt.Value >= goal {
-			return pt.At - h
-		}
-	}
-	if dipped {
-		return until - h // never recovered inside the window
-	}
-	return 0
 }

@@ -7,9 +7,15 @@ type Experiment struct {
 	Run   func(Config) *Table
 }
 
-// All returns every experiment in presentation order.
-func All() []Experiment {
-	return []Experiment{
+// registry is the single experiment table, in presentation order. It is
+// assembled once at init: hand-written experiments are listed literally,
+// and matrix-generated ones (the fig14–17 microbenchmark slices and the
+// chaos-matrix subset) are spliced in from their generator data — one
+// lookup path for both kinds.
+var registry = buildRegistry()
+
+func buildRegistry() []Experiment {
+	exps := []Experiment{
 		{"fig2", "Motivation: access-network tail comparison", Fig2},
 		{"fig3a", "Motivation: queue build-up after ABW drop", Fig3a},
 		{"fig3b", "Motivation: ABW reduction-ratio CDFs", Fig3b},
@@ -19,10 +25,15 @@ func All() []Experiment {
 		{"fig12", "Eval: trace-driven TCP tails", Fig12},
 		{"fig13", "Eval: detailed distributions on W1/C1", Fig13},
 		{"fig13-ccdf", "Eval: full CCDF curves for W1/C1 (plot-ready)", Fig13CCDF},
-		{"fig14", "Eval: RTP degradation after ABW drop", Fig14},
-		{"fig15", "Eval: TCP degradation after ABW drop", Fig15},
-		{"fig16", "Eval: flow competition", Fig16},
-		{"fig17", "Eval: wireless interference", Fig17},
+	}
+	// fig14–17: slices of the solution × fault matrix (legacy families).
+	for _, fig := range microFigures() {
+		fig := fig
+		exps = append(exps, Experiment{fig.id, fig.brief, func(cfg Config) *Table {
+			return runMicroFigure(fig, cfg)
+		}})
+	}
+	exps = append(exps, []Experiment{
 		{"fig18", "Eval: testbed scenarios scp/mcs/raw", Fig18},
 		{"fig19", "Deep dive: prediction accuracy", Fig19},
 		{"fig20", "Deep dive: fairness", Fig20},
@@ -36,13 +47,23 @@ func All() []Experiment {
 		{"ext-handover", "Extension: station roaming — Zhuge state migration vs reset", ExtHandover},
 		{"control-loop", "Observability: flight-recorder control-loop decomposition", ControlLoop},
 		{"campus-sharded", "Flagship: campus topology across shard counts (invariance)", CampusSharded},
-	}
+		// chaos-matrix: the golden-gated pinned subset of the phased fault
+		// matrix (the full grid is cmd/zhuge-bench -matrix).
+		{"chaos-matrix", "Chaos: phased fault matrix — pinned solution×fault subset", ChaosMatrix},
+	}...)
+	return exps
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return append([]Experiment(nil), registry...)
 }
 
 // ByID returns the experiment with the given ID, or nil.
 func ByID(id string) *Experiment {
-	for _, e := range All() {
-		if e.ID == id {
+	for i := range registry {
+		if registry[i].ID == id {
+			e := registry[i]
 			return &e
 		}
 	}

@@ -189,13 +189,21 @@ type Link struct {
 	dst       Receiver
 	busyUntil sim.Time
 
+	// extra is added to every future delivery time (a chaos latency
+	// spike). When it shrinks mid-flight, lastAt clamps new deliveries to
+	// the latest one already scheduled, preserving the nondecreasing
+	// invariant the ring below relies on.
+	extra  time.Duration
+	lastAt sim.Time
+
 	// inflight holds packets whose delivery events are pending, in
 	// scheduling order. Delivery times are nondecreasing (busyUntil only
-	// grows) and same-instant events fire in scheduling order, so the
-	// delivery closure can pop the ring head instead of capturing the
-	// packet — one closure per link instead of one per packet. Each entry
-	// keeps the dst in effect at schedule time, matching the old
-	// per-closure capture if SetDst is called mid-flight.
+	// grows, and lastAt clamps extra-delay shrinkage) and same-instant
+	// events fire in scheduling order, so the delivery closure can pop the
+	// ring head instead of capturing the packet — one closure per link
+	// instead of one per packet. Each entry keeps the dst in effect at
+	// schedule time, matching the old per-closure capture if SetDst is
+	// called mid-flight.
 	inflight  []linkDelivery
 	head      int
 	deliverFn func()
@@ -236,6 +244,16 @@ func (l *Link) SetDst(dst Receiver) { l.dst = dst }
 // Delay returns the link's one-way propagation delay.
 func (l *Link) Delay() time.Duration { return l.delay }
 
+// SetExtraDelay adds d to every future delivery — a chaos latency spike on
+// the otherwise-stable wired segment. Packets already in flight keep their
+// scheduled times; when the spike clears, new deliveries are clamped to the
+// latest already-scheduled one so FIFO order and the nondecreasing delivery
+// invariant both hold.
+func (l *Link) SetExtraDelay(d time.Duration) { l.extra = d }
+
+// ExtraDelay returns the current chaos extra delay.
+func (l *Link) ExtraDelay() time.Duration { return l.extra }
+
 // Receive serialises p and schedules delivery after transmission +
 // propagation. Packets share the link in FIFO order.
 func (l *Link) Receive(p *Packet) {
@@ -249,7 +267,11 @@ func (l *Link) Receive(p *Packet) {
 		tx = time.Duration(float64(p.Size*8) / l.rate * float64(time.Second))
 	}
 	l.busyUntil = start + tx
-	deliverAt := l.busyUntil + l.delay
+	deliverAt := l.busyUntil + l.delay + l.extra
+	if deliverAt < l.lastAt {
+		deliverAt = l.lastAt
+	}
+	l.lastAt = deliverAt
 	l.inflight = append(l.inflight, linkDelivery{p: p, dst: l.dst})
 	l.sim.Schedule(deliverAt, l.deliverFn)
 }

@@ -220,6 +220,10 @@ func (p *Path) apOf(st *topo.Station) *PathAP {
 // ServerOut returns the receiver a server writes downlink packets into.
 func (p *Path) ServerOut() netem.Receiver { return p.wanDown.Link() }
 
+// WANDownLink exposes the server→AP WAN segment's wired link; the chaos
+// latency-spike injector adds extra delay there.
+func (p *Path) WANDownLink() *netem.Link { return p.wanDown.Link() }
+
 // ClientOut returns the receiver a client writes uplink packets into.
 func (p *Path) ClientOut() netem.Receiver { return p.clientOut.Router() }
 

@@ -57,6 +57,11 @@ type FlowSpec struct {
 	StartAt time.Duration // traffic start
 	Period  time.Duration // bulk only: on/off alternation period
 
+	// GapLoss (rtp only) enables the sender's feedback-hole loss
+	// inference — see RTPFlowConfig.GapLoss. Scenarios with roams or air
+	// loss need it so discarded fortunes register as losses.
+	GapLoss bool
+
 	// Unoptimized keeps the flow outside the AP solution even when one
 	// runs (the external-fairness experiments).
 	Unoptimized bool
@@ -329,7 +334,7 @@ func (p *Path) buildFlow(fs FlowSpec) {
 	switch fs.Kind {
 	case "rtp":
 		bf.RTP = p.AddRTPFlow(RTPFlowConfig{
-			CCA: fs.CCA, StartAt: fs.StartAt,
+			CCA: fs.CCA, StartAt: fs.StartAt, GapLoss: fs.GapLoss,
 			Station: fs.Station, Unoptimized: fs.Unoptimized,
 		})
 	case "tcp":

@@ -164,6 +164,13 @@ type Link struct {
 	// their aggregate has been delivered.
 	burstFree [][]*netem.Packet
 
+	// chaos loss injection: each packet of a delivered aggregate is lost
+	// with probability lossProb, drawn from the dedicated lossRNG so
+	// arming or clearing loss never perturbs the contention RNG stream.
+	lossProb float64
+	lossRNG  *rand.Rand
+	lost     int
+
 	// stats
 	delivered     int
 	deliveredBits float64
@@ -175,6 +182,7 @@ type Link struct {
 	cAQMDrop       *obs.Counter
 	cDeq, cDeliv   *obs.Counter
 	cAgg           *obs.Counter
+	cLost          *obs.Counter // resolved lazily by SetLoss
 	gQBytes, gQLen *obs.Gauge
 	hSojourn       *obs.Hist
 	hAMPDU         *obs.Hist // packets per aggregate (".n": raw counts)
@@ -316,6 +324,42 @@ func (l *Link) Queue() queue.Qdisc { return l.q }
 // SetDst changes the delivery destination.
 func (l *Link) SetDst(dst netem.Receiver) { l.dst = dst }
 
+// SetLoss sets the probability that a packet of a delivered aggregate is
+// lost on the air (never reaches its client, so neither delivery taps nor
+// solutions observing delivery see it — exactly like a corrupted MPDU).
+// rng must be non-nil while prob > 0; all loss draws come from it and only
+// while loss is armed, so a link that never injects loss keeps its RNG
+// streams untouched. Derive rng from the simulator for determinism.
+func (l *Link) SetLoss(prob float64, rng *rand.Rand) {
+	if prob > 0 && rng == nil {
+		panic("wireless: SetLoss needs an RNG while prob > 0")
+	}
+	l.lossProb = prob
+	if prob > 0 {
+		l.lossRNG = rng
+		if l.o != nil && l.cLost == nil {
+			label := l.cfg.ObsLabel
+			if label == "" {
+				label = "wl"
+			}
+			// Resolved lazily so paths that never inject loss keep their
+			// registry row set unchanged.
+			l.cLost = l.o.Counter(label + ".chaos_lost")
+		}
+	}
+}
+
+// LossProb returns the currently armed air-loss probability.
+func (l *Link) LossProb() float64 { return l.lossProb }
+
+// Lost returns the count of packets dropped by loss injection.
+func (l *Link) Lost() int { return l.lost }
+
+// SetInterferers retunes how many foreign stations contend on the link's
+// channel — an interferer burst when raised mid-run. Only future
+// channel-access draws see the new count.
+func (l *Link) SetInterferers(n int) { l.cfg.Interferers = n }
+
 // Delivered returns the count of packets delivered over the air.
 func (l *Link) Delivered() int { return l.delivered }
 
@@ -454,6 +498,16 @@ func (l *Link) deliverPending() {
 		l.pendingHead = 0
 	}
 	for _, p := range e.pkts {
+		if l.lossProb > 0 && l.lossRNG.Float64() < l.lossProb {
+			// Lost on the air: the packet consumed its airtime but never
+			// reaches the client, so it dies here.
+			l.lost++
+			if l.cLost != nil {
+				l.cLost.Inc()
+			}
+			p.Release()
+			continue
+		}
 		l.delivered++
 		l.deliveredBits += float64(p.Size * 8)
 		if l.o != nil {
